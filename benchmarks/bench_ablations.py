@@ -1,0 +1,126 @@
+"""Ablation benches: turn each modelled mechanism off and show the
+figure's signature disappears.
+
+DESIGN.md maps every paper finding to one mechanism in the device model;
+these benches demonstrate the mapping is causal, not incidental.
+"""
+
+import pytest
+
+from repro.apps import HBench, KmeansApp, MatMulApp, TransferPattern
+from repro.device.spec import LinkSpec, PHI_31SP
+
+
+def _id_curve(spec):
+    hb = HBench(spec=spec)
+    return [t for _, t in hb.transfer_curve(TransferPattern.ID, total=16)]
+
+
+def test_ablation_full_duplex_link(benchmark):
+    """F1 mechanism: seriality of the link makes the ID curve flat.
+
+    With a full-duplex link the middle of the ID sweep (8+8 blocks)
+    completes in roughly half the time of the edges — the GPU-style
+    signature the Phi measurement rules out.
+    """
+
+    def run():
+        half = _id_curve(PHI_31SP)
+        full = _id_curve(
+            PHI_31SP.with_overrides(link=LinkSpec(full_duplex=True))
+        )
+        return half, full
+
+    half, full = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert max(half) - min(half) < 0.05 * min(half), "Phi curve not flat"
+    assert full[8] < 0.6 * full[0], "duplex curve did not dip"
+
+
+def test_ablation_alloc_cost(benchmark):
+    """F6 mechanism: remove the per-thread alloc cost and Kmeans'
+    monotone improvement with partitions disappears."""
+    no_alloc = PHI_31SP.with_overrides(alloc_per_thread=0.0, alloc_base=0.0)
+
+    def run():
+        with_cost = [
+            KmeansApp(1120000, 56, iterations=5).run(places=p).elapsed
+            for p in (1, 56)
+        ]
+        without_cost = [
+            KmeansApp(1120000, 56, iterations=5, spec=no_alloc)
+            .run(places=p)
+            .elapsed
+            for p in (1, 56)
+        ]
+        return with_cost, without_cost
+
+    with_cost, without_cost = benchmark.pedantic(run, rounds=1, iterations=1)
+    gain_with = with_cost[0] / with_cost[1]
+    gain_without = without_cost[0] / without_cost[1]
+    assert gain_with > 5.0, "alloc mechanism should dominate Kmeans"
+    assert gain_without < gain_with / 2, "ablation did not shrink the gain"
+
+
+def test_ablation_core_sharing_straggler(benchmark):
+    """F5 mechanism: remove the shared-core straggler penalty and the
+    misaligned partition counts stop being slow."""
+    no_straggler = PHI_31SP.with_overrides(shared_core_throughput=1.0)
+
+    def run():
+        spike = {
+            p: MatMulApp(6000, 144).run(places=p).gflops for p in (13, 14)
+        }
+        flat = {
+            p: MatMulApp(6000, 144, spec=no_straggler)
+            .run(places=p)
+            .gflops
+            for p in (13, 14)
+        }
+        return spike, flat
+
+    spike, flat = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert spike[14] > 1.2 * spike[13], "divisor spike missing"
+    assert flat[14] < 1.1 * flat[13], "ablation did not remove the spike"
+
+
+def test_ablation_sync_cost_drives_fig7_right_edge(benchmark):
+    """Fig. 7 mechanism: without the per-stream join cost the right
+    edge of the U flattens."""
+    free_sync = PHI_31SP.with_overrides(
+        overheads=PHI_31SP.overheads.__class__(sync_per_stream=0.0)
+    )
+
+    def run():
+        hb = HBench()
+        hb_free = HBench(spec=free_sync)
+        return (
+            hb.partition_sweep_time(128) / hb.partition_sweep_time(8),
+            hb_free.partition_sweep_time(128) / hb_free.partition_sweep_time(8),
+        )
+
+    with_cost, without_cost = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert with_cost > without_cost, "sync cost should steepen the right edge"
+
+
+def test_simulator_event_throughput(benchmark):
+    """Raw DES engine throughput (events/second) — a regression canary
+    for the simulation core."""
+    from repro.sim import Environment, Resource
+
+    def run():
+        env = Environment()
+        res = Resource(env, capacity=4)
+
+        def worker():
+            for _ in range(100):
+                with res.request() as req:
+                    yield req
+                    yield env.timeout(1.0)
+
+        for _ in range(100):
+            env.process(worker())
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result > 0

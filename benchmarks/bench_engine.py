@@ -1,0 +1,104 @@
+"""DES-engine stress benchmarks (regression canaries).
+
+Profiling (see ``scripts/profile_sim.py``) shows simulation cost is
+dominated by generator resumption and heap churn — flat, with no
+algorithmic hotspot.  These benches pin the throughput of the three
+main cost centres so an accidental O(n^2) regression shows up.
+"""
+
+from repro.sim import Environment, Resource, Store
+
+
+def test_engine_timeout_churn(benchmark):
+    """Pure heap throughput: 20k timeouts."""
+
+    def run():
+        env = Environment()
+        for i in range(20_000):
+            env.timeout(float(i % 97))
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 96.0
+
+
+def test_engine_process_spawn(benchmark):
+    """Process creation + two resumptions each."""
+
+    def run():
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+            yield env.timeout(1.0)
+
+        for _ in range(5_000):
+            env.process(proc())
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 2.0
+
+
+def test_engine_resource_contention(benchmark):
+    """Heavy queueing on one capacity-2 resource."""
+
+    def run():
+        env = Environment()
+        res = Resource(env, capacity=2)
+
+        def worker():
+            with res.request() as req:
+                yield req
+                yield env.timeout(0.001)
+
+        for _ in range(3_000):
+            env.process(worker())
+        env.run()
+        return round(env.now, 6)
+
+    assert benchmark(run) == 1.5
+
+
+def test_engine_store_pipeline(benchmark):
+    """Producer/consumer hand-off through a bounded store."""
+
+    def run():
+        env = Environment()
+        store = Store(env, capacity=8)
+
+        def producer():
+            for i in range(4_000):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(4_000):
+                yield store.get()
+                yield env.timeout(0.0005)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        return round(env.now, 6)
+
+    result = benchmark(run)
+    assert result > 0
+
+
+def test_runtime_action_throughput(benchmark):
+    """End-to-end runtime cost per action (enqueue + simulate)."""
+    from repro.device import KernelWork
+    from repro.hstreams import StreamContext
+
+    work = KernelWork(
+        name="tiny", flops=1e6, bytes_touched=0.0, thread_rate=1e9
+    )
+
+    def run():
+        ctx = StreamContext(places=4)
+        for i in range(2_000):
+            ctx.stream(i % 4).invoke(work)
+        ctx.sync_all()
+        return ctx.now
+
+    assert benchmark(run) > 0

@@ -1,0 +1,55 @@
+"""Benches for the extension experiments (beyond the paper's figures)."""
+
+from repro.experiments import energy, streams_per_place
+
+
+def test_energy_impact(regenerate):
+    """Energy extension: streams improve GFLOPS/W, not just time."""
+    result = regenerate(energy.run, fast=True)
+    ppw = result.series_by_label("GFLOPS/W")
+    assert ppw[1] > ppw[0]  # MM
+    assert ppw[3] > ppw[2]  # CF
+
+
+def test_streams_per_place_split(regenerate):
+    """hStreams' third axis: queueing vs partitioning."""
+    result = regenerate(streams_per_place.run, fast=True)
+    gflops = result.series_by_label("GFLOPS")
+    assert min(gflops[1:]) > gflops[0]
+
+
+def test_model_validation_grid(benchmark):
+    """The analytical overlap model tracks the simulator within 5 %."""
+    from repro.model import max_rel_error, validate_overlap_model
+
+    points = benchmark.pedantic(
+        validate_overlap_model, rounds=1, iterations=1
+    )
+    assert max_rel_error(points) < 0.05
+
+
+def test_learned_tuner_end_to_end(benchmark):
+    """ML tuning (paper future work): fit on half a grid, suggest."""
+    from repro.apps import MatMulApp
+    from repro.autotune import ConfigSpace, LearnedTuner, train_test_split
+
+    space = ConfigSpace(
+        p_values=[1, 2, 4, 7, 8, 14, 28, 56],
+        t_values=[1, 4, 16, 36, 144],
+    )
+
+    def run():
+        samples = [
+            (c, MatMulApp(3000, c.tiles).run(places=c.places).elapsed)
+            for c in space
+        ]
+        train, test = train_test_split(samples)
+        tuner = LearnedTuner().fit(train)
+        suggested = tuner.suggest(space)
+        return dict(samples), suggested, tuner.rank_correlation(test)
+
+    by_config, suggested, rho = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert rho > 0.5
+    assert by_config[suggested] <= 1.25 * min(by_config.values())

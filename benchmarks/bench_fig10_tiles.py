@@ -1,0 +1,33 @@
+"""Benches for Fig. 10: tile-count sweeps per application."""
+
+from repro.experiments import fig10_tile_sweep
+
+
+def test_fig10a_matmul(regenerate):
+    result = regenerate(fig10_tile_sweep.run_mm, fast=True)
+    by_t = dict(zip(result.x, result.series_by_label("GFLOPS")))
+    # F9: T=1 leaves three partitions idle; fine tiling loses too.
+    assert by_t[4] > 2 * by_t[1]
+    assert by_t[4] > by_t[400]
+
+
+def test_fig10b_cholesky(regenerate):
+    regenerate(fig10_tile_sweep.run_cf, fast=True)
+
+
+def test_fig10c_kmeans(regenerate):
+    result = regenerate(fig10_tile_sweep.run_kmeans, fast=True)
+    by_t = dict(zip(result.x, result.series_by_label("seconds")))
+    assert min(by_t, key=by_t.get) == 4
+
+
+def test_fig10d_hotspot(regenerate):
+    regenerate(fig10_tile_sweep.run_hotspot, fast=True)
+
+
+def test_fig10e_nn(regenerate):
+    regenerate(fig10_tile_sweep.run_nn, fast=True)
+
+
+def test_fig10f_srad(regenerate):
+    regenerate(fig10_tile_sweep.run_srad, fast=True)

@@ -1,0 +1,26 @@
+"""Benches for Fig. 11 (multi-MIC) and the Sec. V-C search heuristics."""
+
+from repro.experiments import fig11_multimic, heuristics_search
+
+
+def test_fig11_multi_mic(regenerate):
+    result = regenerate(fig11_multimic.run, fast=True)
+    one = result.series_by_label("1-mic")
+    two = result.series_by_label("2-mics")
+    # F10: real but sub-linear scaling.
+    for a, b in zip(one, two):
+        assert 1.0 < b / a < 2.0
+
+
+def test_heuristics_search_reduction(regenerate):
+    regenerate(heuristics_search.run, fast=True)
+
+
+def test_future_work_overlappable_transform(regenerate):
+    """The paper's future-work transform: p2p halo deps for Hotspot."""
+    from repro.experiments import future_overlap
+
+    result = regenerate(future_overlap.run, fast=True)
+    global_sync = result.series_by_label("global sync")
+    p2p = result.series_by_label("p2p halo deps")
+    assert all(b < a for a, b in zip(global_sync, p2p))

@@ -1,0 +1,40 @@
+"""Benches for Fig. 8: streamed vs non-streamed per application."""
+
+from repro.experiments import fig8_apps
+
+
+def test_fig8a_matmul(regenerate):
+    result = regenerate(fig8_apps.run_mm, fast=True)
+    assert result.experiment == "fig8a"
+
+
+def test_fig8b_cholesky(regenerate):
+    result = regenerate(fig8_apps.run_cf, fast=True)
+    base = result.series_by_label("w/o")
+    streamed = result.series_by_label("w/")
+    # F4: CF is the biggest winner (paper: 24.1 % mean improvement).
+    assert streamed[-1] / base[-1] > 1.2
+
+
+def test_fig8c_kmeans(regenerate):
+    result = regenerate(fig8_apps.run_kmeans, fast=True)
+    base = result.series_by_label("w/o")
+    streamed = result.series_by_label("w/")
+    assert all(s < b for s, b in zip(streamed, base))
+
+
+def test_fig8d_hotspot(regenerate):
+    regenerate(fig8_apps.run_hotspot, fast=True)
+
+
+def test_fig8e_nn(regenerate):
+    regenerate(fig8_apps.run_nn, fast=True)
+
+
+def test_fig8f_srad(regenerate):
+    result = regenerate(fig8_apps.run_srad, fast=True)
+    base = result.series_by_label("w/o")
+    streamed = result.series_by_label("w/")
+    # F4/SRAD: sign flip between the smallest and largest image.
+    assert streamed[0] > base[0]
+    assert streamed[-1] < base[-1]

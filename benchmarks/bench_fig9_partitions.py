@@ -1,0 +1,37 @@
+"""Benches for Fig. 9: partition sweeps per application."""
+
+from repro.experiments import fig9_partition_sweep
+
+
+def test_fig9a_matmul(regenerate):
+    result = regenerate(fig9_partition_sweep.run_mm, fast=True)
+    by_p = dict(zip(result.x, result.series_by_label("GFLOPS")))
+    # F5: the paper's recommended set is fast, misaligned P is slow.
+    assert by_p[14] > by_p[13] and by_p[14] > by_p[16]
+
+
+def test_fig9b_cholesky(regenerate):
+    regenerate(fig9_partition_sweep.run_cf, fast=True)
+
+
+def test_fig9c_kmeans(regenerate):
+    result = regenerate(fig9_partition_sweep.run_kmeans, fast=True)
+    by_p = dict(zip(result.x, result.series_by_label("seconds")))
+    # F6: monotone fall (alloc overhead shrinks with threads/partition).
+    assert by_p[56] < by_p[4] < by_p[1]
+
+
+def test_fig9d_hotspot(regenerate):
+    result = regenerate(fig9_partition_sweep.run_hotspot, fast=True)
+    by_p = dict(zip(result.x, result.series_by_label("seconds")))
+    # F7: the cache-friendly band wins.
+    best = min(by_p, key=by_p.get)
+    assert 28 <= best <= 40
+
+
+def test_fig9e_nn(regenerate):
+    regenerate(fig9_partition_sweep.run_nn, fast=True)
+
+
+def test_fig9f_srad(regenerate):
+    regenerate(fig9_partition_sweep.run_srad, fast=True)

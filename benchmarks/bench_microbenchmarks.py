@@ -1,0 +1,30 @@
+"""Benches for the microbenchmark figures: Fig. 5, Fig. 6, Fig. 7."""
+
+from repro.experiments import fig5_transfers, fig6_overlap, fig7_partitions
+
+
+def test_fig5_transfer_patterns(regenerate):
+    """Fig. 5: CC/IC/CD/ID transfer schedules over block counts."""
+    result = regenerate(fig5_transfers.run, fast=True)
+    # F1: the ID level is half the CC level (serial directions).
+    cc = result.series_by_label("CC")[0]
+    id_ = result.series_by_label("ID")[0]
+    assert abs(id_ - cc / 2) / (cc / 2) < 0.1
+
+
+def test_fig6_overlap(regenerate):
+    """Fig. 6: Data/Kernel/Data+Kernel/Streamed/Ideal over intensity."""
+    result = regenerate(fig6_overlap.run, fast=True)
+    streamed = result.series_by_label("Streamed")
+    serial = result.series_by_label("Data+Kernel")
+    # F2: overlap recovers a visible fraction of the serial time.
+    assert all(s < 0.95 * d for s, d in zip(streamed, serial))
+
+
+def test_fig7_partition_sweep(regenerate):
+    """Fig. 7: kernel time over partition count with stage sync."""
+    result = regenerate(fig7_partitions.run, fast=True)
+    times = result.series_by_label("exec time")
+    ref = times[-1]
+    # F3: spatial sharing alone never beats the non-tiled reference.
+    assert all(t > ref for t in times[:-1])

@@ -1,0 +1,30 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one paper figure (or an ablation of one of
+the model's mechanisms) and asserts the figure's qualitative claims.
+The simulation is deterministic, so a single round suffices; the
+benchmark time measures the cost of regenerating the figure.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def regenerate(benchmark):
+    """Run an experiment once under the benchmark timer and verify it."""
+
+    def _run(experiment_fn, **kwargs):
+        outcome = benchmark.pedantic(
+            experiment_fn,
+            kwargs=kwargs,
+            rounds=1,
+            iterations=1,
+            warmup_rounds=0,
+        )
+        results = outcome if isinstance(outcome, list) else [outcome]
+        for result in results:
+            failed = [c.description for c in result.checks if not c.passed]
+            assert not failed, f"{result.experiment}: {failed}"
+        return outcome
+
+    return _run

@@ -1,0 +1,50 @@
+"""Autotuning (P, T) with the paper's Sec. V-C pruning heuristics.
+
+Tunes the Hotspot benchmark's partition and tile counts, comparing an
+exhaustive grid search against the pruned search that keeps only
+core-aligned partition counts and load-balanced tile counts.
+
+Run:  python examples/autotuning.py
+"""
+
+from repro.apps import HotspotApp
+from repro.autotune import (
+    Config,
+    ConfigSpace,
+    paper_pruned_space,
+    run_search,
+)
+from repro.util.units import fmt_time
+
+
+def objective(config: Config) -> float:
+    app = HotspotApp(8192, config.tiles, iterations=5)
+    return app.run(places=config.places).elapsed
+
+
+def main() -> None:
+    space = ConfigSpace(
+        p_values=[1, 2, 3, 4, 6, 7, 8, 12, 14, 16, 28, 37, 56],
+        t_values=[1, 4, 16, 64, 256],
+        validity=lambda c: c.tiles <= 8192,
+    )
+    print(f"exhaustive space: {space.size} configurations ... ")
+    exhaustive = run_search(objective, space)
+
+    pruned_space = paper_pruned_space(space)
+    print(f"pruned space:     {pruned_space.size} configurations ... ")
+    pruned = run_search(objective, pruned_space)
+
+    print(f"\nexhaustive best: {exhaustive.best} -> "
+          f"{fmt_time(exhaustive.best_time)} "
+          f"({exhaustive.evaluations} evaluations)")
+    print(f"pruned best:     {pruned.best} -> "
+          f"{fmt_time(pruned.best_time)} "
+          f"({pruned.evaluations} evaluations)")
+    print(f"\nsearch reduced {pruned.reduction_vs(exhaustive):.1f}x, "
+          f"pruned optimum is {100 * (pruned.quality_vs(exhaustive) - 1):.1f}% "
+          f"off the exhaustive optimum")
+
+
+if __name__ == "__main__":
+    main()

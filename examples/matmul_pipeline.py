@@ -1,0 +1,44 @@
+"""Tiled matrix multiplication: streamed vs non-streamed.
+
+Runs the paper's MM benchmark with real data at a laptop-friendly size,
+verifies the product, and compares the single-stream baseline against
+the tiled multi-stream pipeline — the Fig. 8(a) experiment in miniature.
+
+Run:  python examples/matmul_pipeline.py
+"""
+
+import numpy as np
+
+from repro.apps import MatMulApp
+from repro.util.units import fmt_time
+
+
+def main() -> None:
+    d = 1024
+
+    baseline = MatMulApp(d, 1, materialize=True).run(places=1)
+    streamed_app = MatMulApp(d, 4, materialize=True)
+    streamed = streamed_app.run(places=4)
+
+    c = MatMulApp.assemble(streamed.outputs)
+    expected = streamed.outputs["a"] @ streamed.outputs["b"]
+    assert np.allclose(c, expected), "streamed product mismatch"
+
+    print(f"C = A @ B with D = {d}")
+    print(
+        f"  non-streamed (1 stream, 1 tile):   "
+        f"{fmt_time(baseline.elapsed)}  {baseline.gflops:7.1f} GFLOP/s"
+    )
+    print(
+        f"  streamed     (4 streams, 4 tiles):  "
+        f"{fmt_time(streamed.elapsed)}  {streamed.gflops:7.1f} GFLOP/s"
+    )
+    gain = 100 * (baseline.elapsed - streamed.elapsed) / baseline.elapsed
+    print(f"  improvement: {gain:.1f}%  (paper Fig. 8a: MM gains ~8.3%)")
+    overlap = streamed.timeline.transfer_compute_overlap()
+    print(f"  transfer time hidden under kernels: {fmt_time(overlap)}")
+    print("  result verified against NumPy: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: the streaming runtime in ~40 lines.
+
+Creates a 4-place context on the simulated Phi, pipelines four
+(H2D, EXE, D2H) tasks over four streams, verifies the computed result,
+and shows how much of the transfer time hid under kernel execution.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import KernelWork, StreamContext, Timeline
+from repro.util.units import fmt_time
+
+
+def main() -> None:
+    ctx = StreamContext(places=4)  # like hStreams_app_init(4, 1)
+
+    n = 1 << 20
+    data = ctx.buffer(np.random.default_rng(0).random(n).astype(np.float32))
+    out = ctx.buffer(np.zeros(n, dtype=np.float32))
+    chunk = n // 4
+
+    start = ctx.now
+    for i in range(4):
+        stream = ctx.stream(i)
+        lo = i * chunk
+        stream.h2d(data, offset=lo, count=chunk)
+        out.instantiate(stream.place.device)
+
+        def kernel(lo=lo, device=stream.place.device.index):
+            src = data.instance(device)[lo : lo + chunk]
+            out.instance(device)[lo : lo + chunk] = np.sqrt(src) * 2.0
+
+        work = KernelWork(
+            name=f"sqrt2x[{i}]",
+            flops=2.0 * chunk,
+            bytes_touched=8.0 * chunk,
+            thread_rate=0.5e9,
+        )
+        stream.invoke(work, fn=kernel)
+        stream.d2h(out, offset=lo, count=chunk)
+    ctx.sync_all()
+
+    assert np.allclose(out.host, np.sqrt(data.host) * 2.0)
+    timeline = Timeline(ctx.trace)
+    print(f"pipelined 4 tasks over 4 streams in {fmt_time(ctx.now - start)}")
+    print(f"transfer/compute overlap: "
+          f"{fmt_time(timeline.transfer_compute_overlap())}")
+    print(f"bytes moved: {timeline.bytes_moved():,}")
+    print("result verified against NumPy: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Trace tooling: Gantt charts, run reports, energy, Chrome export.
+
+Runs a streamed Cholesky, then demonstrates every analysis view the
+library offers over its trace: the ASCII Gantt (see the wavefront!),
+the utilisation report, the energy breakdown, and a Chrome-tracing JSON
+you can open at chrome://tracing or ui.perfetto.dev.
+
+Run:  python examples/trace_analysis.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.apps import CholeskyApp
+from repro.trace import render_gantt, write_chrome_trace
+from repro.util.units import fmt_time
+
+
+def main() -> None:
+    app = CholeskyApp(2400, 36)
+    run = app.run(places=4)
+    events = run.timeline.events
+
+    print(f"tiled Cholesky D=2400, T=36, P=4: {fmt_time(run.elapsed)}, "
+          f"{run.gflops:.0f} GFLOP/s, {len(events)} actions\n")
+
+    print(render_gantt(events, width=68))
+    print()
+    print(run.report().to_table())
+    print()
+    print(run.energy().to_table())
+
+    out = Path(tempfile.gettempdir()) / "cholesky_trace.json"
+    write_chrome_trace(events, out)
+    print(f"\nChrome-tracing file written to {out}")
+    print("open chrome://tracing or https://ui.perfetto.dev and load it")
+
+
+if __name__ == "__main__":
+    main()

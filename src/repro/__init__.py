@@ -1,0 +1,83 @@
+"""repro — multiple streams on a MIC-based heterogeneous platform.
+
+A from-scratch reproduction of Li et al., *"Evaluating the Performance
+Impact of Multiple Streams on the MIC-based Heterogeneous Platform"*
+(2016, arXiv:1603.08619): an hStreams-style multi-streaming runtime
+running on a simulated Intel Xeon Phi platform, the paper's seven
+benchmarks, and a harness that regenerates every figure.
+
+Quick start::
+
+    import numpy as np
+    from repro import StreamContext, KernelWork
+
+    ctx = StreamContext(places=4)            # hStreams_app_init(4, 1)
+    data = ctx.buffer(np.arange(1024, dtype=np.float32))
+    out = ctx.buffer(np.zeros(1024, dtype=np.float32))
+
+    stream = ctx.stream(0)
+    stream.h2d(data)
+    out.instantiate(stream.place.device)
+    work = KernelWork("scale", flops=1024, bytes_touched=8192,
+                      thread_rate=1e9)
+
+    def scale():
+        out.instance(0)[:] = data.instance(0) * 2
+
+    stream.invoke(work, fn=scale)
+    stream.d2h(out)
+    ctx.sync_all()
+
+See ``examples/`` for runnable scenarios and
+``python -m repro.experiments`` for the figure battery.
+"""
+
+from repro.config import FAST_PROTOCOL, PAPER_PROTOCOL, RunProtocol, Scale
+from repro.device import (
+    DeviceSpec,
+    HeteroPlatform,
+    HostSpec,
+    KernelWork,
+    LinkSpec,
+    MicDevice,
+    PHI_31SP,
+    RuntimeOverheads,
+    Topology,
+)
+from repro.clqueue import CLContext
+from repro.custreams import CudaDevice
+from repro.errors import ReproError
+from repro.hstreams import Buffer, Stream, StreamContext, app_api
+from repro.pipeline import MappingPolicy, Task, TaskGraph, schedule_graph
+from repro.trace import Timeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Scale",
+    "RunProtocol",
+    "PAPER_PROTOCOL",
+    "FAST_PROTOCOL",
+    "DeviceSpec",
+    "HostSpec",
+    "LinkSpec",
+    "RuntimeOverheads",
+    "PHI_31SP",
+    "Topology",
+    "MicDevice",
+    "HeteroPlatform",
+    "KernelWork",
+    "ReproError",
+    "Buffer",
+    "Stream",
+    "StreamContext",
+    "app_api",
+    "Task",
+    "TaskGraph",
+    "MappingPolicy",
+    "schedule_graph",
+    "Timeline",
+    "CLContext",
+    "CudaDevice",
+    "__version__",
+]

@@ -1,0 +1,106 @@
+"""Top-level CLI.
+
+Subcommands::
+
+    python -m repro info           # device spec + calibration table
+    python -m repro demo           # streamed pipeline + Gantt + report
+    python -m repro experiments    # forwards to repro.experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_info() -> int:
+    from repro.device.calibration import (
+        calibration_report,
+        fast_partition_counts,
+    )
+    from repro.device.spec import PHI_31SP
+
+    spec = PHI_31SP
+    print(f"device:  {spec.name}")
+    print(
+        f"  cores: {spec.num_cores} ({spec.usable_cores} usable, "
+        f"{spec.threads_per_core} threads/core -> "
+        f"{spec.total_threads} threads)"
+    )
+    print(f"  clock: {spec.clock_ghz} GHz, peak {spec.peak_gflops:.0f} GFLOP/s")
+    print(
+        f"  link:  {spec.link.bandwidth / 1e9:.1f} GB/s, "
+        f"{spec.link.latency * 1e6:.0f} us latency, "
+        f"{'full' if spec.link.full_duplex else 'half'}-duplex"
+    )
+    print(f"  memory: {spec.memory_bytes >> 30} GB")
+    print(
+        "  recommended partition counts: "
+        f"{fast_partition_counts(spec)}"
+    )
+    print()
+    print(calibration_report(spec))
+    return 0
+
+
+def cmd_demo() -> int:
+    import numpy as np
+
+    from repro import KernelWork, StreamContext
+    from repro.trace import render_gantt, run_report
+
+    ctx = StreamContext(places=4)
+    n = 1 << 22
+    data = ctx.buffer(np.ones(n, dtype=np.float32))
+    out = ctx.buffer(np.zeros(n, dtype=np.float32))
+    chunk = n // 4
+    for i in range(4):
+        stream = ctx.stream(i)
+        lo = i * chunk
+        stream.h2d(data, offset=lo, count=chunk)
+        out.instantiate(stream.place.device)
+
+        def fn(lo=lo, d=stream.place.device.index):
+            out.instance(d)[lo : lo + chunk] = (
+                data.instance(d)[lo : lo + chunk] * 2
+            )
+
+        stream.invoke(
+            KernelWork(
+                name=f"scale{i}",
+                flops=4.0 * chunk,
+                bytes_touched=8.0 * chunk,
+                thread_rate=0.2e9,
+            ),
+            fn=fn,
+        )
+        stream.d2h(out, offset=lo, count=chunk)
+    ctx.sync_all()
+    assert np.all(out.host == 2.0)
+
+    print(render_gantt(ctx.trace))
+    print()
+    print(run_report(ctx.trace).to_table())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="device spec and calibration anchors")
+    sub.add_parser("demo", help="run a streamed pipeline, show Gantt+report")
+    exp = sub.add_parser("experiments", help="regenerate paper figures")
+    exp.add_argument("rest", nargs=argparse.REMAINDER)
+    args = parser.parse_args(argv)
+
+    if args.command == "info":
+        return cmd_info()
+    if args.command == "demo":
+        return cmd_demo()
+    from repro.experiments.__main__ import main as experiments_main
+
+    return experiments_main(args.rest)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

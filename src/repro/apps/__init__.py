@@ -1,0 +1,44 @@
+"""The paper's seven benchmarks, ported to the streaming runtime.
+
+Each application provides a *streamed* implementation (dataset split into
+tiles, tiles mapped to streams; Sec. III-B) and the *non-streamed*
+baseline the paper compares against (single stream, single tile).  The
+streamed/non-streamed pair shares kernels and buffers, so both compute the
+same results.
+
+Applications and their Fig. 4 execution flows:
+
+================  ======================  =============================
+application       overlap class           flow
+================  ======================  =============================
+hBench            configurable            microbenchmark (Figs. 5-7)
+MatMul (MM)       overlappable            (H2D, EXE, D2H) per tile
+Cholesky (CF)     overlappable            tile DAG, inter-stream deps
+Kmeans            non-overlappable        EXE loop + host reduce
+Hotspot           non-overlappable        EXE loop + halo sync
+NN                overlappable            (H2D, EXE, D2H) per tile
+SRAD              non-overlappable        2-kernel loop + host sync
+================  ======================  =============================
+"""
+
+from repro.apps.base import AppRun, StreamedApp
+from repro.apps.hbench import HBench, TransferPattern
+from repro.apps.matmul_app import MatMulApp
+from repro.apps.cholesky_app import CholeskyApp
+from repro.apps.kmeans_app import KmeansApp
+from repro.apps.hotspot_app import HotspotApp
+from repro.apps.nn_app import NNApp
+from repro.apps.srad_app import SradApp
+
+__all__ = [
+    "AppRun",
+    "StreamedApp",
+    "HBench",
+    "TransferPattern",
+    "MatMulApp",
+    "CholeskyApp",
+    "KmeansApp",
+    "HotspotApp",
+    "NNApp",
+    "SradApp",
+]

@@ -1,0 +1,122 @@
+"""Additional microbenchmarks beyond the paper's hBench modes.
+
+Classic coprocessor characterisation probes, each isolating one model
+mechanism so the simulated platform can be characterised the way a real
+one would be:
+
+* :func:`bandwidth_curve` — effective PCIe bandwidth over block size
+  (the latency/bandwidth knee);
+* :func:`launch_latency` — null-kernel round trip;
+* :func:`core_sharing_penalty` — throughput of two co-scheduled streams
+  on aligned vs misaligned partitions (the straggler factor measured
+  the way Sec. V-B1 reasons about it);
+* :func:`sync_cost_curve` — host join cost over the stream count (the
+  Fig. 7 management-overhead term, isolated).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.compute import KernelWork
+from repro.device.platform import HeteroPlatform
+from repro.device.spec import DeviceSpec, PHI_31SP
+from repro.errors import ConfigurationError
+from repro.hstreams.context import StreamContext
+from repro.util.units import MB
+
+
+def _context(places: int, spec: DeviceSpec) -> StreamContext:
+    return StreamContext(
+        places=places, platform=HeteroPlatform(device_spec=spec)
+    )
+
+
+def bandwidth_curve(
+    block_bytes: tuple[int, ...] = tuple(
+        1 << k for k in range(12, 25)  # 4 KB .. 16 MB
+    ),
+    total_bytes: int = 32 * MB,
+    spec: DeviceSpec = PHI_31SP,
+) -> list[tuple[int, float]]:
+    """Effective H2D bandwidth (B/s) when moving ``total_bytes`` in
+    blocks of each size — the latency/bandwidth knee."""
+    if not block_bytes:
+        raise ConfigurationError("need at least one block size")
+    curve = []
+    for block in block_bytes:
+        if not 0 < block <= total_bytes:
+            raise ConfigurationError(
+                f"block {block} outside (0, {total_bytes}]"
+            )
+        ctx = _context(1, spec)
+        buf = ctx.buffer(shape=(total_bytes,), dtype=np.uint8)
+        n_blocks = total_bytes // block
+        start = ctx.now
+        for i in range(n_blocks):
+            ctx.stream(0).h2d(buf, offset=i * block, count=block)
+        ctx.sync_all()
+        curve.append((block, n_blocks * block / (ctx.now - start)))
+    return curve
+
+
+def launch_latency(spec: DeviceSpec = PHI_31SP, repeats: int = 16) -> float:
+    """Mean round-trip of an (almost) empty kernel."""
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    ctx = _context(1, spec)
+    null = KernelWork(
+        name="null", flops=1.0, bytes_touched=0.0, thread_rate=1e9
+    )
+    start = ctx.now
+    for _ in range(repeats):
+        ctx.stream(0).invoke(null)
+    ctx.sync_all()
+    return (ctx.now - start - spec.overheads.sync_per_stream) / repeats
+
+
+def core_sharing_penalty(
+    spec: DeviceSpec = PHI_31SP, flops: float = 1e10
+) -> float:
+    """Per-thread slowdown of co-scheduled streams on a misaligned split.
+
+    Runs a pair of kernels on P=2 (aligned: core boundaries respected)
+    and on P=3's first two places (misaligned: both share cores), with
+    work proportional to each place's threads.  Returns the ratio of
+    *per-thread* times — 1.0 means core sharing is free; the straggler
+    factor makes it ``1 / shared_core_throughput``.
+    """
+    work = KernelWork(
+        name="share-probe", flops=flops, bytes_touched=0.0, thread_rate=1e9
+    )
+
+    def per_thread_time(places: int) -> float:
+        ctx = _context(places, spec)
+        start = ctx.now
+        threads = (
+            ctx.stream(0).place.nthreads + ctx.stream(1).place.nthreads
+        )
+        for i in range(2):
+            stream = ctx.stream(i)
+            share = stream.place.nthreads / threads
+            stream.invoke(work.scaled(share))
+        ctx.sync_all()
+        # Normalise by the threads actually used so the comparison
+        # isolates the sharing effect from the partition sizes.
+        return (ctx.now - start) * threads
+
+    return per_thread_time(3) / per_thread_time(2)
+
+
+def sync_cost_curve(
+    stream_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 56),
+    spec: DeviceSpec = PHI_31SP,
+) -> list[tuple[int, float]]:
+    """Pure host join cost of an *idle* context over the stream count."""
+    curve = []
+    for count in stream_counts:
+        ctx = _context(count, spec)
+        start = ctx.now
+        ctx.sync_all()
+        curve.append((count, ctx.now - start))
+    return curve

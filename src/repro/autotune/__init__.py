@@ -1,0 +1,28 @@
+"""Search-space machinery for (P, T) tuning (paper Sec. V-C).
+
+The paper observes that exhaustively tuning the number of partitions
+``P`` and tiles ``T`` "will consume a huge amount of time" and proposes
+pruning rules; this subpackage implements both the exhaustive search and
+the pruned search so the reduction/quality trade-off can be measured:
+
+* keep only core-aligned partition counts — ``P ∈ {2,4,7,8,14,28,56}``
+  on the 31SP;
+* keep only load-balanced tile counts — ``T = m * P``;
+* bound ``T`` from above (control overhead) and below (pipelining).
+"""
+
+from repro.autotune.space import Config, ConfigSpace
+from repro.autotune.heuristics import paper_pruned_space, PruningRules
+from repro.autotune.search import SearchOutcome, run_search
+from repro.autotune.mltune import LearnedTuner, train_test_split
+
+__all__ = [
+    "Config",
+    "ConfigSpace",
+    "PruningRules",
+    "paper_pruned_space",
+    "SearchOutcome",
+    "run_search",
+    "LearnedTuner",
+    "train_test_split",
+]

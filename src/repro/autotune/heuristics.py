@@ -1,0 +1,64 @@
+"""The paper's pruning rules (Sec. V-C), as composable predicates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.spec import DeviceSpec, PHI_31SP
+from repro.autotune.space import Config, ConfigSpace
+
+
+@dataclass(frozen=True)
+class PruningRules:
+    """Knobs for the paper's three guidelines.
+
+    * ``aligned_partitions`` — keep only ``P`` that map whole cores to
+      each partition (``P`` divides the usable-core count);
+    * ``balanced_tiles`` — keep only ``T = m * P`` (load balancing: with
+      ``T < P`` some partitions idle; with ``T`` not a multiple the last
+      round is ragged);
+    * ``max_multiple`` — upper bound on ``m`` ("T should not be too
+      large to achieve a good resource utilization");
+    * ``min_tiles_per_stream`` — lower bound ("it should not be too
+      small to exploit the pipelining potentials"); 1 keeps T >= P.
+    """
+
+    aligned_partitions: bool = True
+    balanced_tiles: bool = True
+    max_multiple: int = 32
+    min_tiles_per_stream: int = 1
+
+    def p_keep(self, spec: DeviceSpec):
+        def keep(p: int) -> bool:
+            if not self.aligned_partitions:
+                return True
+            return p > 1 and spec.usable_cores % p == 0
+
+        return keep
+
+    def t_keep(self):
+        def keep(config: Config) -> bool:
+            if not self.balanced_tiles:
+                return True
+            if config.tiles % config.places != 0:
+                return False
+            multiple = config.tiles // config.places
+            return (
+                self.min_tiles_per_stream <= multiple <= self.max_multiple
+            )
+
+        return keep
+
+
+def paper_pruned_space(
+    space: ConfigSpace,
+    spec: DeviceSpec = PHI_31SP,
+    rules: PruningRules | None = None,
+) -> ConfigSpace:
+    """Apply the paper's guidelines to ``space``.
+
+    On the 31SP the partition rule keeps exactly
+    ``{2, 4, 7, 8, 14, 28, 56}`` (Sec. V-C).
+    """
+    rules = rules if rules is not None else PruningRules()
+    return space.restrict(p_keep=rules.p_keep(spec), t_keep=rules.t_keep())

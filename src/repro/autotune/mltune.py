@@ -1,0 +1,115 @@
+"""Learned (P, T) tuning — the paper's second future-work item.
+
+Sec. V-C closes with: "Alternatively, we plan to use machine learning
+techniques to obtain a proper value for P and T."  This module provides
+that: a regularised log-linear regression over configuration features,
+trained on a handful of measured configurations, used to predict the
+whole space and suggest a configuration without measuring everything.
+
+The feature map encodes the structural knowledge the paper's analysis
+surfaced: log-scales of ``P`` and ``T`` with quadratic terms (both
+sweeps are U-shaped on log axes), the tiles-per-stream ratio (load
+balance), and the core-alignment indicator (Fig. 9's divisor spikes).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autotune.space import Config, ConfigSpace
+from repro.device.spec import DeviceSpec, PHI_31SP
+from repro.device.topology import Topology
+from repro.errors import ConfigurationError
+
+#: Ridge regularisation strength.
+_RIDGE_LAMBDA = 1e-3
+
+
+@dataclass
+class LearnedTuner:
+    """Ridge regression on log-time over configuration features."""
+
+    spec: DeviceSpec = PHI_31SP
+    _coef: np.ndarray | None = field(default=None, init=False, repr=False)
+
+    def _features(self, config: Config) -> np.ndarray:
+        p, t = config.places, config.tiles
+        topo = Topology(self.spec)
+        aligned = 1.0 if topo.partition_is_aligned(p) else 0.0
+        log_p = np.log2(p)
+        log_t = np.log2(t)
+        # Tiles per stream; < 1 means idle partitions.
+        fill = min(t / p, 1.0)
+        log_ratio = np.log2(max(t / p, 1.0))
+        return np.array(
+            [
+                1.0,
+                log_p,
+                log_p**2,
+                log_t,
+                log_t**2,
+                log_ratio,
+                log_ratio**2,
+                aligned,
+                fill,
+            ]
+        )
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._coef is not None
+
+    def fit(
+        self, samples: Sequence[tuple[Config, float]]
+    ) -> "LearnedTuner":
+        """Fit on measured ``(config, seconds)`` pairs."""
+        if len(samples) < 5:
+            raise ConfigurationError(
+                f"need at least 5 training samples, got {len(samples)}"
+            )
+        if any(t <= 0 for _, t in samples):
+            raise ConfigurationError("training times must be positive")
+        x = np.stack([self._features(c) for c, _ in samples])
+        y = np.log(np.array([t for _, t in samples]))
+        gram = x.T @ x + _RIDGE_LAMBDA * np.eye(x.shape[1])
+        self._coef = np.linalg.solve(gram, x.T @ y)
+        return self
+
+    def predict(self, config: Config) -> float:
+        """Predicted seconds for ``config``."""
+        if self._coef is None:
+            raise ConfigurationError("tuner is not fitted")
+        return float(np.exp(self._features(config) @ self._coef))
+
+    def suggest(self, space: ConfigSpace) -> Config:
+        """The configuration with the lowest predicted time."""
+        candidates = list(space)
+        if not candidates:
+            raise ConfigurationError("configuration space is empty")
+        return min(candidates, key=self.predict)
+
+    def rank_correlation(
+        self, samples: Sequence[tuple[Config, float]]
+    ) -> float:
+        """Spearman rank correlation of predictions vs measurements."""
+        if len(samples) < 3:
+            raise ConfigurationError("need at least 3 evaluation samples")
+        predicted = np.array([self.predict(c) for c, _ in samples])
+        measured = np.array([t for _, t in samples])
+        pr = np.argsort(np.argsort(predicted)).astype(float)
+        mr = np.argsort(np.argsort(measured)).astype(float)
+        return float(np.corrcoef(pr, mr)[0, 1])
+
+
+def train_test_split(
+    samples: list[tuple[Config, float]], train_every: int = 2
+) -> tuple[list[tuple[Config, float]], list[tuple[Config, float]]]:
+    """Deterministic interleaved split for tuner evaluation."""
+    if train_every < 2:
+        raise ConfigurationError("train_every must be >= 2")
+    train = [s for i, s in enumerate(samples) if i % train_every == 0]
+    test = [s for i, s in enumerate(samples) if i % train_every != 0]
+    return train, test

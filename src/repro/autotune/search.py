@@ -1,0 +1,49 @@
+"""Exhaustive vs pruned tuning and their comparison."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.autotune.space import Config, ConfigSpace
+from repro.errors import ConfigurationError
+
+#: An objective: configuration -> seconds (lower is better).
+Objective = Callable[[Config], float]
+
+
+@dataclass
+class SearchOutcome:
+    """Result of evaluating an objective over a configuration space."""
+
+    best: Config
+    best_time: float
+    evaluations: int
+    history: list[tuple[Config, float]] = field(default_factory=list)
+
+    def quality_vs(self, reference: "SearchOutcome") -> float:
+        """This outcome's best time relative to ``reference``'s (1.0 =
+        found the same optimum; 1.1 = 10 % slower configuration)."""
+        return self.best_time / reference.best_time
+
+    def reduction_vs(self, reference: "SearchOutcome") -> float:
+        """Search-space reduction factor against ``reference``."""
+        if self.evaluations == 0:
+            raise ConfigurationError("no evaluations recorded")
+        return reference.evaluations / self.evaluations
+
+
+def run_search(objective: Objective, space: ConfigSpace) -> SearchOutcome:
+    """Evaluate ``objective`` on every configuration of ``space``."""
+    history: list[tuple[Config, float]] = []
+    for config in space:
+        history.append((config, objective(config)))
+    if not history:
+        raise ConfigurationError("configuration space is empty")
+    best, best_time = min(history, key=lambda item: item[1])
+    return SearchOutcome(
+        best=best,
+        best_time=best_time,
+        evaluations=len(history),
+        history=history,
+    )

@@ -1,0 +1,75 @@
+"""Configuration space of (partitions, tiles) pairs."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, order=True)
+class Config:
+    """One tuning point: partition count and tile count."""
+
+    places: int
+    tiles: int
+
+    def __post_init__(self) -> None:
+        if self.places < 1 or self.tiles < 1:
+            raise ConfigurationError(
+                f"places and tiles must be >= 1, got {self!r}"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"(P={self.places}, T={self.tiles})"
+
+
+@dataclass
+class ConfigSpace:
+    """A finite set of candidate configurations.
+
+    ``validity`` filters application-specific constraints (e.g. MM needs
+    a perfect-square tile count dividing the matrix).
+    """
+
+    p_values: list[int]
+    t_values: list[int]
+    validity: Callable[[Config], bool] = field(default=lambda c: True)
+
+    def __post_init__(self) -> None:
+        if not self.p_values or not self.t_values:
+            raise ConfigurationError("space must have P and T candidates")
+        self.p_values = sorted(set(self.p_values))
+        self.t_values = sorted(set(self.t_values))
+
+    def __iter__(self) -> Iterator[Config]:
+        for p in self.p_values:
+            for t in self.t_values:
+                config = Config(p, t)
+                if self.validity(config):
+                    yield config
+
+    @property
+    def size(self) -> int:
+        return sum(1 for _ in self)
+
+    def restrict(
+        self,
+        p_keep: Callable[[int], bool] | None = None,
+        t_keep: Callable[[Config], bool] | None = None,
+    ) -> "ConfigSpace":
+        """A new space with extra predicates applied."""
+        p_values = [
+            p for p in self.p_values if p_keep is None or p_keep(p)
+        ]
+        if not p_values:
+            raise ConfigurationError("pruning removed every P candidate")
+        previous_validity = self.validity
+
+        def validity(config: Config) -> bool:
+            if not previous_validity(config):
+                return False
+            return t_keep is None or t_keep(config)
+
+        return ConfigSpace(p_values, list(self.t_values), validity)

@@ -1,0 +1,24 @@
+"""An OpenCL-flavoured command-queue front-end over the runtime.
+
+The paper (Sec. I) names three implementations of the multiple-streams
+idea: CUDA Streams, **OpenCL Command Queues**, and hStreams.  This
+subpackage provides the second one as an alternative front-end over the
+same simulated platform, demonstrating that the runtime's semantics are
+API-agnostic:
+
+* a :class:`~repro.clqueue.queue.CommandQueue` is a stream;
+* ``enqueue_write_buffer`` / ``enqueue_nd_range_kernel`` /
+  ``enqueue_read_buffer`` return :class:`~repro.clqueue.queue.CLEvent`
+  handles usable in ``wait_list``s (OpenCL's dependency mechanism);
+* out-of-order queues map to multiple streams on one place — OpenCL's
+  ``CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE``;
+* ``finish()`` is ``clFinish``.
+
+The OpenCL "device partitioning by counts" extension
+(``cl_device_partition_property``) maps onto place creation, so the
+paper's resource-granularity experiments are expressible here too.
+"""
+
+from repro.clqueue.queue import CLContext, CLEvent, CommandQueue
+
+__all__ = ["CLContext", "CommandQueue", "CLEvent"]

@@ -1,0 +1,211 @@
+"""Command queues, CL events, and the CL context adapter.
+
+The mapping onto the streaming runtime:
+
+=====================================  =================================
+OpenCL concept                          runtime concept
+=====================================  =================================
+``cl_context``                          :class:`CLContext` (StreamContext)
+sub-device (partition by counts)        place
+``cl_command_queue`` (in-order)         one stream on a place
+out-of-order queue                      several streams on one place
+``cl_event`` / ``wait_list``            action ``done`` events
+``clFinish``                            stream sync
+``clEnqueueWriteBuffer``                H2D action
+``clEnqueueNDRangeKernel``              EXE action
+``clEnqueueReadBuffer``                 D2H action
+=====================================  =================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.device.compute import KernelWork
+from repro.device.platform import HeteroPlatform
+from repro.errors import ConfigurationError
+from repro.hstreams.action import Action
+from repro.hstreams.buffer import Buffer
+from repro.hstreams.context import StreamContext
+
+
+class CLEvent:
+    """An OpenCL-style event handle wrapping an action."""
+
+    def __init__(self, action: Action) -> None:
+        self._action = action
+
+    @property
+    def action(self) -> Action:
+        return self._action
+
+    @property
+    def is_complete(self) -> bool:
+        """CL_COMPLETE?"""
+        return self._action.finished_at is not None
+
+    @property
+    def timestamps(self) -> tuple[float | None, float | None]:
+        """(start, end) profiling info, like ``CL_PROFILING_COMMAND_*``."""
+        return (self._action.started_at, self._action.finished_at)
+
+
+def _unwrap(wait_list: Sequence[CLEvent] | None) -> tuple[Action, ...]:
+    if not wait_list:
+        return ()
+    for ev in wait_list:
+        if not isinstance(ev, CLEvent):
+            raise ConfigurationError(
+                f"wait_list entries must be CLEvents, got {ev!r}"
+            )
+    return tuple(ev.action for ev in wait_list)
+
+
+class CommandQueue:
+    """One command queue bound to a (sub-)device.
+
+    An in-order queue executes commands in enqueue order (one stream);
+    an out-of-order queue may reorder independent commands — modelled,
+    as real implementations do, by multiplexing over several hardware
+    streams on the same place, with ``wait_list``s the only ordering.
+    """
+
+    def __init__(
+        self, ctx: "CLContext", place_index: int, out_of_order: bool = False,
+        lanes: int = 4,
+    ) -> None:
+        self.ctx = ctx
+        self.place_index = place_index
+        self.out_of_order = out_of_order
+        start = place_index * ctx._streams_per_place
+        count = ctx._streams_per_place if out_of_order else 1
+        self._streams = [
+            ctx._inner.stream(start + i) for i in range(count)
+        ]
+        self._next_lane = 0
+
+    def _stream(self):
+        stream = self._streams[self._next_lane % len(self._streams)]
+        if self.out_of_order:
+            self._next_lane += 1
+        return stream
+
+    # -- the enqueue API -----------------------------------------------------
+
+    def enqueue_write_buffer(
+        self,
+        buffer: Buffer,
+        offset: int = 0,
+        count: int | None = None,
+        wait_list: Sequence[CLEvent] | None = None,
+    ) -> CLEvent:
+        """``clEnqueueWriteBuffer`` — host-to-device copy."""
+        action = self._stream().h2d(
+            buffer, offset=offset, count=count, deps=_unwrap(wait_list)
+        )
+        return CLEvent(action)
+
+    def enqueue_read_buffer(
+        self,
+        buffer: Buffer,
+        offset: int = 0,
+        count: int | None = None,
+        wait_list: Sequence[CLEvent] | None = None,
+    ) -> CLEvent:
+        """``clEnqueueReadBuffer`` — device-to-host copy."""
+        action = self._stream().d2h(
+            buffer, offset=offset, count=count, deps=_unwrap(wait_list)
+        )
+        return CLEvent(action)
+
+    def enqueue_nd_range_kernel(
+        self,
+        work: KernelWork,
+        fn: Callable[[], None] | None = None,
+        wait_list: Sequence[CLEvent] | None = None,
+    ) -> CLEvent:
+        """``clEnqueueNDRangeKernel`` — kernel invocation."""
+        action = self._stream().invoke(work, fn=fn, deps=_unwrap(wait_list))
+        return CLEvent(action)
+
+    def enqueue_marker(
+        self, wait_list: Sequence[CLEvent] | None = None
+    ) -> CLEvent:
+        """``clEnqueueMarkerWithWaitList``."""
+        action = self._stream().marker(deps=_unwrap(wait_list))
+        return CLEvent(action)
+
+    def finish(self) -> float:
+        """``clFinish`` — block until every enqueued command completes."""
+        last = 0.0
+        for stream in self._streams:
+            last = stream.sync()
+        return last
+
+    def flush(self) -> None:
+        """``clFlush`` — a no-op here: commands are always submitted."""
+
+
+class CLContext:
+    """An OpenCL-style context over the simulated platform."""
+
+    def __init__(
+        self,
+        sub_devices: int = 1,
+        streams_per_place: int = 4,
+        platform: HeteroPlatform | None = None,
+    ) -> None:
+        if sub_devices < 1:
+            raise ConfigurationError(
+                f"sub_devices must be >= 1, got {sub_devices}"
+            )
+        self._streams_per_place = streams_per_place
+        self._inner = StreamContext(
+            places=sub_devices,
+            streams_per_place=streams_per_place,
+            platform=platform,
+        )
+        self.queues: list[CommandQueue] = []
+
+    @property
+    def now(self) -> float:
+        return self._inner.now
+
+    @property
+    def trace(self):
+        return self._inner.trace
+
+    def create_buffer(
+        self,
+        host: np.ndarray | None = None,
+        *,
+        shape: tuple[int, ...] | None = None,
+        dtype: Any = None,
+        name: str | None = None,
+    ) -> Buffer:
+        """``clCreateBuffer`` (+ instantiation happens on first use)."""
+        return self._inner.buffer(host, shape=shape, dtype=dtype, name=name)
+
+    def create_command_queue(
+        self, sub_device: int = 0, out_of_order: bool = False
+    ) -> CommandQueue:
+        """``clCreateCommandQueue`` on a sub-device (place)."""
+        if not 0 <= sub_device < self._inner.num_places:
+            raise ConfigurationError(
+                f"sub_device {sub_device} outside "
+                f"[0, {self._inner.num_places})"
+            )
+        queue = CommandQueue(self, sub_device, out_of_order=out_of_order)
+        self.queues.append(queue)
+        return queue
+
+    def finish_all(self) -> float:
+        """Join everything (like ``clFinish`` on every queue)."""
+        return self._inner.sync_all()
+
+    def release(self) -> None:
+        """``clReleaseContext``."""
+        self._inner.fini()

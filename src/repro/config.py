@@ -1,0 +1,66 @@
+"""Global configuration: experiment scale presets and deterministic seeding.
+
+The paper's largest datasets (e.g. a 19200x19200 double matrix for Cholesky)
+do not fit comfortably in a Python test environment, so every experiment can
+run at one of several :class:`Scale` presets:
+
+* ``PAPER``   — the exact geometry the paper used.  Experiment timing comes
+  from the calibrated device model; real tile payloads are only materialised
+  for representative tiles, so memory stays bounded.
+* ``SMALL``   — a reduced geometry where *all* data is real and every kernel
+  result is verified against a NumPy/SciPy reference.  Used by tests and
+  examples.
+* ``TINY``    — smoke-test geometry for fast unit tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+DEFAULT_SEED: int = 0x5EED_2016
+
+
+class Scale(enum.Enum):
+    """Experiment geometry preset."""
+
+    TINY = "tiny"
+    SMALL = "small"
+    PAPER = "paper"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class RunProtocol:
+    """The paper's measurement protocol (Sec. III-B).
+
+    Each benchmark runs for ``iterations`` repetitions; the first
+    ``warmup`` repetitions are discarded and the mean of the rest is
+    reported.
+    """
+
+    iterations: int = 11
+    warmup: int = 1
+
+    def __post_init__(self) -> None:
+        if self.iterations <= self.warmup:
+            raise ValueError(
+                "iterations must exceed warmup "
+                f"(got iterations={self.iterations}, warmup={self.warmup})"
+            )
+
+    @property
+    def measured(self) -> int:
+        """Number of repetitions that contribute to the reported mean."""
+        return self.iterations - self.warmup
+
+
+#: Protocol used by the paper: 11 iterations, ignore the first.
+PAPER_PROTOCOL = RunProtocol(iterations=11, warmup=1)
+
+#: Cheap protocol for unit tests (a single measured repetition).  The
+#: simulation is deterministic, so repetitions only matter when modelling
+#: noise is enabled.
+FAST_PROTOCOL = RunProtocol(iterations=2, warmup=1)

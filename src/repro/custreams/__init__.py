@@ -1,0 +1,22 @@
+"""A CUDA-streams-flavoured front-end over the runtime.
+
+The third of the paper's named multiple-streams implementations
+(Sec. I): CUDA Streams.  Like :mod:`repro.clqueue` this is an adapter
+over the same simulated platform; the semantics CUDA adds are
+
+* ``cudaMemcpyAsync`` / kernel launches enqueue into a stream (FIFO);
+* ``cudaEventRecord`` marks a point in a stream;
+* ``cudaStreamWaitEvent`` makes *another* stream wait for that point —
+  CUDA's cross-stream ordering primitive, distinct from OpenCL wait
+  lists (the event is recorded once, then waited on from anywhere);
+* ``cudaStreamSynchronize`` / ``cudaDeviceSynchronize`` block the host.
+
+GPUs do not expose core partitioning, so a :class:`CudaDevice` fixes
+one place per stream under the hood — which is exactly the control gap
+on GPUs the paper contrasts with Phi (Sec. I: "This control on GPUs is
+not exposed to programmers").
+"""
+
+from repro.custreams.api import CudaDevice, CudaEvent, CudaStream
+
+__all__ = ["CudaDevice", "CudaStream", "CudaEvent"]

@@ -1,0 +1,166 @@
+"""CUDA-style streams, events, and device handle."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+import numpy as np
+
+from repro.device.compute import KernelWork
+from repro.device.platform import HeteroPlatform
+from repro.errors import ConfigurationError
+from repro.hstreams.buffer import Buffer
+from repro.hstreams.context import StreamContext
+
+
+class CudaEvent:
+    """A ``cudaEvent_t``: a recordable, waitable point in a stream."""
+
+    def __init__(self, device: "CudaDevice") -> None:
+        self._device = device
+        self._recorded = None  # the marker action, once recorded
+
+    @property
+    def is_recorded(self) -> bool:
+        return self._recorded is not None
+
+    @property
+    def is_complete(self) -> bool:
+        """``cudaEventQuery`` == cudaSuccess?"""
+        return (
+            self._recorded is not None
+            and self._recorded.finished_at is not None
+        )
+
+    def elapsed_since(self, earlier: "CudaEvent") -> float:
+        """``cudaEventElapsedTime`` (in seconds, not ms)."""
+        if not (self.is_complete and earlier.is_complete):
+            raise ConfigurationError(
+                "both events must be recorded and complete"
+            )
+        return self._recorded.finished_at - earlier._recorded.finished_at
+
+
+class CudaStream:
+    """A ``cudaStream_t``: a FIFO of async copies and kernel launches."""
+
+    def __init__(self, device: "CudaDevice", index: int) -> None:
+        self._device = device
+        self._stream = device._ctx.stream(index)
+        self.index = index
+        #: Events other streams asked this stream to wait for, consumed
+        #: by the next enqueue (CUDA semantics: waits apply to
+        #: subsequently enqueued work).
+        self._pending_waits: list = []
+
+    def _deps(self) -> tuple:
+        deps = tuple(self._pending_waits)
+        self._pending_waits = []
+        return deps
+
+    def memcpy_h2d_async(
+        self, buffer: Buffer, offset: int = 0, count: int | None = None
+    ):
+        """``cudaMemcpyAsync(..., cudaMemcpyHostToDevice, stream)``."""
+        return self._stream.h2d(
+            buffer, offset=offset, count=count, deps=self._deps()
+        )
+
+    def memcpy_d2h_async(
+        self, buffer: Buffer, offset: int = 0, count: int | None = None
+    ):
+        """``cudaMemcpyAsync(..., cudaMemcpyDeviceToHost, stream)``."""
+        return self._stream.d2h(
+            buffer, offset=offset, count=count, deps=self._deps()
+        )
+
+    def launch_kernel(
+        self, work: KernelWork, fn: Callable[[], None] | None = None
+    ):
+        """``kernel<<<grid, block, 0, stream>>>``."""
+        return self._stream.invoke(work, fn=fn, deps=self._deps())
+
+    def record_event(self, event: CudaEvent) -> CudaEvent:
+        """``cudaEventRecord(event, stream)``."""
+        if event._device is not self._device:
+            raise ConfigurationError("event belongs to another device")
+        event._recorded = self._stream.marker(deps=self._deps())
+        return event
+
+    def wait_event(self, event: CudaEvent) -> None:
+        """``cudaStreamWaitEvent(stream, event)``.
+
+        All work enqueued into this stream *after* this call waits for
+        the recorded point.
+        """
+        if not event.is_recorded:
+            raise ConfigurationError(
+                "cudaStreamWaitEvent on an unrecorded event"
+            )
+        self._pending_waits.append(event._recorded)
+
+    def synchronize(self) -> float:
+        """``cudaStreamSynchronize``."""
+        return self._stream.sync()
+
+
+class CudaDevice:
+    """A ``cudaSetDevice`` handle: fixed streams, no core partitioning.
+
+    ``num_streams`` concurrent streams are created up front (CUDA
+    creates them on demand; a fixed pool keeps the simulated geometry
+    explicit).  Each stream gets its own place, mirroring how concurrent
+    kernels from different streams can co-run on a GPU's SMs, but the
+    split is not user-controllable — the Phi capability the paper
+    highlights is exactly what this API lacks.
+    """
+
+    def __init__(
+        self,
+        num_streams: int = 4,
+        platform: HeteroPlatform | None = None,
+    ) -> None:
+        if num_streams < 1:
+            raise ConfigurationError(
+                f"num_streams must be >= 1, got {num_streams}"
+            )
+        self._ctx = StreamContext(
+            places=num_streams, streams_per_place=1, platform=platform
+        )
+        self.streams = [
+            CudaStream(self, i) for i in range(num_streams)
+        ]
+        #: The default stream (CUDA's stream 0).
+        self.default_stream = self.streams[0]
+
+    @property
+    def now(self) -> float:
+        return self._ctx.now
+
+    @property
+    def trace(self):
+        return self._ctx.trace
+
+    def malloc(
+        self,
+        host: np.ndarray | None = None,
+        *,
+        shape: tuple[int, ...] | None = None,
+        dtype: Any = None,
+        name: str | None = None,
+    ) -> Buffer:
+        """``cudaMalloc`` + host mirror (real or virtual)."""
+        return self._ctx.buffer(host, shape=shape, dtype=dtype, name=name)
+
+    def create_event(self) -> CudaEvent:
+        """``cudaEventCreate``."""
+        return CudaEvent(self)
+
+    def synchronize(self) -> float:
+        """``cudaDeviceSynchronize``."""
+        return self._ctx.sync_all()
+
+    def reset(self) -> None:
+        """``cudaDeviceReset``."""
+        self._ctx.fini()

@@ -1,0 +1,138 @@
+"""Calibration of the device model against the paper's anchor points.
+
+The paper publishes a handful of absolute numbers; every model constant in
+:class:`~repro.device.spec.DeviceSpec` is chosen so the model reproduces
+them.  This module states the anchors, computes the model's prediction for
+each, and reports the relative error — both as a runtime check (tests
+assert the errors stay small) and as documentation.
+
+Anchors (all from the paper):
+
+* A1 — Fig. 5: sixteen 1 MB blocks one way take ≈ 2.5 ms.
+* A2 — Fig. 5: sixteen blocks each way (CC) take ≈ 5.2 ms (serialised).
+* A3 — Fig. 6: kernel time equals the ≈ 5 ms two-way transfer time of two
+  16 MB arrays at 40 iterations of the hBench kernel (the crossover).
+* A4 — the 31SP offers 56 usable cores / 224 threads and the fast
+  partition counts are {2, 4, 7, 8, 14, 28, 56} (Sec. V-B1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.spec import DeviceSpec, PHI_31SP
+from repro.device.topology import Topology
+from repro.util.units import MB
+
+#: Paper's recommended partition counts (Sec. V-C; values > 1).
+PAPER_FAST_PARTITIONS = (2, 4, 7, 8, 14, 28, 56)
+
+#: hBench element count for a 16 MB float32 array.
+HBENCH_ELEMENTS = 16 * MB // 4
+
+#: Per-thread rate of the hBench kernel (scalar add chain), chosen so that
+#: 40 iterations over a 16 MB array take ~5 ms on all 224 threads (A3):
+#: 40 * 4Mi / 5 ms / 224 threads ≈ 0.15e9 op/s.
+HBENCH_THREAD_RATE = 0.15e9
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One calibration anchor: a paper value and the model's prediction."""
+
+    name: str
+    description: str
+    paper_value: float
+    model_value: float
+    unit: str
+
+    @property
+    def rel_error(self) -> float:
+        return abs(self.model_value - self.paper_value) / abs(self.paper_value)
+
+
+def calibration_anchors(spec: DeviceSpec = PHI_31SP) -> list[Anchor]:
+    """Evaluate every anchor against ``spec``."""
+    link = spec.link
+    one_way_16 = 16 * link.transfer_time(1 * MB)
+    two_way_32 = 32 * link.transfer_time(1 * MB)
+
+    # A3: full-device hBench kernel, 40 iterations over 4Mi elements.
+    topo = Topology(spec)
+    whole = topo.partitions(1)[0]
+    rate = whole.nthreads * HBENCH_THREAD_RATE
+    kernel_40 = 40 * HBENCH_ELEMENTS / rate
+    two_arrays = 2 * link.transfer_time(16 * MB)
+
+    anchors = [
+        Anchor(
+            name="A1",
+            description="16 x 1 MB blocks one way (Fig. 5)",
+            paper_value=2.5e-3,
+            model_value=one_way_16,
+            unit="s",
+        ),
+        Anchor(
+            name="A2",
+            description="16 x 1 MB blocks each way, serialised (Fig. 5 CC)",
+            paper_value=5.2e-3,
+            model_value=two_way_32,
+            unit="s",
+        ),
+        Anchor(
+            name="A3a",
+            description="two 16 MB arrays across the link (Fig. 6 Data)",
+            paper_value=5.0e-3,
+            model_value=two_arrays,
+            unit="s",
+        ),
+        Anchor(
+            name="A3b",
+            description="hBench kernel, 40 iterations, 224 threads (Fig. 6)",
+            paper_value=5.0e-3,
+            model_value=kernel_40,
+            unit="s",
+        ),
+        Anchor(
+            name="A4",
+            description="usable hardware threads on a 31SP",
+            paper_value=224.0,
+            model_value=float(spec.total_threads),
+            unit="threads",
+        ),
+    ]
+    return anchors
+
+
+def fast_partition_counts(spec: DeviceSpec = PHI_31SP) -> list[int]:
+    """Model-derived aligned partition counts in the paper's range (2..56).
+
+    Must equal :data:`PAPER_FAST_PARTITIONS`.
+    """
+    topo = Topology(spec)
+    return [
+        p
+        for p in topo.aligned_partition_counts()
+        if 2 <= p <= spec.usable_cores
+    ]
+
+
+def calibration_report(spec: DeviceSpec = PHI_31SP) -> str:
+    """Human-readable calibration table."""
+    from repro.util.tables import ascii_table
+
+    rows = [
+        (
+            a.name,
+            a.description,
+            f"{a.paper_value:g} {a.unit}",
+            f"{a.model_value:g} {a.unit}",
+            f"{100 * a.rel_error:.1f}%",
+        )
+        for a in calibration_anchors(spec)
+    ]
+    return ascii_table(
+        ["anchor", "description", "paper", "model", "rel err"],
+        rows,
+        title=f"Calibration of {spec.name}",
+    )

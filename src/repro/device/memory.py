@@ -1,0 +1,84 @@
+"""Device-memory accounting and the temporary-allocation cost model.
+
+Two distinct things live here:
+
+* **capacity accounting** — buffers instantiated on the device consume
+  bytes from a finite pool; exhausting it raises
+  :class:`~repro.errors.DeviceMemoryError` (the paper's datasets are sized
+  to fit the 31SP's 8 GB card memory, and so are ours);
+* **the allocation cost model** — the paper traces Kmeans' monotone
+  improvement with partition count (Fig. 9c) to per-iteration temporary
+  allocation/free whose cost grows with the number of threads in the
+  allocating kernel's team.  :meth:`DeviceMemory.alloc_cost` implements
+  that first-order model: ``alloc_base + alloc_per_thread * nthreads``.
+"""
+
+from __future__ import annotations
+
+from repro.device.spec import DeviceSpec
+from repro.errors import DeviceMemoryError
+
+
+class DeviceMemory:
+    """Byte-accounted device memory with an allocation cost model."""
+
+    def __init__(self, spec: DeviceSpec) -> None:
+        self.spec = spec
+        self.capacity = spec.memory_bytes
+        self._used = 0
+        #: Running count of explicit allocations (for introspection).
+        self.allocations = 0
+
+    def __repr__(self) -> str:
+        return f"<DeviceMemory {self._used}/{self.capacity} B used>"
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._used
+
+    def allocate(self, nbytes: int) -> None:
+        """Reserve ``nbytes`` of device memory."""
+        if nbytes < 0:
+            raise DeviceMemoryError(f"allocation size must be >= 0: {nbytes}")
+        if self._used + nbytes > self.capacity:
+            raise DeviceMemoryError(
+                f"device memory exhausted: requested {nbytes} B with only "
+                f"{self.free} B free of {self.capacity} B"
+            )
+        self._used += nbytes
+        self.allocations += 1
+
+    def release(self, nbytes: int) -> None:
+        """Return ``nbytes`` to the pool."""
+        if nbytes < 0:
+            raise DeviceMemoryError(f"release size must be >= 0: {nbytes}")
+        if nbytes > self._used:
+            raise DeviceMemoryError(
+                f"releasing {nbytes} B but only {self._used} B are in use"
+            )
+        self._used -= nbytes
+
+    def alloc_cost(
+        self, nthreads: int, temp_bytes: int = 0, per_thread: bool = True
+    ) -> float:
+        """Wall-clock cost of a temporary alloc/free pair inside a kernel.
+
+        The per-thread term models team setup/faulting growing with the
+        allocating team (the paper's Kmeans mechanism, Sec. V-B1); the
+        per-byte term models first-touch paging of the scratch memory
+        itself.  Each place allocates from its own arena, so these costs
+        are paid inside the kernel's duration and therefore run
+        concurrently across partitions.
+        """
+        if nthreads < 1:
+            raise DeviceMemoryError(f"nthreads must be >= 1, got {nthreads}")
+        if temp_bytes < 0:
+            raise DeviceMemoryError(f"temp_bytes must be >= 0: {temp_bytes}")
+        cost = self.spec.alloc_base + self.spec.alloc_per_byte * temp_bytes
+        if per_thread:
+            cost += self.spec.alloc_per_thread * nthreads
+        return cost

@@ -1,0 +1,237 @@
+"""Hardware and runtime specifications with Phi-31SP defaults.
+
+Every number that shapes simulated time lives here, together with the
+anchor it was calibrated against.  The paper's platform (Sec. III-A):
+dual-socket 12-core Xeon host, Intel Xeon Phi 31SP (57 cores, one reserved
+for the uOS, 4 hardware threads per core), PCIe interconnect, MPSS 3.5.2,
+hStreams 3.5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.util.units import GB, MB
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """PCIe link between host and one coprocessor.
+
+    Calibration anchors (paper Fig. 5, 1 MB blocks):
+
+    * 16 blocks one-way  ≈ 2.5 ms  →  ~0.156 ms per 1 MB block;
+    * 32 blocks round trip ≈ 5.2 ms (both directions serialise).
+
+    ``latency + 1 MB / bandwidth = 10 us + 149.8 us ≈ 159.8 us`` matches.
+    """
+
+    #: Effective DMA bandwidth in bytes/second.
+    bandwidth: float = 7.0e9
+    #: Per-transfer setup latency in seconds.
+    latency: float = 10e-6
+    #: Whether H2D and D2H can proceed concurrently.  The paper measures
+    #: that on Phi they cannot (Fig. 5) — a single full-duplex-incapable
+    #: engine.  Kept as a knob so the ablation benchmark can flip it.
+    full_duplex: bool = False
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Pure link occupancy time for a transfer of ``nbytes``."""
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class RuntimeOverheads:
+    """hStreams-runtime host-side cost model.
+
+    These are the "extra management overheads" of Sec. IV-B / Fig. 7:
+
+    * ``dispatch``   — host cost to enqueue any action into a stream;
+    * ``launch``     — device-side latency from enqueue to kernel start;
+    * ``sync_per_stream`` — cost of joining *one* stream at a sync point
+      (a sync over the whole context pays it once per stream, which is the
+      term that grows linearly with the number of partitions and produces
+      the right side of Fig. 7's U-shape);
+    * ``partition_setup`` — one-off cost per partition at context init.
+    """
+
+    dispatch: float = 4e-6
+    launch: float = 60e-6
+    sync_per_stream: float = 35e-6
+    partition_setup: float = 250e-6
+    #: Extra latency when an action waits on an action that ran in a
+    #: different domain (device) — the cross-device synchronisation cost
+    #: the paper blames for Fig. 11's below-linear multi-MIC scaling.
+    cross_device_sync: float = 120e-6
+    #: One-off cost the first time a given kernel runs on a device
+    #: (hStreams uploads and links the kernel's code object on first
+    #: invocation).  This is why the paper's protocol runs 11 iterations
+    #: and *ignores the first* (Sec. III-B).  Default 0 because the
+    #: figures report steady-state numbers; the measurement-protocol
+    #: experiment switches it on.
+    first_invoke_extra: float = 0.0
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """First-order card power model.
+
+    The paper's introduction motivates heterogeneous platforms partly by
+    performance-per-Watt; this model lets the benchmarks report it.  A
+    31SP has a 270 W TDP; the split between idle/base power and
+    per-thread active power follows published KNC measurements
+    (~100 W idle, near-TDP under full load).
+    """
+
+    idle_watts: float = 100.0
+    #: Additional power per busy hardware thread.
+    active_watts_per_thread: float = 0.75
+    #: Additional power while the PCIe link is transferring.
+    link_watts: float = 10.0
+
+    def __post_init__(self) -> None:
+        if min(self.idle_watts, self.active_watts_per_thread,
+               self.link_watts) < 0:
+            raise ConfigurationError("power figures must be >= 0")
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """An Intel MIC (Xeon Phi, Knights Corner) coprocessor card."""
+
+    name: str = "Intel Xeon Phi 31SP"
+    #: Physical cores on the die.
+    num_cores: int = 57
+    #: Cores reserved for the card OS (uOS) and therefore not available
+    #: to offloaded kernels.  57 - 1 = 56 usable cores → 224 threads.
+    reserved_cores: int = 1
+    #: Hardware threads per core.
+    threads_per_core: int = 4
+    #: Core clock in GHz.
+    clock_ghz: float = 1.1
+    #: Peak double-precision FLOPs per hardware thread per cycle.  KNC has
+    #: a 512-bit VPU per core (16 DP FLOPs/cycle with FMA) shared by its 4
+    #: threads → 4 per thread.
+    flops_per_thread_cycle: float = 4.0
+    #: Aggregate GDDR5 bandwidth in bytes/second, reached with all
+    #: threads running (per-thread share model; see
+    #: :meth:`repro.device.compute.ComputeModel.memory_rate`).
+    mem_bandwidth: float = 150e9
+    #: Device memory size.
+    memory_bytes: int = 8 * GB
+    #: Work-granularity knee: a kernel whose per-thread work is ``w`` ops
+    #: runs at ``w / (w + grain_half_ops)`` of its asymptotic rate
+    #: (per-iteration barriers and loop startup dominate tiny kernels).
+    #: This is what makes "too many tiles" lose (Fig. 7 / Fig. 10 right
+    #: edges: "a large T ... incurs a relatively low resource
+    #: utilization").
+    grain_half_ops: float = 4000.0
+    #: Independent work items (e.g. tile rows) each thread needs for full
+    #: efficiency.  A kernel whose ``parallel_width`` is below
+    #: ``nthreads * items_per_thread_full`` cannot saturate the partition
+    #: — why a small tile's kernel wastes a 224-thread place and the
+    #: non-streamed tiled Cholesky underperforms (Fig. 9(b)).
+    items_per_thread_full: float = 8.0
+    #: Throughput multiplier for threads on a core shared between two
+    #: partitions (cache/VPU contention, paper Sec. V-B1).  With static
+    #: work partitioning inside a kernel the slowest thread gates the
+    #: kernel, so the whole kernel slows by ``1 / shared_core_throughput``
+    #: when any of its cores is shared (straggler model).
+    shared_core_throughput: float = 0.62
+    #: Throughput bonus for cache-sensitive (stencil) kernels when a
+    #: partition's threads span at most ``cache_span_cores`` physical
+    #: cores (paper Sec. V-B1: Hotspot dips at P in [33, 37]).
+    cache_span_cores: int = 2
+    cache_span_bonus: float = 1.18
+    #: Temporary-allocation cost model: a kernel that allocates scratch
+    #: memory inside its parallel region pays
+    #: ``alloc_base + alloc_per_thread * nthreads + alloc_per_byte * bytes``
+    #: per invocation.  The per-thread term is the mechanism the paper
+    #: verifies for Kmeans (Sec. V-B1); the per-byte (first-touch paging)
+    #: term is our model for the SRAD large-dataset anomaly the paper
+    #: leaves "under investigation" (Sec. V-A) — each place allocates from
+    #: its own arena, so streamed runs fault their (smaller) temporaries
+    #: concurrently.
+    alloc_base: float = 20e-6
+    alloc_per_thread: float = 95e-6
+    alloc_per_byte: float = 8e-12
+    #: Multiplicative log-normal jitter (sigma) applied to kernel and
+    #: transfer durations.  0 (default) keeps the simulation perfectly
+    #: deterministic; a small value (e.g. 0.02) makes the paper's
+    #: 11-iteration measurement protocol meaningful and lets reports
+    #: carry confidence intervals.  Jitter is seeded per platform, so
+    #: runs remain reproducible.
+    noise_sigma: float = 0.0
+    link: LinkSpec = field(default_factory=LinkSpec)
+    overheads: RuntimeOverheads = field(default_factory=RuntimeOverheads)
+    power: PowerSpec = field(default_factory=PowerSpec)
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= self.reserved_cores:
+            raise ConfigurationError(
+                "num_cores must exceed reserved_cores "
+                f"({self.num_cores} <= {self.reserved_cores})"
+            )
+        if self.threads_per_core < 1:
+            raise ConfigurationError(
+                f"threads_per_core must be >= 1, got {self.threads_per_core}"
+            )
+        if self.memory_bytes < MB:
+            raise ConfigurationError("device memory must be at least 1 MB")
+
+    @property
+    def usable_cores(self) -> int:
+        """Cores available to offloaded kernels (56 on a 31SP)."""
+        return self.num_cores - self.reserved_cores
+
+    @property
+    def total_threads(self) -> int:
+        """Hardware threads available to kernels (224 on a 31SP)."""
+        return self.usable_cores * self.threads_per_core
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak double-precision GFLOP/s over the usable cores."""
+        return (
+            self.total_threads
+            * self.flops_per_thread_cycle
+            * self.clock_ghz
+        )
+
+    def with_overrides(self, **kwargs: object) -> "DeviceSpec":
+        """Return a copy with some fields replaced (for ablations)."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """The host CPU side (dual-socket 12-core Xeon in the paper)."""
+
+    name: str = "2 x Intel Xeon E5 (12 cores/socket)"
+    sockets: int = 2
+    cores_per_socket: int = 12
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+
+#: The paper's coprocessor.
+PHI_31SP = DeviceSpec()
+
+#: A higher-end KNC card (61 cores, 16 GB), for what-if studies: the
+#: recommended partition set becomes the divisors of 60 —
+#: {2,3,4,5,6,10,12,15,20,30,60} — demonstrating that the paper's
+#: Sec. V-C guideline is a topology property, not a magic constant.
+PHI_7120 = DeviceSpec(
+    name="Intel Xeon Phi 7120P",
+    num_cores=61,
+    clock_ghz=1.238,
+    memory_bytes=16 * GB,
+    mem_bandwidth=200e9,
+)

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+Subsystem-specific errors live in their subpackages (e.g.
+:mod:`repro.hstreams.errors`) and also derive from these bases.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value or combination was supplied."""
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulation engine failures."""
+
+
+class DeviceError(ReproError):
+    """Base class for device-model failures (topology, memory, link)."""
+
+
+class TopologyError(DeviceError):
+    """Invalid core/thread/partition geometry."""
+
+
+class DeviceMemoryError(DeviceError):
+    """Device memory exhausted or an invalid allocation was requested."""
+
+
+class KernelError(ReproError):
+    """A computational kernel was invoked with invalid arguments."""
+
+
+class PipelineError(ReproError):
+    """Invalid task decomposition or task-graph construction."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was misconfigured."""

@@ -1,0 +1,91 @@
+"""Command-line entry point: regenerate the paper's figures as tables.
+
+Usage::
+
+    python -m repro.experiments                 # all figures, fast mode
+    python -m repro.experiments --full fig9     # one figure, full geometry
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import fig5_transfers, fig6_overlap, fig7_partitions
+from repro.experiments import fig8_apps, fig9_partition_sweep
+from repro.experiments import fig10_tile_sweep, fig11_multimic
+from repro.experiments import energy, future_overlap, heuristics_search
+from repro.experiments import microprobes, protocol, streams_per_place
+from repro.experiments.runner import ExperimentResult
+
+EXPERIMENTS = {
+    "fig5": fig5_transfers.run,
+    "fig6": fig6_overlap.run,
+    "fig7": fig7_partitions.run,
+    "fig8": fig8_apps.run,
+    "fig9": fig9_partition_sweep.run,
+    "fig10": fig10_tile_sweep.run,
+    "fig11": fig11_multimic.run,
+    "heuristics": heuristics_search.run,
+    "future-overlap": future_overlap.run,
+    "energy": energy.run,
+    "streams-per-place": streams_per_place.run,
+    "protocol": protocol.run,
+    "microprobes": microprobes.run,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures on the simulated platform.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        choices=[[], *EXPERIMENTS],
+        help="which figures to run (default: all)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the paper's full geometry instead of the fast presets",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render each figure as an ASCII chart",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.figures or list(EXPERIMENTS)
+    failed = 0
+    for name in names:
+        start = time.perf_counter()
+        outcome = EXPERIMENTS[name](fast=not args.full)
+        elapsed = time.perf_counter() - start
+        results = outcome if isinstance(outcome, list) else [outcome]
+        for result in results:
+            print(result.report(plot=args.plot))
+            print()
+            if not result.all_checks_pass:
+                failed += 1
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+    if failed:
+        print(f"{failed} experiment panel(s) had failing checks")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+
+
+def run_all(fast: bool = True) -> list[ExperimentResult]:
+    """Programmatic battery: every panel of every figure."""
+    results: list[ExperimentResult] = []
+    for run_fn in EXPERIMENTS.values():
+        outcome = run_fn(fast=fast)
+        results.extend(outcome if isinstance(outcome, list) else [outcome])
+    return results

@@ -1,0 +1,45 @@
+"""Fig. 11 — Cholesky on multiple MICs.
+
+The same streamed code runs on one or two cards without modification
+(hStreams' unified resource view; Sec. VI).  Claims: two MICs beat one,
+but stay below the 2x projection because of the extra cross-card tile
+traffic and inter-domain synchronisation.
+"""
+
+from __future__ import annotations
+
+from repro.apps import CholeskyApp
+from repro.experiments.runner import ExperimentResult
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    datasets = [9600, 14000] if fast else [14000, 16000]
+    tiles = 100
+    result = ExperimentResult(
+        experiment="fig11",
+        title="CF on multiple MICs (T=100)",
+        x_label="dataset",
+        x=[f"{d}^2" for d in datasets],
+        y_label="GFLOPS",
+    )
+    one, two, projected = [], [], []
+    for d in datasets:
+        app = CholeskyApp(d, tiles)
+        run_one = app.run(places=4, num_devices=1)
+        run_two = app.run(places=8, num_devices=2)
+        one.append(run_one.gflops)
+        two.append(run_two.gflops)
+        projected.append(2 * run_one.gflops)
+    result.add_series("1-mic", one)
+    result.add_series("2-mics", two)
+    result.add_series("projected", projected)
+
+    result.add_check(
+        "two MICs beat one on every dataset",
+        all(b > a for a, b in zip(one, two)),
+    )
+    result.add_check(
+        "scaling stays below the 2x projection",
+        all(b < p for b, p in zip(two, projected)),
+    )
+    return result

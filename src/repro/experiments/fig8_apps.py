@@ -1,0 +1,248 @@
+"""Fig. 8 — streamed (w/) vs non-streamed (w/o) across dataset sweeps.
+
+One panel per application.  The non-streamed baseline is a single
+stream with a single tile; the streamed version uses the best
+configuration from a small candidate set (standing in for the paper's
+exhaustive enumeration).
+"""
+
+from __future__ import annotations
+
+from repro.apps import (
+    CholeskyApp,
+    HotspotApp,
+    KmeansApp,
+    MatMulApp,
+    NNApp,
+    SradApp,
+)
+from repro.experiments.runner import ExperimentResult
+
+
+def _best(app_factory, configs):
+    """The fastest run over (places, tiles) candidates."""
+    return min(
+        (app_factory(t).run(places=p) for p, t in configs),
+        key=lambda run: run.elapsed,
+    )
+
+
+def _improvement(base: float, streamed: float) -> float:
+    return 100.0 * (base - streamed) / base
+
+
+def run_mm(fast: bool = True) -> ExperimentResult:
+    datasets = [2000, 4000, 6000] if fast else [2000, 4000, 6000, 8000, 10000, 12000]
+    result = ExperimentResult(
+        experiment="fig8a",
+        title="MM: single stream vs multiple streams",
+        x_label="dataset",
+        x=[f"{d}^2" for d in datasets],
+        y_label="GFLOPS",
+    )
+    import math
+
+    base, streamed = [], []
+    for d in datasets:
+        base.append(MatMulApp(d, 1).run(places=1).gflops)
+        candidates = [
+            (p, t)
+            for p, t in [(4, 4), (4, 16), (4, 100), (7, 49)]
+            if d % math.isqrt(t) == 0
+        ]
+        streamed.append(
+            _best(lambda t, d=d: MatMulApp(d, t), candidates).gflops
+        )
+    result.add_series("w/o", base)
+    result.add_series("w/", streamed)
+    result.add_check(
+        "streamed wins on every dataset",
+        all(s > b for s, b in zip(streamed, base)),
+    )
+    return result
+
+
+def run_cf(fast: bool = True) -> ExperimentResult:
+    datasets = [4800, 9600] if fast else [7200, 9600, 12000, 14400, 16800, 19200]
+    result = ExperimentResult(
+        experiment="fig8b",
+        title="CF: single stream vs multiple streams",
+        x_label="dataset",
+        x=[f"{d}^2" for d in datasets],
+        y_label="GFLOPS",
+    )
+    base, streamed = [], []
+    for d in datasets:
+        base.append(CholeskyApp(d, 1).run(places=1).gflops)
+        streamed.append(
+            _best(
+                lambda t, d=d: CholeskyApp(d, t),
+                [(2, 100), (4, 100), (4, 225)],
+            ).gflops
+        )
+    result.add_series("w/o", base)
+    result.add_series("w/", streamed)
+    improvements = [
+        _improvement(1.0 / b, 1.0 / s) for b, s in zip(base, streamed)
+    ]
+    result.add_check(
+        "streamed wins on every dataset",
+        all(s > b for s, b in zip(streamed, base)),
+    )
+    result.add_check(
+        "mean improvement is substantial (> 15 %)",
+        sum(improvements) / len(improvements) > 15.0,
+    )
+    return result
+
+
+def run_kmeans(fast: bool = True) -> ExperimentResult:
+    datasets = (
+        [140000, 560000, 1120000]
+        if fast
+        else [140000, 280000, 560000, 1120000, 2240000]
+    )
+    iterations = 20 if fast else 100
+    result = ExperimentResult(
+        experiment="fig8c",
+        title="Kmeans: single stream vs multiple streams",
+        x_label="points",
+        x=[f"{d // 1000}K" for d in datasets],
+        y_label="seconds",
+    )
+    base, streamed = [], []
+    for d in datasets:
+        base.append(
+            KmeansApp(d, 1, iterations=iterations).run(places=1).elapsed
+        )
+        tiles = max(1, d // 20000)
+        places = min(56, tiles)
+        streamed.append(
+            KmeansApp(d, tiles, iterations=iterations)
+            .run(places=places)
+            .elapsed
+        )
+    result.add_series("w/o", base)
+    result.add_series("w/", streamed)
+    result.add_check(
+        "streamed wins on every dataset (despite non-overlappable flow)",
+        all(s < b for s, b in zip(streamed, base)),
+    )
+    return result
+
+
+def run_hotspot(fast: bool = True) -> ExperimentResult:
+    datasets = [2048, 4096, 8192] if fast else [1024, 2048, 4096, 8192, 16384]
+    iterations = 10 if fast else 50
+    result = ExperimentResult(
+        experiment="fig8d",
+        title="Hotspot: single stream vs multiple streams",
+        x_label="grid",
+        x=[f"{d}^2" for d in datasets],
+        y_label="seconds",
+    )
+    base, streamed = [], []
+    for d in datasets:
+        base.append(
+            HotspotApp(d, 1, iterations=iterations).run(places=1).elapsed
+        )
+        tiles = min(max(1, (d // 1024) ** 2), d)
+        streamed.append(
+            HotspotApp(d, tiles, iterations=iterations)
+            .run(places=min(37, tiles))
+            .elapsed
+        )
+    result.add_series("w/o", base)
+    result.add_series("w/", streamed)
+    ratios = [s / b for s, b in zip(streamed, base)]
+    result.notes = (
+        "small grids lose to stream-management overhead — the paper makes "
+        "the same observation for small datasets"
+    )
+    result.add_check(
+        "no significant change on the largest dataset (within 15 %)",
+        0.85 < ratios[-1] < 1.15,
+    )
+    result.add_check(
+        "streamed never wins meaningfully (no overlap to exploit)",
+        all(r > 0.95 for r in ratios),
+    )
+    return result
+
+
+def run_nn(fast: bool = True) -> ExperimentResult:
+    datasets = (
+        [131072, 524288, 2097152]
+        if fast
+        else [131072, 262144, 524288, 1048576, 2097152]
+    )
+    result = ExperimentResult(
+        experiment="fig8e",
+        title="NN: single stream vs multiple streams",
+        x_label="records",
+        x=[f"{d // 1024}k" for d in datasets],
+        y_label="milliseconds",
+    )
+    base, streamed = [], []
+    for d in datasets:
+        base.append(NNApp(d, 1).run(places=1).elapsed * 1e3)
+        streamed.append(NNApp(d, 4).run(places=4).elapsed * 1e3)
+    result.add_series("w/o", base)
+    result.add_series("w/", streamed)
+    result.notes = (
+        "deviation: the paper wins on its smallest datasets too; in the "
+        "model the per-stream join cost is a visible fraction of a "
+        "sub-millisecond run"
+    )
+    wins = [
+        s < b
+        for d, s, b in zip(datasets, streamed, base)
+        if d >= 512 * 1024
+    ]
+    result.add_check(
+        "streamed wins on every dataset of >= 512k records",
+        bool(wins) and all(wins),
+    )
+    return result
+
+
+def run_srad(fast: bool = True) -> ExperimentResult:
+    datasets = [1000, 4000, 10000] if fast else [1000, 2000, 4000, 5000, 10000]
+    iterations = 10 if fast else 100
+    result = ExperimentResult(
+        experiment="fig8f",
+        title="SRAD: single stream vs multiple streams",
+        x_label="image",
+        x=[f"{d}^2" for d in datasets],
+        y_label="seconds",
+    )
+    base, streamed = [], []
+    for d in datasets:
+        base.append(
+            SradApp(d, 1, iterations=iterations).run(places=1).elapsed
+        )
+        streamed.append(
+            SradApp(d, 100, iterations=iterations).run(places=4).elapsed
+        )
+    result.add_series("w/o", base)
+    result.add_series("w/", streamed)
+    result.add_check(
+        "streamed loses on the smallest dataset",
+        streamed[0] > base[0],
+    )
+    result.add_check(
+        "streamed wins on the largest dataset (the paper's anomaly)",
+        streamed[-1] < base[-1],
+    )
+    return result
+
+
+def run(fast: bool = True) -> list[ExperimentResult]:
+    return [
+        run_mm(fast),
+        run_cf(fast),
+        run_kmeans(fast),
+        run_hotspot(fast),
+        run_nn(fast),
+        run_srad(fast),
+    ]

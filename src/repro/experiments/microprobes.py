@@ -1,0 +1,70 @@
+"""Extension experiment — platform characterisation microprobes.
+
+Four probes that measure, through the runtime, the constants a user of
+a real machine would have to discover empirically (and that DESIGN.md's
+calibration puts in): the PCIe latency/bandwidth knee, the kernel
+launch latency, the core-sharing straggler factor, and the per-stream
+join cost.  Each check verifies the probe recovers the configured
+constant — the simulation-level analogue of a calibration round trip.
+"""
+
+from __future__ import annotations
+
+from repro.apps.microbench import (
+    bandwidth_curve,
+    core_sharing_penalty,
+    launch_latency,
+    sync_cost_curve,
+)
+from repro.device.spec import PHI_31SP
+from repro.experiments.runner import ExperimentResult
+from repro.util.units import MB
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    blocks = (
+        tuple(1 << k for k in (14, 17, 20, 23))
+        if fast
+        else tuple(1 << k for k in range(12, 25))
+    )
+    curve = bandwidth_curve(block_bytes=blocks, total_bytes=32 * MB)
+    result = ExperimentResult(
+        experiment="microprobes",
+        title="Platform characterisation probes",
+        x_label="block size [B]",
+        x=[b for b, _ in curve],
+        y_label="GB/s",
+    )
+    result.add_series("effective H2D bandwidth", [bw / 1e9 for _, bw in curve])
+
+    latency = launch_latency()
+    sharing = core_sharing_penalty()
+    sync = dict(sync_cost_curve(stream_counts=(1, 56)))
+    result.notes = (
+        f"launch latency {latency * 1e6:.1f} us; core-sharing penalty "
+        f"{sharing:.2f}x; idle join cost {sync[1] * 1e6:.0f} us/stream"
+    )
+
+    bandwidths = [bw for _, bw in curve]
+    result.add_check(
+        "bandwidth rises monotonically with block size",
+        bandwidths == sorted(bandwidths),
+    )
+    result.add_check(
+        "large blocks approach the configured link bandwidth",
+        bandwidths[-1] > 0.9 * PHI_31SP.link.bandwidth,
+    )
+    result.add_check(
+        "probe recovers the configured launch latency within 10 %",
+        abs(latency - (PHI_31SP.overheads.launch + PHI_31SP.overheads.dispatch))
+        < 0.1 * PHI_31SP.overheads.launch,
+    )
+    result.add_check(
+        "probe recovers the straggler factor (~1/0.62)",
+        1.3 < sharing < 1.9,
+    )
+    result.add_check(
+        "join cost scales linearly with streams",
+        abs(sync[56] - 56 * sync[1]) < 0.02 * sync[56],
+    )
+    return result

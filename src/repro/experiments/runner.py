@@ -1,0 +1,92 @@
+"""Common experiment-result containers and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.util.tables import ascii_table
+
+
+@dataclass
+class Series:
+    """One plotted line/bar set: y values over the shared x axis."""
+
+    label: str
+    values: list[float]
+
+
+@dataclass
+class Check:
+    """A programmatic encoding of one of the figure's claims."""
+
+    description: str
+    passed: bool
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one figure (or panel) produced."""
+
+    experiment: str
+    title: str
+    x_label: str
+    x: list[object]
+    series: list[Series] = field(default_factory=list)
+    y_label: str = ""
+    checks: list[Check] = field(default_factory=list)
+    notes: str = ""
+
+    def add_series(self, label: str, values: list[float]) -> None:
+        if len(values) != len(self.x):
+            raise ExperimentError(
+                f"series {label!r} has {len(values)} values for "
+                f"{len(self.x)} x points"
+            )
+        self.series.append(Series(label, list(values)))
+
+    def add_check(self, description: str, passed: bool) -> None:
+        self.checks.append(Check(description, bool(passed)))
+
+    def series_by_label(self, label: str) -> list[float]:
+        for s in self.series:
+            if s.label == label:
+                return s.values
+        raise ExperimentError(f"no series labelled {label!r}")
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def to_table(self) -> str:
+        headers = [self.x_label] + [s.label for s in self.series]
+        rows = [
+            [x] + [s.values[i] for s in self.series]
+            for i, x in enumerate(self.x)
+        ]
+        title = f"{self.experiment}: {self.title}"
+        if self.y_label:
+            title += f"  [{self.y_label}]"
+        return ascii_table(headers, rows, title=title)
+
+    def to_plot(self, log_y: bool = False) -> str:
+        """Render the series as an ASCII chart."""
+        from repro.util.asciiplot import ascii_plot
+
+        return ascii_plot(
+            self.x,
+            {s.label: s.values for s in self.series},
+            y_label=self.y_label,
+            log_y=log_y,
+        )
+
+    def report(self, plot: bool = False) -> str:
+        parts = [self.to_table()]
+        if plot and self.series:
+            parts.append(self.to_plot())
+        if self.notes:
+            parts.append(f"note: {self.notes}")
+        for check in self.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            parts.append(f"  [{mark}] {check.description}")
+        return "\n".join(parts)

@@ -1,0 +1,58 @@
+"""Extension experiment — streams per place (hStreams' third axis).
+
+hStreams' logical hierarchy (paper Fig. 3) allows *multiple streams per
+place*.  The paper always uses one; this experiment sweeps the split of
+S = P x (streams/place) for MM, separating the two services streams
+provide:
+
+* **partitioning** (P > 1): kernels run concurrently on disjoint cores;
+* **queueing** (S/place > 1): one place's transfers overlap its own
+  kernels, because the extra streams keep actions in flight.
+
+Expected: with four total streams, pure queueing (P=1, S=4) recovers
+most of the overlap benefit without partitioning the cores — kernels
+keep all 224 threads — while pure partitioning (P=4, S=1) splits
+kernels but pipelines across places.  Both beat a single stream.
+"""
+
+from __future__ import annotations
+
+from repro.apps import MatMulApp
+from repro.experiments.runner import ExperimentResult
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    d = 3000 if fast else 6000
+    tiles = 16
+    configs = [
+        ("P=1, S/pl=1", 1, 1),
+        ("P=1, S/pl=4", 1, 4),
+        ("P=2, S/pl=2", 2, 2),
+        ("P=4, S/pl=1", 4, 1),
+    ]
+    result = ExperimentResult(
+        experiment="streams-per-place",
+        title=f"MM (D={d}, T={tiles}): partitioning vs queueing",
+        x_label="configuration",
+        x=[label for label, _, _ in configs],
+        y_label="GFLOPS",
+    )
+    runs = {}
+    for label, places, spp in configs:
+        run_ = MatMulApp(d, tiles).run(places=places, streams_per_place=spp)
+        runs[label] = run_.gflops
+    result.add_series("GFLOPS", [runs[label] for label, _, _ in configs])
+
+    single = runs["P=1, S/pl=1"]
+    result.add_check(
+        "extra streams help even without partitioning (queueing alone)",
+        runs["P=1, S/pl=4"] > single,
+    )
+    result.add_check(
+        "every four-stream split beats the single stream",
+        all(
+            runs[label] > single
+            for label in ("P=1, S/pl=4", "P=2, S/pl=2", "P=4, S/pl=1")
+        ),
+    )
+    return result

@@ -1,0 +1,57 @@
+"""An hStreams-style multi-streaming runtime (the paper's core substrate).
+
+Intel's hStreams (discontinued with the Xeon Phi) exposed a three-level
+logical hierarchy — *domains* (devices) contain *places* (core partitions)
+which host *streams* (FIFO work queues) — plus a small "app API" for
+enqueueing data transfers and kernel invocations asynchronously.  This
+subpackage is a from-scratch re-implementation of that model on top of the
+simulated MIC platform:
+
+* :class:`~repro.hstreams.context.StreamContext` — create with a partition
+  count and streams-per-partition, exactly like ``hStreams_app_init``;
+* :class:`~repro.hstreams.stream.Stream` — in-order (FIFO) execution of
+  enqueued actions, asynchronous with respect to the host and to other
+  streams;
+* :class:`~repro.hstreams.buffer.Buffer` — a host array with per-device
+  instances, moved by H2D/D2H actions (which *really copy* the data, so
+  applications compute true results);
+* :mod:`~repro.hstreams.app_api` — convenience functions named after their
+  hStreams counterparts.
+
+Semantics reproduced from hStreams: actions within one stream never
+reorder; actions in different streams are concurrent unless linked by
+explicit dependencies; a stream's kernels execute on its place's partition
+and serialise with other streams bound to the same place; every transfer
+contends for the owning device's (half-duplex) PCIe link.
+"""
+
+from repro.hstreams.enums import ActionKind, StreamState
+from repro.hstreams.errors import (
+    BufferStateError,
+    ContextStateError,
+    HstreamsError,
+    InvalidDependencyError,
+)
+from repro.hstreams.buffer import Buffer
+from repro.hstreams.action import Action
+from repro.hstreams.place import Place
+from repro.hstreams.domain import Domain
+from repro.hstreams.stream import Stream
+from repro.hstreams.context import StreamContext
+from repro.hstreams import app_api
+
+__all__ = [
+    "ActionKind",
+    "StreamState",
+    "HstreamsError",
+    "ContextStateError",
+    "BufferStateError",
+    "InvalidDependencyError",
+    "Buffer",
+    "Action",
+    "Place",
+    "Domain",
+    "Stream",
+    "StreamContext",
+    "app_api",
+]

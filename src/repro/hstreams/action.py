@@ -1,0 +1,187 @@
+"""Actions: the units of work enqueued into streams.
+
+Each action is backed by a simulation process that
+
+1. waits for its FIFO predecessor in the same stream,
+2. waits for its explicit cross-stream dependencies (paying the
+   cross-device sync cost if any dependency ran in another domain),
+3. pays the host dispatch overhead,
+4. performs its payload — occupying the device's PCIe link (transfers) or
+   its place's partition (kernels) for the modelled duration, and moving /
+   computing real data when the buffers are real,
+5. triggers its ``done`` event and appends a trace record.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
+
+from repro.device.compute import KernelWork
+from repro.device.pcie import TransferDirection
+from repro.hstreams.buffer import Buffer
+from repro.hstreams.enums import ActionKind
+from repro.hstreams.errors import HstreamsError
+from repro.trace.events import TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Event
+    from repro.hstreams.stream import Stream
+
+#: Things accepted as dependencies: other actions or raw events.
+Dependency = "Action | Event"
+
+
+class Action:
+    """One enqueued operation: transfer, kernel invocation, or marker."""
+
+    def __init__(
+        self,
+        stream: "Stream",
+        kind: ActionKind,
+        *,
+        deps: tuple[Any, ...] = (),
+        buffer: Buffer | None = None,
+        offset: int = 0,
+        count: int | None = None,
+        work: KernelWork | None = None,
+        fn: Callable[[], None] | None = None,
+        label: str = "",
+    ) -> None:
+        ctx = stream.ctx
+        env = ctx.env
+        self.stream = stream
+        self.kind = kind
+        self.buffer = buffer
+        self.offset = offset
+        self.count = count
+        if buffer is not None:
+            # Fail fast: a bad element range is a programming error and
+            # should surface at enqueue, not at simulated run time.
+            buffer.range_bytes(offset, count)
+        self.work = work
+        self.fn = fn
+        self.label = label or (
+            work.name if work is not None
+            else (buffer.name if buffer is not None else kind.value)
+        )
+        self.seq = ctx._next_seq()
+        #: Fires when the action has fully completed.
+        self.done = env.event()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+
+        self._dep_events = [self._dep_event(d) for d in deps]
+        self._cross_domain = any(
+            isinstance(d, Action)
+            and d.stream.place.device is not stream.place.device
+            for d in deps
+        )
+        predecessor = stream._last_done
+        stream._last_done = self.done
+        stream._actions.append(self)
+        self._process = env.process(self._run(predecessor))
+
+    def __repr__(self) -> str:
+        return (
+            f"<Action #{self.seq} {self.kind.value} '{self.label}' "
+            f"stream={self.stream.index}>"
+        )
+
+    @staticmethod
+    def _dep_event(dep: Any) -> "Event":
+        from repro.sim import Event as SimEvent
+
+        if isinstance(dep, Action):
+            return dep.done
+        if isinstance(dep, SimEvent):
+            return dep
+        raise HstreamsError(
+            f"dependency must be an Action or Event, got {dep!r}"
+        )
+
+    # -- execution -----------------------------------------------------------
+
+    def _run(self, predecessor: "Event | None"):
+        ctx = self.stream.ctx
+        env = ctx.env
+        device = self.stream.place.device
+        overheads = device.spec.overheads
+
+        if predecessor is not None:
+            yield predecessor
+        if self._dep_events:
+            yield env.all_of(self._dep_events)
+        if self._cross_domain:
+            yield env.timeout(overheads.cross_device_sync)
+        yield env.timeout(overheads.dispatch)
+
+        if self.kind is ActionKind.H2D or self.kind is ActionKind.D2H:
+            yield from self._run_transfer()
+        elif self.kind is ActionKind.EXE:
+            yield from self._run_kernel()
+        else:  # MARKER: completes as soon as the FIFO reaches it.
+            self.started_at = self.finished_at = env.now
+
+        ctx.trace.append(
+            TraceEvent(
+                kind=self.kind,
+                stream=self.stream.index,
+                device=device.index,
+                start=self.started_at if self.started_at is not None else env.now,
+                end=env.now,
+                nbytes=self._transfer_bytes() if self.buffer is not None else 0,
+                label=self.label,
+                threads=(
+                    self.stream.place.nthreads
+                    if self.kind is ActionKind.EXE
+                    else 0
+                ),
+            )
+        )
+        self.finished_at = env.now
+        self.done.succeed(self)
+
+    def _transfer_bytes(self) -> int:
+        assert self.buffer is not None
+        return self.buffer.range_bytes(self.offset, self.count)
+
+    def _run_transfer(self):
+        env = self.stream.ctx.env
+        device = self.stream.place.device
+        assert self.buffer is not None
+        nbytes = self._transfer_bytes()
+        if self.kind is ActionKind.H2D:
+            direction = TransferDirection.H2D
+            self.buffer.instantiate(device)
+        else:
+            direction = TransferDirection.D2H
+            if not self.buffer.instantiated_on(device.index):
+                raise HstreamsError(
+                    f"D2H from buffer {self.buffer.name} which was never "
+                    f"instantiated on device {device.index}"
+                )
+        if nbytes == 0:
+            # Pure residency/instantiation marker: no link traffic.
+            self.started_at = env.now
+            return
+        start, _end = yield env.process(
+            device.link.transfer(direction, nbytes)
+        )
+        self.started_at = start
+        if self.kind is ActionKind.H2D:
+            self.buffer.copy_h2d(device.index, self.offset, self.count)
+        else:
+            self.buffer.copy_d2h(device.index, self.offset, self.count)
+
+    def _run_kernel(self):
+        env = self.stream.ctx.env
+        place = self.stream.place
+        assert self.work is not None
+        with place.lock.request() as req:
+            yield req
+            self.started_at = env.now
+            duration = place.device.kernel_duration(self.work, place.partition)
+            yield env.timeout(duration)
+            if self.fn is not None:
+                self.fn()

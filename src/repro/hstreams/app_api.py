@@ -1,0 +1,128 @@
+"""hStreams "app API" compatibility layer.
+
+Intel's hStreams shipped a simplified *app API* (``hStreams_app_init``,
+``hStreams_app_xfer_memory``, ``hStreams_app_invoke``, ...) that the
+paper's benchmarks are written against.  This module provides Pythonic
+equivalents with the familiar names, operating on a module-level default
+context so ports of hStreams code read almost line-for-line:
+
+.. code-block:: python
+
+    from repro.hstreams import app_api as hs
+
+    hs.app_init(places=4, streams_per_place=1)
+    buf = hs.app_create_buf(host_array)
+    hs.app_xfer_memory(buf, hs.H2D, stream=0)
+    hs.app_invoke(0, work, fn=compute)
+    hs.app_xfer_memory(buf, hs.D2H, stream=0)
+    hs.app_thread_sync()
+    hs.app_fini()
+
+Unlike the C API these raise exceptions instead of returning
+``HSTR_RESULT`` codes, and return the created objects directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+import numpy as np
+
+from repro.device.compute import KernelWork
+from repro.device.pcie import TransferDirection
+from repro.device.platform import HeteroPlatform
+from repro.hstreams.action import Action
+from repro.hstreams.buffer import Buffer
+from repro.hstreams.context import StreamContext
+from repro.hstreams.errors import ContextStateError
+
+#: Transfer directions re-exported with hStreams-like names.
+H2D = TransferDirection.H2D
+D2H = TransferDirection.D2H
+
+_default_context: StreamContext | None = None
+
+
+def app_init(
+    places: int = 1,
+    streams_per_place: int = 1,
+    platform: HeteroPlatform | None = None,
+) -> StreamContext:
+    """Create and install the default context (``hStreams_app_init``)."""
+    global _default_context
+    if _default_context is not None:
+        raise ContextStateError(
+            "app API already initialised; call app_fini() first"
+        )
+    _default_context = StreamContext(
+        places=places, streams_per_place=streams_per_place, platform=platform
+    )
+    return _default_context
+
+
+def current_context() -> StreamContext:
+    """The installed default context."""
+    if _default_context is None:
+        raise ContextStateError("app API not initialised; call app_init()")
+    return _default_context
+
+
+def app_create_buf(
+    host: np.ndarray | None = None,
+    *,
+    shape: tuple[int, ...] | None = None,
+    dtype: Any = None,
+    name: str | None = None,
+) -> Buffer:
+    """Create a buffer in the default context (``hStreams_app_create_buf``)."""
+    return current_context().buffer(host, shape=shape, dtype=dtype, name=name)
+
+
+def app_xfer_memory(
+    buffer: Buffer,
+    direction: TransferDirection,
+    stream: int = 0,
+    offset: int = 0,
+    count: int | None = None,
+    deps: tuple[Any, ...] = (),
+) -> Action:
+    """Enqueue an async transfer (``hStreams_app_xfer_memory``)."""
+    ctx = current_context()
+    s = ctx.stream(stream)
+    if direction is TransferDirection.H2D:
+        return s.h2d(buffer, offset=offset, count=count, deps=deps)
+    return s.d2h(buffer, offset=offset, count=count, deps=deps)
+
+
+def app_invoke(
+    stream: int,
+    work: KernelWork,
+    fn: Callable[[], None] | None = None,
+    deps: tuple[Any, ...] = (),
+) -> Action:
+    """Enqueue a kernel (``hStreams_app_invoke``)."""
+    return current_context().stream(stream).invoke(work, fn=fn, deps=deps)
+
+
+def app_event_wait(deps: tuple[Any, ...], stream: int = 0) -> Action:
+    """Enqueue a marker waiting on ``deps`` (``hStreams_app_event_wait``)."""
+    return current_context().stream(stream).marker(deps=deps)
+
+
+def app_stream_sync(stream: int = 0) -> float:
+    """Join one stream (``hStreams_app_stream_sync``)."""
+    return current_context().stream(stream).sync()
+
+
+def app_thread_sync() -> float:
+    """Join all streams (``hStreams_app_thread_sync``)."""
+    return current_context().sync_all()
+
+
+def app_fini() -> None:
+    """Tear down the default context (``hStreams_app_fini``)."""
+    global _default_context
+    ctx = current_context()
+    ctx.fini()
+    _default_context = None

@@ -1,0 +1,32 @@
+"""Domains: the logical view of one device.
+
+hStreams presents each physical card as a *domain* containing the places
+carved out of that card.  Domains matter for multi-MIC runs (Sec. VI):
+streams in different domains have independent PCIe links, but
+synchronising across domains costs extra (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.device.mic import MicDevice
+    from repro.hstreams.place import Place
+
+
+@dataclass
+class Domain:
+    """One device and the places allocated on it."""
+
+    index: int
+    device: "MicDevice"
+    places: list["Place"] = field(default_factory=list)
+
+    @property
+    def num_places(self) -> int:
+        return len(self.places)
+
+    def __repr__(self) -> str:
+        return f"<Domain {self.index} places={self.num_places}>"

@@ -1,0 +1,29 @@
+"""Enumerations for the streaming runtime."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ActionKind(enum.Enum):
+    """What an enqueued action does."""
+
+    #: Host-to-device transfer.
+    H2D = "h2d"
+    #: Device-to-host transfer.
+    D2H = "d2h"
+    #: Kernel invocation.
+    EXE = "exe"
+    #: Intra-stream marker event (completes when everything enqueued
+    #: before it in the same stream has completed).
+    MARKER = "marker"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class StreamState(enum.Enum):
+    """Lifecycle of a stream."""
+
+    ACTIVE = "active"
+    CLOSED = "closed"

@@ -1,0 +1,31 @@
+"""Error types raised by the streaming runtime."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class HstreamsError(ReproError):
+    """Base class for streaming-runtime errors."""
+
+
+class ContextStateError(HstreamsError):
+    """Operation on a finalised or misconfigured context."""
+
+
+class BufferStateError(HstreamsError):
+    """Invalid buffer operation (bad range, missing instance, ...)."""
+
+
+class InvalidDependencyError(HstreamsError):
+    """A dependency references an action from a different context."""
+
+
+class DeadlockError(HstreamsError):
+    """The simulation stalled with actions still pending.
+
+    The classic cause: a dependency cycle through stream FIFO order —
+    e.g. action A in stream 0 depends on action B that was enqueued
+    *behind* another stream-0 action which transitively waits on A.
+    The error message lists the stuck actions.
+    """

@@ -1,0 +1,46 @@
+"""Places: the logical view of a core partition.
+
+In hStreams a *place* is a set of processing cores a stream is bound to;
+kernels from all streams bound to one place serialise on it.  Our place
+wraps a device partition plus its capacity-1 simulation lock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.device.mic import MicDevice
+    from repro.device.topology import Partition
+    from repro.sim import Resource
+
+
+@dataclass(frozen=True)
+class Place:
+    """A logical place: (device, partition) with an execution lock."""
+
+    #: Global place index across the whole context.
+    index: int
+    #: The device this place lives on.
+    device: "MicDevice"
+    #: Partition index within the device.
+    partition_index: int
+
+    @property
+    def partition(self) -> "Partition":
+        return self.device.partition(self.partition_index)
+
+    @property
+    def lock(self) -> "Resource":
+        return self.device.partition_lock(self.partition_index)
+
+    @property
+    def nthreads(self) -> int:
+        return self.partition.nthreads
+
+    def __repr__(self) -> str:
+        return (
+            f"<Place {self.index} dev{self.device.index}"
+            f"/part{self.partition_index} threads={self.nthreads}>"
+        )

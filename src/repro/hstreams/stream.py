@@ -1,0 +1,134 @@
+"""Streams: FIFO work queues bound to places.
+
+Enqueueing returns immediately (host-asynchronous); the returned
+:class:`~repro.hstreams.action.Action` exposes a ``done`` event for
+dependency chaining.  Actions in one stream execute in enqueue order;
+actions in different streams only order through explicit dependencies or
+shared resources (the PCIe link, a shared place).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
+
+from repro.device.compute import KernelWork
+from repro.hstreams.action import Action
+from repro.hstreams.buffer import Buffer
+from repro.hstreams.enums import ActionKind, StreamState
+from repro.hstreams.errors import ContextStateError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Event
+    from repro.hstreams.context import StreamContext
+    from repro.hstreams.place import Place
+
+
+class Stream:
+    """An in-order, host-asynchronous queue of actions on one place."""
+
+    def __init__(self, ctx: "StreamContext", index: int, place: "Place") -> None:
+        self.ctx = ctx
+        self.index = index
+        self.place = place
+        self.state = StreamState.ACTIVE
+        self._last_done: "Event | None" = None
+        self._actions: list[Action] = []
+
+    def __repr__(self) -> str:
+        return (
+            f"<Stream {self.index} on {self.place!r} "
+            f"actions={len(self._actions)}>"
+        )
+
+    @property
+    def actions(self) -> list[Action]:
+        return list(self._actions)
+
+    @property
+    def last(self) -> Action | None:
+        """The most recently enqueued action, if any."""
+        return self._actions[-1] if self._actions else None
+
+    def _check_active(self) -> None:
+        if self.state is not StreamState.ACTIVE:
+            raise ContextStateError(f"stream {self.index} is closed")
+
+    # -- enqueue API ---------------------------------------------------------
+
+    def h2d(
+        self,
+        buffer: Buffer,
+        offset: int = 0,
+        count: int | None = None,
+        deps: tuple[Any, ...] = (),
+    ) -> Action:
+        """Enqueue a host-to-device transfer of an element range."""
+        self._check_active()
+        return Action(
+            self, ActionKind.H2D, buffer=buffer, offset=offset, count=count,
+            deps=tuple(deps),
+        )
+
+    def d2h(
+        self,
+        buffer: Buffer,
+        offset: int = 0,
+        count: int | None = None,
+        deps: tuple[Any, ...] = (),
+    ) -> Action:
+        """Enqueue a device-to-host transfer of an element range."""
+        self._check_active()
+        return Action(
+            self, ActionKind.D2H, buffer=buffer, offset=offset, count=count,
+            deps=tuple(deps),
+        )
+
+    def invoke(
+        self,
+        work: KernelWork,
+        fn: Callable[[], None] | None = None,
+        deps: tuple[Any, ...] = (),
+    ) -> Action:
+        """Enqueue a kernel invocation.
+
+        ``work`` drives the simulated duration; ``fn`` (optional) performs
+        the real computation on device buffer instances when it runs.
+        """
+        self._check_active()
+        return Action(self, ActionKind.EXE, work=work, fn=fn, deps=tuple(deps))
+
+    def marker(self, deps: tuple[Any, ...] = ()) -> Action:
+        """Enqueue a no-op that completes when the FIFO reaches it."""
+        self._check_active()
+        return Action(self, ActionKind.MARKER, deps=tuple(deps))
+
+    # -- synchronisation -----------------------------------------------------
+
+    def barrier(self) -> "Event":
+        """An event that fires once everything enqueued so far completes
+        (including the per-stream join cost).
+
+        Yield this from a host process to synchronise *in virtual time*;
+        ``sync()`` is the host-blocking convenience wrapper.
+        """
+        env = self.ctx.env
+        overheads = self.place.device.spec.overheads
+        tail = self._last_done
+
+        def join():
+            if tail is not None:
+                yield tail
+            yield env.timeout(overheads.sync_per_stream)
+
+        return env.process(join())
+
+    def sync(self) -> float:
+        """Block the host until everything enqueued so far completes.
+
+        Models ``hStreams_app_stream_sync``: the host pays the per-stream
+        join cost.  Returns the simulation time after the join.
+        """
+        env = self.ctx.env
+        env.run(until=self.barrier())
+        return env.now

@@ -1,0 +1,61 @@
+"""Computational kernels: real NumPy implementations + work descriptors.
+
+Each module provides (a) a NumPy implementation of the kernel the paper's
+benchmark offloads (checked against references in the test suite) and (b)
+a ``*_work`` builder producing the :class:`~repro.device.KernelWork`
+descriptor that drives the simulated execution time.  Keeping the two
+together guarantees the simulated benchmark performs exactly the
+computation whose cost it models.
+"""
+
+from repro.kernels.cost import dense_thread_rate, stream_thread_rate
+from repro.kernels.vecadd import vecadd, vecadd_work
+from repro.kernels.matmul import gemm, gemm_work
+from repro.kernels.cholesky import (
+    gemm_update_work,
+    potrf,
+    potrf_work,
+    syrk_update_work,
+    trsm,
+    trsm_work,
+)
+from repro.kernels.kmeans import (
+    kmeans_assign,
+    kmeans_assign_work,
+    kmeans_reduce,
+)
+from repro.kernels.hotspot import hotspot_step, hotspot_work
+from repro.kernels.nn import nn_distances, nn_work, nn_topk
+from repro.kernels.srad import (
+    srad_statistics,
+    srad_statistics_work,
+    srad_update,
+    srad_update_work,
+)
+
+__all__ = [
+    "dense_thread_rate",
+    "stream_thread_rate",
+    "vecadd",
+    "vecadd_work",
+    "gemm",
+    "gemm_work",
+    "potrf",
+    "potrf_work",
+    "trsm",
+    "trsm_work",
+    "syrk_update_work",
+    "gemm_update_work",
+    "kmeans_assign",
+    "kmeans_assign_work",
+    "kmeans_reduce",
+    "hotspot_step",
+    "hotspot_work",
+    "nn_distances",
+    "nn_topk",
+    "nn_work",
+    "srad_statistics",
+    "srad_statistics_work",
+    "srad_update",
+    "srad_update_work",
+]

@@ -1,0 +1,56 @@
+"""Shared cost-model constants and rate helpers for the kernels.
+
+Rates are per hardware thread.  The dense (vectorised) rate follows the
+device's peak; irregular kernels get empirical fractions of it, chosen so
+the applications land near the paper's reported magnitudes (see
+``DESIGN.md`` section "Modeled mechanisms").
+"""
+
+from __future__ import annotations
+
+from repro.device.spec import DeviceSpec, PHI_31SP
+
+
+def dense_thread_rate(spec: DeviceSpec = PHI_31SP) -> float:
+    """Peak per-thread FLOP rate for well-vectorised dense kernels."""
+    return spec.flops_per_thread_cycle * spec.clock_ghz * 1e9
+
+
+def stream_thread_rate(spec: DeviceSpec = PHI_31SP) -> float:
+    """Per-thread rate of scalar streaming kernels (the hBench add chain).
+
+    Calibrated so 40 iterations over a 16 MB array on 224 threads take
+    ~5 ms (paper Fig. 6 crossover): ≈ 0.15 Gop/s/thread.
+    """
+    # Expressed as a fraction of the clock so a faster simulated device
+    # speeds these kernels up proportionally.
+    return 0.13636 * spec.clock_ghz * 1e9
+
+
+#: Fraction of peak that blocked dense linear algebra achieves on KNC
+#: (MM tops out near 600 of 986 GFLOPS in Fig. 9a).
+DENSE_EFFICIENCY = 0.65
+
+#: Tile-size amortisation knee: a b x b tile runs at b / (b + TILE_HALF)
+#: of the asymptotic rate (per-tile pipeline ramp/drain).
+TILE_HALF = 50.0
+
+#: Per-thread rate fraction for the irregular, branchy Kmeans inner loop.
+KMEANS_RATE_FRACTION = 0.07
+
+#: Per-thread rate fraction for the Hotspot stencil arithmetic.
+HOTSPOT_RATE_FRACTION = 0.25
+
+#: Per-thread rate fraction for the NN distance computation plus its
+#: (scalar, branchy) neighbour-list maintenance.
+NN_RATE_FRACTION = 0.04
+
+#: Per-thread rate fraction for SRAD's diffusion arithmetic.
+SRAD_RATE_FRACTION = 0.18
+
+
+def tile_efficiency(tile_dim: int) -> float:
+    """Amortisation factor for a blocked kernel on tiles of ``tile_dim``."""
+    if tile_dim < 1:
+        raise ValueError(f"tile_dim must be >= 1, got {tile_dim}")
+    return tile_dim / (tile_dim + TILE_HALF)

@@ -1,0 +1,73 @@
+"""Hotspot: the Rodinia 2-D transient thermal simulation kernel.
+
+Each step solves one explicit Euler update of the heat equation on the
+chip grid: the new temperature of a cell depends on its own temperature,
+the four neighbours, and the local power dissipation.  Tiles exchange
+halo rows between iterations, which forces the synchronisation that makes
+the application non-overlappable (Fig. 4c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.compute import KernelWork
+from repro.device.spec import DeviceSpec, PHI_31SP
+from repro.errors import KernelError
+from repro.kernels.cost import HOTSPOT_RATE_FRACTION, dense_thread_rate
+
+#: Rodinia hotspot physical constants (simulation.c defaults).
+CAP_RATIO = 0.5
+RX = 1.0
+RY = 1.0
+RZ = 4.75
+AMB_TEMP = 80.0
+
+
+def hotspot_step(
+    temp: np.ndarray,
+    power: np.ndarray,
+    out: np.ndarray | None = None,
+    step: float = 0.001,
+) -> np.ndarray:
+    """One explicit thermal update with clamped (replicated) borders."""
+    if temp.shape != power.shape or temp.ndim != 2:
+        raise KernelError(
+            f"grid mismatch: temp {temp.shape}, power {power.shape}"
+        )
+    padded = np.pad(temp, 1, mode="edge")
+    north = padded[:-2, 1:-1]
+    south = padded[2:, 1:-1]
+    west = padded[1:-1, :-2]
+    east = padded[1:-1, 2:]
+    delta = step * CAP_RATIO * (
+        power
+        + (north + south - 2.0 * temp) / RY
+        + (east + west - 2.0 * temp) / RX
+        + (AMB_TEMP - temp) / RZ
+    )
+    if out is None:
+        out = np.empty_like(temp)
+    np.add(temp, delta, out=out)
+    return out
+
+
+def hotspot_work(
+    rows: int,
+    cols: int,
+    itemsize: int = 4,
+    spec: DeviceSpec = PHI_31SP,
+) -> KernelWork:
+    """Work descriptor for one stencil step over a ``rows x cols`` tile."""
+    if rows < 1 or cols < 1:
+        raise KernelError(f"tile dims must be >= 1, got {(rows, cols)}")
+    cells = float(rows) * cols
+    return KernelWork(
+        name="hotspot_step",
+        flops=12.0 * cells,
+        # temp in (with halo reuse), power in, temp out.
+        bytes_touched=3.0 * cells * itemsize,
+        thread_rate=HOTSPOT_RATE_FRACTION * dense_thread_rate(spec),
+        cache_sensitive=True,
+        parallel_width=float(rows),  # row-parallel stencil
+    )

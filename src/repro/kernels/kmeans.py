@@ -1,0 +1,93 @@
+"""K-means kernels (the Rodinia/MineBench benchmark).
+
+One task assigns a tile of points to the nearest centroid and produces
+partial sums/counts; the host reduces partials and forms new centroids
+between iterations (the Fig. 4d execution flow).
+
+The device kernel allocates per-thread scratch for its partial sums on
+every invocation — the temporary-allocation overhead the paper identifies
+as the reason streamed Kmeans wins despite being non-overlappable
+(Sec. V-B1); ``kmeans_assign_work`` therefore carries ``temp_alloc_bytes``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.compute import KernelWork
+from repro.device.spec import DeviceSpec, PHI_31SP
+from repro.errors import KernelError
+from repro.kernels.cost import KMEANS_RATE_FRACTION, dense_thread_rate
+
+#: Feature count used by the Rodinia/MineBench input the paper clusters.
+DEFAULT_FEATURES = 34
+
+
+def kmeans_assign(
+    points: np.ndarray, centroids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Assign each point to its nearest centroid.
+
+    Returns ``(labels, partial_sums, partial_counts)`` where
+    ``partial_sums[k]`` is the coordinate sum of this tile's points in
+    cluster ``k``.
+    """
+    if points.ndim != 2 or centroids.ndim != 2:
+        raise KernelError("kmeans_assign expects 2-D points and centroids")
+    if points.shape[1] != centroids.shape[1]:
+        raise KernelError(
+            f"feature mismatch: points {points.shape}, "
+            f"centroids {centroids.shape}"
+        )
+    # Squared euclidean distances via the expansion trick (no sqrt needed
+    # for argmin).
+    cross = points @ centroids.T
+    c_norm = np.einsum("ij,ij->i", centroids, centroids)
+    labels = np.argmin(c_norm[None, :] - 2.0 * cross, axis=1)
+    k = centroids.shape[0]
+    counts = np.bincount(labels, minlength=k).astype(np.int64)
+    sums = np.zeros_like(centroids, dtype=np.float64)
+    np.add.at(sums, labels, points)
+    return labels, sums, counts
+
+
+def kmeans_reduce(
+    partial_sums: list[np.ndarray],
+    partial_counts: list[np.ndarray],
+    previous: np.ndarray,
+) -> np.ndarray:
+    """Host-side reduction: new centroids from tile partials.
+
+    Empty clusters keep their previous centroid (MineBench behaviour).
+    """
+    if not partial_sums or len(partial_sums) != len(partial_counts):
+        raise KernelError("mismatched or empty partial lists")
+    sums = np.sum(partial_sums, axis=0)
+    counts = np.sum(partial_counts, axis=0)
+    centroids = previous.astype(np.float64, copy=True)
+    nonempty = counts > 0
+    centroids[nonempty] = sums[nonempty] / counts[nonempty][:, None]
+    return centroids
+
+
+def kmeans_assign_work(
+    n_points: int,
+    n_clusters: int,
+    n_features: int = DEFAULT_FEATURES,
+    itemsize: int = 4,
+    spec: DeviceSpec = PHI_31SP,
+) -> KernelWork:
+    """Work descriptor for one tile-assignment invocation."""
+    if min(n_points, n_clusters, n_features) < 1:
+        raise KernelError("kmeans dimensions must all be >= 1")
+    flops = 3.0 * n_points * n_clusters * n_features  # sub, mul, add
+    flops += 2.0 * n_points * n_features  # partial sum accumulation
+    return KernelWork(
+        name="kmeans_assign",
+        flops=flops,
+        bytes_touched=float(n_points * n_features) * itemsize,
+        thread_rate=KMEANS_RATE_FRACTION * dense_thread_rate(spec),
+        # Per-thread partial-sum scratch, reallocated every invocation —
+        # the per-thread term of the alloc model dominates (Fig. 9c).
+        temp_alloc_bytes=n_clusters * n_features * 8,
+    )

@@ -1,0 +1,57 @@
+"""Blocked matrix multiplication (the hStreams-SDK MM benchmark).
+
+A task computes one ``C`` tile from a row block of ``A`` and a column
+block of ``B``: ``C[i,j] += A[i,:] @ B[:,j]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.compute import KernelWork
+from repro.device.spec import DeviceSpec, PHI_31SP
+from repro.errors import KernelError
+from repro.kernels.cost import DENSE_EFFICIENCY, dense_thread_rate, tile_efficiency
+
+
+def gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    accumulate: bool = True,
+) -> np.ndarray:
+    """``C (+)= A @ B`` in place on ``c``."""
+    if a.ndim != 2 or b.ndim != 2 or c.ndim != 2:
+        raise KernelError("gemm expects 2-D operands")
+    if a.shape[1] != b.shape[0] or c.shape != (a.shape[0], b.shape[1]):
+        raise KernelError(
+            f"gemm shape mismatch: {a.shape} @ {b.shape} -> {c.shape}"
+        )
+    if accumulate:
+        c += a @ b
+    else:
+        np.matmul(a, b, out=c)
+    return c
+
+
+def gemm_work(
+    m: int,
+    n: int,
+    k: int,
+    itemsize: int = 8,
+    spec: DeviceSpec = PHI_31SP,
+) -> KernelWork:
+    """Work descriptor for a dense ``m x k @ k x n`` product."""
+    if min(m, n, k) < 1:
+        raise KernelError(f"gemm dims must be >= 1, got {(m, n, k)}")
+    # The effective blocking dimension for amortisation purposes is the
+    # smallest extent (pipeline ramp happens per panel).
+    block = min(m, n, k)
+    return KernelWork(
+        name="gemm",
+        flops=2.0 * m * n * k,
+        bytes_touched=float(m * k + k * n + 2 * m * n) * itemsize,
+        thread_rate=dense_thread_rate(spec),
+        efficiency=DENSE_EFFICIENCY * tile_efficiency(block),
+        parallel_width=float(m),  # rows of the output tile
+    )

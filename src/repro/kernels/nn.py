@@ -1,0 +1,65 @@
+"""Nearest Neighbor: distance evaluation plus host-side top-k merge.
+
+The device kernel computes the Euclidean distance of every record in a
+tile to the target coordinate; the host keeps the global list of the k
+nearest (the Rodinia ``nn`` structure, Fig. 4e — same flow as MM, fully
+overlappable and transfer-bound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.compute import KernelWork
+from repro.device.spec import DeviceSpec, PHI_31SP
+from repro.errors import KernelError
+from repro.kernels.cost import NN_RATE_FRACTION, dense_thread_rate
+
+
+def nn_distances(
+    records: np.ndarray, target: tuple[float, float]
+) -> np.ndarray:
+    """Euclidean distances of ``records`` (n x 2: lat, lng) to ``target``."""
+    if records.ndim != 2 or records.shape[1] != 2:
+        raise KernelError(
+            f"records must be (n, 2) lat/lng pairs, got {records.shape}"
+        )
+    lat, lng = target
+    d = records - np.array([lat, lng], dtype=records.dtype)
+    return np.sqrt(d[:, 0] ** 2 + d[:, 1] ** 2)
+
+
+def nn_topk(
+    distances: np.ndarray, k: int, offset: int = 0
+) -> list[tuple[float, int]]:
+    """The ``k`` smallest distances as (distance, global_index) pairs."""
+    if k < 1:
+        raise KernelError(f"k must be >= 1, got {k}")
+    k = min(k, distances.size)
+    idx = np.argpartition(distances, k - 1)[:k]
+    pairs = sorted((float(distances[i]), int(i) + offset) for i in idx)
+    return pairs
+
+
+def merge_topk(
+    partials: list[list[tuple[float, int]]], k: int
+) -> list[tuple[float, int]]:
+    """Merge per-tile top-k lists into the global top-k."""
+    merged = sorted(p for partial in partials for p in partial)
+    return merged[:k]
+
+
+def nn_work(
+    n_records: int,
+    itemsize: int = 4,
+    spec: DeviceSpec = PHI_31SP,
+) -> KernelWork:
+    """Work descriptor for the distance kernel over ``n_records``."""
+    if n_records < 1:
+        raise KernelError(f"n_records must be >= 1, got {n_records}")
+    return KernelWork(
+        name="nn_distances",
+        flops=6.0 * n_records,  # 2 sub, 2 mul, add, sqrt
+        bytes_touched=3.0 * n_records * itemsize,  # lat+lng in, dist out
+        thread_rate=NN_RATE_FRACTION * dense_thread_rate(spec),
+    )

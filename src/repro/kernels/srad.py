@@ -1,0 +1,126 @@
+"""SRAD: Speckle Reducing Anisotropic Diffusion (Rodinia, v1 structure).
+
+Each iteration runs two device kernels separated by host synchronisation
+(the Fig. 4f flow):
+
+1. **statistics** — reduce the image to its mean and mean-square, giving
+   the speckle-scale ``q0sqr``;
+2. **update** — compute the diffusion coefficient from the local
+   gradients and apply the diffusion step.
+
+The update kernel allocates its four directional-derivative scratch
+arrays on every invocation (as the Rodinia OpenMP offload port does),
+which is the temporary-allocation behaviour our model uses to explain the
+paper's "streamed SRAD wins on large datasets" anomaly: the scratch is
+proportional to the tile, so its first-touch cost shrinks and
+parallelises across places in the streamed version.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.compute import KernelWork
+from repro.device.spec import DeviceSpec, PHI_31SP
+from repro.errors import KernelError
+from repro.kernels.cost import SRAD_RATE_FRACTION, dense_thread_rate
+
+
+def srad_statistics(image: np.ndarray) -> tuple[float, float]:
+    """Partial reduction of one tile: returns ``(sum, sum_of_squares)``."""
+    if image.ndim != 2:
+        raise KernelError(f"image tile must be 2-D, got {image.shape}")
+    data = image.astype(np.float64, copy=False)
+    return float(data.sum()), float((data * data).sum())
+
+
+def q0sqr_from_stats(total: float, total_sq: float, count: int) -> float:
+    """Host-side combination of tile statistics into ``q0sqr``."""
+    if count < 1:
+        raise KernelError(f"count must be >= 1, got {count}")
+    mean = total / count
+    if mean == 0.0:
+        raise KernelError("q0sqr undefined for an all-zero image")
+    variance = total_sq / count - mean * mean
+    return variance / (mean * mean)
+
+
+def srad_update(
+    image: np.ndarray,
+    q0sqr: float,
+    lam: float = 0.5,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """One SRAD diffusion step on a tile with clamped borders."""
+    if image.ndim != 2:
+        raise KernelError(f"image tile must be 2-D, got {image.shape}")
+    if not 0.0 < lam <= 1.0:
+        raise KernelError(f"lambda must lie in (0, 1], got {lam}")
+    j = image.astype(np.float64, copy=False)
+    padded = np.pad(j, 1, mode="edge")
+    dn = padded[:-2, 1:-1] - j
+    ds = padded[2:, 1:-1] - j
+    dw = padded[1:-1, :-2] - j
+    de = padded[1:-1, 2:] - j
+
+    g2 = (dn**2 + ds**2 + dw**2 + de**2) / (j * j)
+    l_ = (dn + ds + dw + de) / j
+    num = 0.5 * g2 - (1.0 / 16.0) * (l_ * l_)
+    den = 1.0 + 0.25 * l_
+    qsqr = num / (den * den)
+    c = 1.0 / (1.0 + (qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr)))
+    np.clip(c, 0.0, 1.0, out=c)
+
+    # Divergence: southern/eastern coefficients come from the neighbours.
+    c_pad = np.pad(c, 1, mode="edge")
+    c_s = c_pad[2:, 1:-1]
+    c_e = c_pad[1:-1, 2:]
+    div = c_s * ds + c * dn + c_e * de + c * dw
+    result = j + (lam / 4.0) * div
+    if out is None:
+        return result.astype(image.dtype, copy=False)
+    out[:] = result.astype(image.dtype, copy=False)
+    return out
+
+
+def srad_statistics_work(
+    rows: int,
+    cols: int,
+    itemsize: int = 4,
+    spec: DeviceSpec = PHI_31SP,
+) -> KernelWork:
+    """Work descriptor for the statistics reduction over a tile."""
+    if rows < 1 or cols < 1:
+        raise KernelError(f"tile dims must be >= 1, got {(rows, cols)}")
+    cells = float(rows) * cols
+    return KernelWork(
+        name="srad_statistics",
+        flops=3.0 * cells,
+        bytes_touched=cells * itemsize,
+        thread_rate=SRAD_RATE_FRACTION * dense_thread_rate(spec),
+        serial_time=2e-6,  # final reduction across the team
+    )
+
+
+def srad_update_work(
+    rows: int,
+    cols: int,
+    itemsize: int = 4,
+    spec: DeviceSpec = PHI_31SP,
+) -> KernelWork:
+    """Work descriptor for the diffusion update over a tile."""
+    if rows < 1 or cols < 1:
+        raise KernelError(f"tile dims must be >= 1, got {(rows, cols)}")
+    cells = float(rows) * cols
+    return KernelWork(
+        name="srad_update",
+        flops=40.0 * cells,
+        bytes_touched=2.0 * cells * itemsize,
+        thread_rate=SRAD_RATE_FRACTION * dense_thread_rate(spec),
+        cache_sensitive=True,
+        # Four directional-derivative scratch arrays per invocation: one
+        # shared arena allocation whose cost is first-touch paging, not
+        # per-thread team setup.
+        temp_alloc_bytes=int(4 * cells * itemsize),
+        temp_alloc_per_thread=False,
+    )

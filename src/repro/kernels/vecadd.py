@@ -1,0 +1,52 @@
+"""The hBench microbenchmark kernel: ``B[i] = A[i] + alpha``, iterated.
+
+The iteration count only controls compute intensity (the add chain runs
+``iterations`` times over cached data), which is how the paper sweeps the
+dominant-transfer / dominant-kernel regimes of Fig. 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.compute import KernelWork
+from repro.device.spec import DeviceSpec, PHI_31SP
+from repro.errors import KernelError
+from repro.kernels.cost import stream_thread_rate
+
+
+def vecadd(
+    a: np.ndarray, alpha: float, iterations: int, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Compute ``B = A + alpha`` the way the hBench kernel does.
+
+    The device kernel re-evaluates the addition ``iterations`` times; the
+    result is independent of the count, so one vectorised pass suffices
+    for the functional output.
+    """
+    if iterations < 1:
+        raise KernelError(f"iterations must be >= 1, got {iterations}")
+    if out is None:
+        return a + alpha
+    np.add(a, alpha, out=out)
+    return out
+
+
+def vecadd_work(
+    n: int,
+    iterations: int,
+    itemsize: int = 4,
+    spec: DeviceSpec = PHI_31SP,
+) -> KernelWork:
+    """Work descriptor for one hBench kernel invocation on ``n`` elements."""
+    if n < 0:
+        raise KernelError(f"n must be >= 0, got {n}")
+    if iterations < 1:
+        raise KernelError(f"iterations must be >= 1, got {iterations}")
+    return KernelWork(
+        name="vecadd",
+        flops=float(n) * iterations,
+        # A is read once and B written once; the iterated adds hit cache.
+        bytes_touched=2.0 * n * itemsize,
+        thread_rate=stream_thread_rate(spec),
+    )

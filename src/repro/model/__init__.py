@@ -1,0 +1,35 @@
+"""Analytical performance models.
+
+The related work the paper builds on (Gomez-Luna et al., van Werkhoven et
+al., Liu et al.) models streamed execution analytically; the paper itself
+leaves "using a model on Phi" as future work.  This subpackage provides
+that future work for our platform model:
+
+* :mod:`repro.model.transfer` — closed-form transfer times;
+* :mod:`repro.model.overlap` — serial / ideal / streamed time predictions
+  (the Fig. 6 lines) and dominance classification;
+* :mod:`repro.model.streams` — the optimal-number-of-streams estimator in
+  the style of Gomez-Luna et al., adapted to a half-duplex link.
+"""
+
+from repro.model.transfer import TransferModel
+from repro.model.overlap import OverlapModel, Regime
+from repro.model.streams import optimal_streams, streamed_time_estimate
+from repro.model.validation import (
+    ValidationPoint,
+    max_rel_error,
+    validate_overlap_model,
+    validation_report,
+)
+
+__all__ = [
+    "TransferModel",
+    "OverlapModel",
+    "Regime",
+    "optimal_streams",
+    "streamed_time_estimate",
+    "ValidationPoint",
+    "validate_overlap_model",
+    "max_rel_error",
+    "validation_report",
+]

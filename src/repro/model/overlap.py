@@ -1,0 +1,94 @@
+"""Serial / ideal / streamed predictions for a (H2D, EXE, D2H) pipeline.
+
+Implements the van-Werkhoven-style bounds the paper plots in Fig. 6:
+
+* ``serial``  — no overlap: ``t_h2d + t_exe + t_d2h``;
+* ``ideal``   — perfect overlap.  On a full-duplex device this is
+  ``max(t_h2d, t_exe, t_d2h)``; on Phi, where the two transfer
+  directions share the link, it is ``max(t_h2d + t_d2h, t_exe)``;
+* ``streamed(n)`` — n-stream software pipeline: the link stays the
+  serial resource, each stream's chunks flow through it, and the last
+  chunk's compute and return trail the link drain.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.device.spec import DeviceSpec, PHI_31SP
+from repro.errors import ConfigurationError
+
+
+class Regime(enum.Enum):
+    """Which stage dominates (Gomez-Luna et al. terminology, Fig. 6)."""
+
+    DOMINANT_TRANSFERS = "dominant-transfers"
+    DOMINANT_KERNEL = "dominant-kernel"
+    BALANCED = "balanced"
+
+
+@dataclass(frozen=True)
+class OverlapModel:
+    """Closed-form pipeline-time predictions."""
+
+    t_h2d: float
+    t_exe: float
+    t_d2h: float
+    spec: DeviceSpec = PHI_31SP
+
+    def __post_init__(self) -> None:
+        if min(self.t_h2d, self.t_exe, self.t_d2h) < 0:
+            raise ConfigurationError("stage times must be >= 0")
+
+    @property
+    def t_transfers(self) -> float:
+        return self.t_h2d + self.t_d2h
+
+    def serial(self) -> float:
+        """No overlap at all (single stream, single task)."""
+        return self.t_h2d + self.t_exe + self.t_d2h
+
+    def ideal(self) -> float:
+        """Perfect overlap given the link's duplex capability."""
+        if self.spec.link.full_duplex:
+            return max(self.t_h2d, self.t_exe, self.t_d2h)
+        return max(self.t_transfers, self.t_exe)
+
+    def streamed(self, streams: int) -> float:
+        """n-stream pipeline estimate with *partitioned* resources.
+
+        On Phi each stream owns ``1/n`` of the cores, so a stream's
+        kernel chunk takes the full ``t_exe`` (1/n of the work at 1/n of
+        the rate) and the n kernels run concurrently.  Two bounds govern
+        the makespan:
+
+        * link bound — the serial link must move everything, and the
+          trailing stream's kernel chunk cannot hide (``t_exe / n``);
+        * compute bound — the trailing stream's inputs arrive when the
+          H2D phase drains (``t_h2d``), its kernel then takes ``t_exe``,
+          and its return chunk follows (``t_d2h / n``).
+        """
+        if streams < 1:
+            raise ConfigurationError(f"streams must be >= 1, got {streams}")
+        n = streams
+        chunk_exe = self.t_exe / n
+        chunk_d2h = self.t_d2h / n
+        if self.spec.link.full_duplex:
+            link_bound = max(self.t_h2d, self.t_d2h) + chunk_exe
+        else:
+            link_bound = self.t_transfers + chunk_exe
+        compute_bound = self.t_h2d + self.t_exe + chunk_d2h
+        return max(link_bound, compute_bound)
+
+    def regime(self, tolerance: float = 0.1) -> Regime:
+        """Classify dominance (the Fig. 6 crossover)."""
+        if self.t_transfers > (1 + tolerance) * self.t_exe:
+            return Regime.DOMINANT_TRANSFERS
+        if self.t_exe > (1 + tolerance) * self.t_transfers:
+            return Regime.DOMINANT_KERNEL
+        return Regime.BALANCED
+
+    def speedup_bound(self) -> float:
+        """Upper bound on the streamed speedup over serial execution."""
+        return self.serial() / self.ideal()

@@ -1,0 +1,60 @@
+"""Optimal-stream-count estimation (Gomez-Luna et al. style).
+
+For an overlappable application split over ``n`` streams, the model time
+has a pipeline-overlap term that shrinks with ``n`` and an overhead term
+(per-chunk launch latency and per-stream join cost) that grows with
+``n``; the optimum balances them.  The paper proposes exactly this
+trade-off qualitatively in Sec. V-B2; here it is made quantitative for
+the simulated device.
+"""
+
+from __future__ import annotations
+
+from repro.device.spec import DeviceSpec, PHI_31SP
+from repro.errors import ConfigurationError
+from repro.model.overlap import OverlapModel
+
+
+def streamed_time_estimate(
+    t_h2d: float,
+    t_exe: float,
+    t_d2h: float,
+    streams: int,
+    spec: DeviceSpec = PHI_31SP,
+) -> float:
+    """Predicted makespan for ``streams`` streams, overheads included."""
+    model = OverlapModel(t_h2d, t_exe, t_d2h, spec)
+    base = model.streamed(streams)
+    per_chunk = spec.overheads.launch + 3 * spec.overheads.dispatch
+    join = spec.overheads.sync_per_stream * streams
+    return base + per_chunk + join
+
+
+def optimal_streams(
+    t_h2d: float,
+    t_exe: float,
+    t_d2h: float,
+    spec: DeviceSpec = PHI_31SP,
+    max_streams: int | None = None,
+) -> tuple[int, float]:
+    """The stream count minimising the estimate, and that minimum.
+
+    Only partition counts that keep whole cores per partition are
+    considered (the paper's Sec. V-C pruning rule).
+    """
+    if max_streams is None:
+        max_streams = spec.usable_cores
+    if max_streams < 1:
+        raise ConfigurationError(
+            f"max_streams must be >= 1, got {max_streams}"
+        )
+    candidates = [
+        n
+        for n in range(1, max_streams + 1)
+        if spec.usable_cores % n == 0
+    ]
+    best = min(
+        candidates,
+        key=lambda n: streamed_time_estimate(t_h2d, t_exe, t_d2h, n, spec),
+    )
+    return best, streamed_time_estimate(t_h2d, t_exe, t_d2h, best, spec)

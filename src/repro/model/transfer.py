@@ -1,0 +1,51 @@
+"""Closed-form transfer-time model for the (half-duplex) PCIe link."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.spec import DeviceSpec, PHI_31SP
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Predicts link occupancy for chunked transfers.
+
+    ``time(nbytes, chunks)`` is the classic latency/bandwidth affine
+    model: each chunk pays the setup latency, so splitting a transfer
+    into ``c`` chunks costs ``c * latency`` extra — the term that makes
+    very fine task granularities lose (Sec. V-B2).
+    """
+
+    spec: DeviceSpec = PHI_31SP
+
+    def time(self, nbytes: int, chunks: int = 1) -> float:
+        """Total link time to move ``nbytes`` in ``chunks`` pieces."""
+        if chunks < 1:
+            raise ConfigurationError(f"chunks must be >= 1, got {chunks}")
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        link = self.spec.link
+        return chunks * link.latency + nbytes / link.bandwidth
+
+    def round_trip(self, out_bytes: int, back_bytes: int,
+                   chunks: int = 1) -> float:
+        """H2D plus D2H.  On Phi the directions serialise, so the round
+        trip is simply the sum (the Fig. 5 CC line)."""
+        total = self.time(out_bytes, chunks) + self.time(back_bytes, chunks)
+        if self.spec.link.full_duplex:
+            return max(
+                self.time(out_bytes, chunks), self.time(back_bytes, chunks)
+            )
+        return total
+
+    def bandwidth_at(self, chunk_bytes: int) -> float:
+        """Effective bandwidth for transfers chunked at ``chunk_bytes``."""
+        if chunk_bytes <= 0:
+            raise ConfigurationError(
+                f"chunk_bytes must be positive, got {chunk_bytes}"
+            )
+        return chunk_bytes / self.time(chunk_bytes, 1)

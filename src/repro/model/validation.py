@@ -1,0 +1,87 @@
+"""Model-vs-simulation validation.
+
+The analytical models of :mod:`repro.model` are only useful if they track
+the simulated runtime.  This module sweeps hBench configurations,
+compares the model's streamed-time prediction against the simulator, and
+reports per-point relative errors — the "fine analytical performance
+model" the paper defers to future work, validated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.hbench import HBench
+from repro.errors import ConfigurationError
+from repro.model.streams import streamed_time_estimate
+from repro.util.tables import ascii_table
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One (configuration, prediction, measurement) triple."""
+
+    iterations: int
+    streams: int
+    predicted: float
+    simulated: float
+
+    @property
+    def rel_error(self) -> float:
+        return abs(self.predicted - self.simulated) / self.simulated
+
+
+def validate_overlap_model(
+    iterations: tuple[int, ...] = (20, 30, 40, 50, 60),
+    streams: tuple[int, ...] = (2, 4, 8),
+) -> list[ValidationPoint]:
+    """Predict and simulate the hBench streamed pipeline over a grid."""
+    if not iterations or not streams:
+        raise ConfigurationError("need at least one iteration/stream value")
+    hb = HBench()
+    points = []
+    for n in streams:
+        for it in iterations:
+            predicted = streamed_time_estimate(
+                hb.data_time() / 2,
+                hb.kernel_time(it),
+                hb.data_time() / 2,
+                streams=n,
+            )
+            simulated = hb.streamed_time(it, streams=n)
+            points.append(
+                ValidationPoint(
+                    iterations=it,
+                    streams=n,
+                    predicted=predicted,
+                    simulated=simulated,
+                )
+            )
+    return points
+
+
+def max_rel_error(points: list[ValidationPoint]) -> float:
+    if not points:
+        raise ConfigurationError("no validation points")
+    return max(p.rel_error for p in points)
+
+
+def validation_report(points: list[ValidationPoint] | None = None) -> str:
+    """Render the validation grid as a table."""
+    if points is None:
+        points = validate_overlap_model()
+    rows = [
+        (
+            p.streams,
+            p.iterations,
+            p.predicted * 1e3,
+            p.simulated * 1e3,
+            f"{100 * p.rel_error:.1f}%",
+        )
+        for p in points
+    ]
+    return ascii_table(
+        ["streams", "iterations", "predicted [ms]", "simulated [ms]", "err"],
+        rows,
+        title="Overlap-model validation (hBench streamed pipeline)",
+    )

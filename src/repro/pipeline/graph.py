@@ -1,0 +1,81 @@
+"""Task graphs: a validated DAG of tasks over networkx."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import networkx as nx
+
+from repro.errors import PipelineError
+from repro.pipeline.task import Task
+
+
+class TaskGraph:
+    """A DAG of named tasks with ``after`` dependencies."""
+
+    def __init__(self, tasks: Iterable[Task] = ()) -> None:
+        self._graph = nx.DiGraph()
+        self._tasks: dict[str, Task] = {}
+        for task in tasks:
+            self.add(task)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    def add(self, task: Task) -> Task:
+        """Add ``task``; its ``after`` tasks must already be present."""
+        if task.name in self._tasks:
+            raise PipelineError(f"duplicate task name {task.name!r}")
+        for dep in task.after:
+            if dep not in self._tasks:
+                raise PipelineError(
+                    f"task {task.name!r} depends on unknown task {dep!r}"
+                )
+        self._tasks[task.name] = task
+        self._graph.add_node(task.name)
+        for dep in task.after:
+            self._graph.add_edge(dep, task.name)
+        return task
+
+    def task(self, name: str) -> Task:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise PipelineError(f"unknown task {name!r}") from None
+
+    def predecessors(self, name: str) -> list[Task]:
+        self.task(name)
+        return [self._tasks[p] for p in self._graph.predecessors(name)]
+
+    def validate(self) -> None:
+        """Raise if the graph has a cycle."""
+        if not nx.is_directed_acyclic_graph(self._graph):
+            cycle = nx.find_cycle(self._graph)
+            raise PipelineError(f"task graph has a cycle: {cycle}")
+
+    def topological(self) -> list[Task]:
+        """Tasks in a dependency-respecting order.
+
+        Uses lexicographic tie-breaking on insertion order so schedules
+        are deterministic.
+        """
+        self.validate()
+        order_index = {name: i for i, name in enumerate(self._tasks)}
+        names = nx.lexicographical_topological_sort(
+            self._graph, key=lambda n: order_index[n]
+        )
+        return [self._tasks[n] for n in names]
+
+    @property
+    def critical_path_length(self) -> int:
+        """Number of tasks on the longest dependency chain."""
+        self.validate()
+        if not self._tasks:
+            return 0
+        return nx.dag_longest_path_length(self._graph) + 1

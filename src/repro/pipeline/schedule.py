@@ -1,0 +1,133 @@
+"""Scheduling: mapping tasks onto streams and enqueueing their actions.
+
+Two mapping policies cover the paper's usage:
+
+* ``ROUND_ROBIN`` — task ``i`` runs on stream ``i % S`` (the default for
+  independent tile sets: consecutive tiles land on different streams, so
+  their stages pipeline);
+* ``BLOCKED`` — tasks are split into ``S`` contiguous chunks (keeps
+  related tiles on one stream, e.g. for halo locality).
+
+Tasks may also pin themselves with ``stream_hint`` (used by the Cholesky
+port to keep a tile's owner stream stable across steps).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import PipelineError
+from repro.hstreams.action import Action
+from repro.hstreams.context import StreamContext
+from repro.pipeline.graph import TaskGraph
+from repro.pipeline.task import Task
+
+
+class MappingPolicy(enum.Enum):
+    """How tasks are distributed over streams."""
+
+    ROUND_ROBIN = "round_robin"
+    BLOCKED = "blocked"
+    #: Greedy load balancing: each task goes to the stream with the
+    #: least accumulated kernel work (flops).  Matters when tasks are
+    #: heterogeneous — e.g. Cholesky's mix of POTRF/TRSM/SYRK/GEMM.
+    LEAST_LOADED = "least_loaded"
+
+
+@dataclass
+class ScheduledTask:
+    """The actions one task produced."""
+
+    task: Task
+    stream: int
+    actions: list[Action] = field(default_factory=list)
+
+    @property
+    def final(self) -> Action:
+        return self.actions[-1]
+
+
+def _assign_streams(
+    tasks: list[Task], num_streams: int, policy: MappingPolicy
+) -> list[int]:
+    if num_streams < 1:
+        raise PipelineError(f"need at least one stream, got {num_streams}")
+    assignment = []
+    unpinned = [t for t in tasks if t.stream_hint is None]
+    chunk = -(-len(unpinned) // num_streams) if unpinned else 1
+    load = [0.0] * num_streams
+    unpinned_index = 0
+    for task in tasks:
+        if task.stream_hint is not None:
+            if not 0 <= task.stream_hint < num_streams:
+                raise PipelineError(
+                    f"task {task.name!r} pins stream {task.stream_hint} "
+                    f"but only {num_streams} exist"
+                )
+            assignment.append(task.stream_hint)
+            load[task.stream_hint] += task.work.flops if task.work else 0.0
+            continue
+        if policy is MappingPolicy.ROUND_ROBIN:
+            stream = unpinned_index % num_streams
+        elif policy is MappingPolicy.BLOCKED:
+            stream = min(unpinned_index // chunk, num_streams - 1)
+        elif policy is MappingPolicy.LEAST_LOADED:
+            stream = min(range(num_streams), key=load.__getitem__)
+        else:  # pragma: no cover - exhaustive enum
+            raise PipelineError(f"unknown policy {policy!r}")
+        assignment.append(stream)
+        load[stream] += task.work.flops if task.work else 0.0
+        unpinned_index += 1
+    return assignment
+
+
+def schedule_graph(
+    graph: TaskGraph,
+    ctx: StreamContext,
+    policy: MappingPolicy = MappingPolicy.ROUND_ROBIN,
+) -> dict[str, ScheduledTask]:
+    """Enqueue every task of ``graph`` into ``ctx``.
+
+    Tasks are enqueued in topological order.  A task's first action
+    depends on the final actions of all its ``after`` tasks; subsequent
+    actions follow via stream FIFO order.  Returns the per-task action
+    record keyed by task name.
+    """
+    tasks = graph.topological()
+    assignment = _assign_streams(tasks, ctx.num_streams, policy)
+    scheduled: dict[str, ScheduledTask] = {}
+
+    for task, stream_index in zip(tasks, assignment):
+        stream = ctx.stream(stream_index)
+        record = ScheduledTask(task=task, stream=stream_index)
+        deps = tuple(scheduled[d].final for d in task.after)
+        first = True
+
+        def enqueue_deps() -> tuple:
+            nonlocal first
+            if first:
+                first = False
+                return deps
+            return ()
+
+        for spec in task.h2d:
+            record.actions.append(
+                stream.h2d(
+                    spec.buffer, spec.offset, spec.count, deps=enqueue_deps()
+                )
+            )
+        if task.work is not None:
+            record.actions.append(
+                stream.invoke(task.work, fn=task.fn, deps=enqueue_deps())
+            )
+        for spec in task.d2h:
+            record.actions.append(
+                stream.d2h(
+                    spec.buffer, spec.offset, spec.count, deps=enqueue_deps()
+                )
+            )
+        if not record.actions:  # pragma: no cover - Task validates this
+            raise PipelineError(f"task {task.name!r} produced no actions")
+        scheduled[task.name] = record
+    return scheduled

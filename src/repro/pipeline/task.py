@@ -1,0 +1,71 @@
+"""Tasks: one tile's bundle of transfers and kernel work."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.device.compute import KernelWork
+from repro.errors import PipelineError
+from repro.hstreams.buffer import Buffer
+
+
+@dataclass(frozen=True)
+class TransferSpec:
+    """One transfer stage: a buffer element range."""
+
+    buffer: Buffer
+    offset: int = 0
+    count: int | None = None
+
+    def __post_init__(self) -> None:
+        # Validate the range eagerly so graph construction fails fast.
+        self.buffer.range_bytes(self.offset, self.count)
+
+
+def _as_spec(item: "Buffer | TransferSpec") -> TransferSpec:
+    if isinstance(item, TransferSpec):
+        return item
+    if isinstance(item, Buffer):
+        return TransferSpec(item)
+    raise PipelineError(
+        f"transfer must be a Buffer or TransferSpec, got {item!r}"
+    )
+
+
+@dataclass
+class Task:
+    """One schedulable unit: optional inputs, one kernel, optional outputs.
+
+    ``after`` lists names of tasks whose completion gates this task's
+    first action (inter-tile dependencies, e.g. Cholesky updates).
+    """
+
+    name: str
+    work: KernelWork | None = None
+    fn: Callable[[], None] | None = None
+    h2d: tuple[TransferSpec, ...] = ()
+    d2h: tuple[TransferSpec, ...] = ()
+    after: tuple[str, ...] = ()
+    #: Optional explicit stream assignment (overrides the policy).
+    stream_hint: int | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PipelineError("task name must be non-empty")
+        self.h2d = tuple(_as_spec(x) for x in self.h2d)
+        self.d2h = tuple(_as_spec(x) for x in self.d2h)
+        if self.work is None and not (self.h2d or self.d2h):
+            raise PipelineError(
+                f"task {self.name!r} has neither work nor transfers"
+            )
+        if self.fn is not None and self.work is None:
+            raise PipelineError(
+                f"task {self.name!r} has a kernel fn but no work descriptor"
+            )
+
+    @property
+    def stages(self) -> int:
+        """Number of actions this task will enqueue."""
+        return len(self.h2d) + (1 if self.work is not None else 0) + len(self.d2h)

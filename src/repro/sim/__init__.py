@@ -1,0 +1,57 @@
+"""A from-scratch discrete-event simulation (DES) engine.
+
+This subpackage implements the virtual-time substrate used by the device
+model and the streaming runtime.  It follows the classic process-based DES
+design (as popularised by SimPy, re-implemented here from scratch so the
+library is self-contained):
+
+* :class:`~repro.sim.core.Environment` owns the virtual clock and the event
+  heap;
+* :class:`~repro.sim.core.Event` is a one-shot occurrence with callbacks;
+* :class:`~repro.sim.process.Process` drives a generator coroutine that
+  ``yield``\\ s events to wait on;
+* :mod:`repro.sim.resources` provides contended resources (e.g. a PCIe link
+  or a core partition) and FIFO stores;
+* :mod:`repro.sim.sync` provides condition composition (all-of / any-of) and
+  barriers;
+* :mod:`repro.sim.monitor` provides utilisation probes used by the trace
+  subsystem to quantify overlap.
+
+Determinism: ties in time are broken by (priority, insertion order), so a
+given program always replays identically.
+"""
+
+from repro.sim.core import Environment, Event, Timeout, NORMAL, URGENT
+from repro.sim.process import Interrupt, Process
+from repro.sim.resources import (
+    Container,
+    PriorityResource,
+    Release,
+    Request,
+    Resource,
+    Store,
+)
+from repro.sim.sync import AllOf, AnyOf, Barrier, Condition
+from repro.sim.monitor import BusyMonitor, TimeSeries
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "NORMAL",
+    "URGENT",
+    "Process",
+    "Interrupt",
+    "Resource",
+    "PriorityResource",
+    "Request",
+    "Release",
+    "Store",
+    "Container",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Barrier",
+    "BusyMonitor",
+    "TimeSeries",
+]

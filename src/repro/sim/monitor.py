@@ -1,0 +1,93 @@
+"""Instrumentation: time series and resource busy-interval monitors.
+
+The trace subsystem uses :class:`BusyMonitor` to answer the questions the
+paper's evaluation asks: *how much did transfers overlap computation*, and
+*what fraction of time was each resource busy*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.core import Environment
+from repro.sim.resources import Request, Resource
+
+
+@dataclass
+class TimeSeries:
+    """An append-only series of (time, value) samples."""
+
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"samples must be time-ordered ({time} < {self.times[-1]})"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def mean(self) -> float:
+        """Time-weighted mean of the series (step interpolation)."""
+        if len(self.times) < 2:
+            raise ValueError("need at least two samples for a weighted mean")
+        total = 0.0
+        for i in range(len(self.times) - 1):
+            total += self.values[i] * (self.times[i + 1] - self.times[i])
+        span = self.times[-1] - self.times[0]
+        if span <= 0:
+            raise ValueError("series spans zero time")
+        return total / span
+
+
+class BusyMonitor:
+    """Tracks the intervals during which a :class:`Resource` is in use.
+
+    An interval opens when the user count rises from 0 and closes when it
+    returns to 0, so overlapping holders merge into one busy interval.
+    """
+
+    def __init__(self, env: Environment, resource: Resource) -> None:
+        self.env = env
+        self.resource = resource
+        #: Closed busy intervals as (start, end) pairs.
+        self.intervals: list[tuple[float, float]] = []
+        self._open_since: float | None = None
+        self._active = 0
+        resource.observers.append(self._observe)
+
+    def _observe(self, kind: str, time: float, request: Request) -> None:
+        if kind == "acquire":
+            if self._active == 0:
+                self._open_since = time
+            self._active += 1
+        elif kind == "release":
+            self._active -= 1
+            if self._active == 0:
+                assert self._open_since is not None
+                self.intervals.append((self._open_since, time))
+                self._open_since = None
+
+    def finalize(self, end_time: float | None = None) -> None:
+        """Close any open interval at ``end_time`` (default: now)."""
+        if self._open_since is not None:
+            end = self.env.now if end_time is None else end_time
+            self.intervals.append((self._open_since, end))
+            self._open_since = None
+            self._active = 0
+
+    @property
+    def busy_time(self) -> float:
+        """Total busy duration over all closed intervals."""
+        return sum(end - start for start, end in self.intervals)
+
+    def utilization(self, span: float | None = None) -> float:
+        """Busy fraction over ``span`` seconds (default: time elapsed)."""
+        total = self.env.now if span is None else span
+        if total <= 0:
+            raise ValueError("cannot compute utilization over zero time")
+        return self.busy_time / total

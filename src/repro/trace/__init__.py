@@ -1,0 +1,24 @@
+"""Measurement infrastructure: trace records, timelines, statistics."""
+
+from repro.trace.events import TraceEvent
+from repro.trace.timeline import Timeline, overlap_seconds
+from repro.trace.stats import mean_confidence, summarize
+from repro.trace.gantt import render_gantt
+from repro.trace.chrome import to_chrome_trace, write_chrome_trace
+from repro.trace.report import RunReport, run_report
+from repro.trace.energy import EnergyReport, energy_report
+
+__all__ = [
+    "RunReport",
+    "run_report",
+    "EnergyReport",
+    "energy_report",
+    "TraceEvent",
+    "Timeline",
+    "overlap_seconds",
+    "mean_confidence",
+    "summarize",
+    "render_gantt",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,50 @@
+"""Chrome-tracing export.
+
+Writes a trace as the Trace Event Format consumed by ``chrome://tracing``
+/ Perfetto, with one row per stream per device.  Useful for inspecting
+exactly how a streamed schedule filled the machine.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.trace.events import TraceEvent
+
+
+def to_chrome_trace(events: Sequence[TraceEvent]) -> list[dict]:
+    """Convert events to Trace Event Format 'complete' (ph=X) records.
+
+    Timestamps are microseconds, as the format requires.  ``pid`` is the
+    device, ``tid`` the stream.
+    """
+    records = []
+    for event in sorted(events, key=lambda e: e.start):
+        record = {
+            "name": event.label or event.kind.value,
+            "cat": event.kind.value,
+            "ph": "X",
+            "ts": event.start * 1e6,
+            "dur": event.duration * 1e6,
+            "pid": event.device,
+            "tid": event.stream,
+        }
+        if event.nbytes:
+            record["args"] = {"bytes": event.nbytes}
+        records.append(record)
+    return records
+
+
+def write_chrome_trace(
+    events: Sequence[TraceEvent], path: str | Path
+) -> Path:
+    """Write ``events`` as a Chrome-tracing JSON file; returns the path."""
+    path = Path(path)
+    payload = {
+        "traceEvents": to_chrome_trace(events),
+        "displayTimeUnit": "ms",
+    }
+    path.write_text(json.dumps(payload, indent=1))
+    return path

@@ -1,0 +1,92 @@
+"""Energy accounting over traces.
+
+Integrates the card power model over a run: base (idle) power for the
+whole makespan, per-thread active power while kernels run, and link
+power while transfers occupy PCIe.  Lets the benchmarks report the
+performance-per-Watt ratio the paper's introduction motivates
+heterogeneous platforms with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.device.spec import DeviceSpec, PHI_31SP
+from repro.errors import ReproError
+from repro.hstreams.enums import ActionKind
+from repro.trace.events import TraceEvent
+from repro.trace.timeline import Timeline
+from repro.util.tables import ascii_table
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one run on one device spec."""
+
+    makespan: float
+    idle_joules: float
+    compute_joules: float
+    link_joules: float
+
+    @property
+    def total_joules(self) -> float:
+        return self.idle_joules + self.compute_joules + self.link_joules
+
+    @property
+    def average_watts(self) -> float:
+        if self.makespan <= 0:
+            raise ReproError("zero-makespan run has no average power")
+        return self.total_joules / self.makespan
+
+    def gflops_per_watt(self, flops: float) -> float:
+        """Achieved GFLOP/s per Watt for ``flops`` of useful work."""
+        if flops <= 0:
+            raise ReproError("flops must be positive")
+        return (flops / self.makespan / 1e9) / self.average_watts
+
+    def to_table(self) -> str:
+        rows = [
+            ("makespan", f"{self.makespan * 1e3:.3f} ms"),
+            ("idle energy", f"{self.idle_joules:.3f} J"),
+            ("compute energy", f"{self.compute_joules:.3f} J"),
+            ("link energy", f"{self.link_joules:.3f} J"),
+            ("total energy", f"{self.total_joules:.3f} J"),
+            ("average power", f"{self.average_watts:.1f} W"),
+        ]
+        return ascii_table(["quantity", "value"], rows, title="energy report")
+
+
+def energy_report(
+    events: Sequence[TraceEvent],
+    spec: DeviceSpec = PHI_31SP,
+    num_devices: int = 1,
+) -> EnergyReport:
+    """Integrate ``spec``'s power model over a run's trace.
+
+    ``num_devices`` scales the idle power (every card burns its base
+    power for the whole run, which is why under-utilising a second card
+    can *cost* energy even when it saves time).
+    """
+    if not events:
+        raise ReproError("cannot account energy for an empty trace")
+    if num_devices < 1:
+        raise ReproError(f"num_devices must be >= 1, got {num_devices}")
+    timeline = Timeline(events)
+    makespan = timeline.makespan()
+    power = spec.power
+
+    compute_joules = sum(
+        e.duration * e.threads * power.active_watts_per_thread
+        for e in events
+        if e.kind is ActionKind.EXE
+    )
+    link_busy = timeline.filter(
+        kinds=(ActionKind.H2D, ActionKind.D2H)
+    ).busy_time()
+    return EnergyReport(
+        makespan=makespan,
+        idle_joules=makespan * power.idle_watts * num_devices,
+        compute_joules=compute_joules,
+        link_joules=link_busy * power.link_watts,
+    )

@@ -1,0 +1,46 @@
+"""Trace records emitted by the streaming runtime.
+
+Every completed action appends one :class:`TraceEvent` to its context's
+trace.  The timeline utilities aggregate these into busy intervals and
+overlap metrics — the quantities the paper's microbenchmark section
+reasons about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular runtime import
+    from repro.hstreams.enums import ActionKind
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One completed action on the simulated timeline."""
+
+    #: What the action did.
+    kind: "ActionKind"
+    #: Global stream id.
+    stream: int
+    #: Device index the action ran on / transferred to.
+    device: int
+    #: Start/end on the simulation clock (seconds).
+    start: float
+    end: float
+    #: Bytes moved (transfers) — 0 for kernels and markers.
+    nbytes: int = 0
+    #: Label (kernel or buffer name).
+    label: str = ""
+    #: Hardware threads occupied (kernels) — 0 for transfers/markers.
+    threads: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"trace event ends before it starts ({self.end} < {self.start})"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start

@@ -1,0 +1,80 @@
+"""ASCII Gantt rendering of a trace.
+
+Lets a terminal user *see* the temporal sharing the paper describes:
+one row per (stream, action-class) lane, time binned into columns.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ReproError
+from repro.hstreams.enums import ActionKind
+from repro.trace.events import TraceEvent
+from repro.util.units import fmt_time
+
+#: Glyph per action kind.
+_GLYPHS = {
+    ActionKind.H2D: ">",
+    ActionKind.D2H: "<",
+    ActionKind.EXE: "#",
+    ActionKind.MARKER: "|",
+}
+
+
+def render_gantt(
+    events: Sequence[TraceEvent],
+    width: int = 72,
+    lane_by: str = "stream",
+) -> str:
+    """Render ``events`` as an ASCII Gantt chart.
+
+    ``lane_by`` is ``"stream"`` (one row per stream) or ``"kind"`` (one
+    row per action class — handy for eyeballing transfer/compute
+    overlap).  Legend: ``>`` H2D, ``<`` D2H, ``#`` kernel, ``|`` marker.
+    """
+    if width < 10:
+        raise ReproError(f"width must be >= 10, got {width}")
+    if lane_by not in ("stream", "kind"):
+        raise ReproError(f"lane_by must be 'stream' or 'kind', got {lane_by!r}")
+    drawable = [e for e in events if e.duration > 0 or e.kind is ActionKind.MARKER]
+    if not drawable:
+        return "(empty trace)"
+
+    t0 = min(e.start for e in drawable)
+    t1 = max(e.end for e in drawable)
+    span = max(t1 - t0, 1e-12)
+
+    def lane_key(event: TraceEvent) -> str:
+        if lane_by == "stream":
+            return f"s{event.stream}"
+        return event.kind.value
+
+    lanes: dict[str, list[str]] = {}
+    for event in sorted(drawable, key=lambda e: (lane_key(e), e.start)):
+        row = lanes.setdefault(lane_key(event), [" "] * width)
+        lo = int((event.start - t0) / span * (width - 1))
+        hi = max(int((event.end - t0) / span * (width - 1)), lo)
+        glyph = _GLYPHS[event.kind]
+        for col in range(lo, hi + 1):
+            row[col] = glyph
+
+    label_width = max(len(k) for k in lanes)
+    lines = [
+        f"{key.rjust(label_width)} |{''.join(row)}|"
+        for key, row in sorted(
+            lanes.items(), key=lambda kv: _lane_sort_key(kv[0])
+        )
+    ]
+    footer = (
+        f"{' ' * label_width}  {fmt_time(0.0)}"
+        f"{' ' * (width - 16)}{fmt_time(span)}"
+    )
+    legend = ">: H2D  <: D2H  #: kernel  |: marker"
+    return "\n".join(lines + [footer, legend])
+
+
+def _lane_sort_key(label: str) -> tuple:
+    if label.startswith("s") and label[1:].isdigit():
+        return (0, int(label[1:]))
+    return (1, label)

@@ -1,0 +1,84 @@
+"""Run reports: utilisation and overlap summaries of a trace.
+
+Answers, for one streamed run, the questions the paper's analysis keeps
+asking: how busy was each place, how busy was the link, and how much
+transfer time hid under computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.errors import ReproError
+from repro.hstreams.enums import ActionKind
+from repro.trace.events import TraceEvent
+from repro.trace.timeline import Timeline
+from repro.util.tables import ascii_table
+from repro.util.units import fmt_bytes, fmt_time
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Aggregated facts about one run's trace."""
+
+    makespan: float
+    kernel_busy: float
+    transfer_busy: float
+    overlap: float
+    bytes_moved: int
+    #: Busy seconds per stream (kernels only).
+    stream_busy: dict[int, float]
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Fraction of transfer time hidden under kernels."""
+        if self.transfer_busy == 0:
+            return 0.0
+        return self.overlap / self.transfer_busy
+
+    @property
+    def link_utilization(self) -> float:
+        if self.makespan == 0:
+            return 0.0
+        return self.transfer_busy / self.makespan
+
+    def to_table(self) -> str:
+        rows = [
+            ("makespan", fmt_time(self.makespan)),
+            ("kernel busy (union)", fmt_time(self.kernel_busy)),
+            ("transfer busy", fmt_time(self.transfer_busy)),
+            ("transfer/compute overlap", fmt_time(self.overlap)),
+            ("overlap fraction", f"{100 * self.overlap_fraction:.1f}%"),
+            ("link utilization", f"{100 * self.link_utilization:.1f}%"),
+            ("bytes moved", fmt_bytes(self.bytes_moved)),
+        ]
+        per_stream = [
+            (f"stream {sid} kernel busy", fmt_time(busy))
+            for sid, busy in sorted(self.stream_busy.items())
+        ]
+        return ascii_table(
+            ["quantity", "value"], rows + per_stream, title="run report"
+        )
+
+
+def run_report(events: Sequence[TraceEvent]) -> RunReport:
+    """Build a :class:`RunReport` from a trace."""
+    if not events:
+        raise ReproError("cannot report on an empty trace")
+    timeline = Timeline(events)
+    kernels = timeline.filter(kinds=(ActionKind.EXE,))
+    transfers = timeline.filter(kinds=(ActionKind.H2D, ActionKind.D2H))
+    stream_busy: dict[int, float] = {}
+    for event in kernels.events:
+        stream_busy[event.stream] = (
+            stream_busy.get(event.stream, 0.0) + event.duration
+        )
+    return RunReport(
+        makespan=timeline.makespan(),
+        kernel_busy=kernels.busy_time(),
+        transfer_busy=transfers.busy_time(),
+        overlap=timeline.transfer_compute_overlap(),
+        bytes_moved=timeline.bytes_moved(),
+        stream_busy=stream_busy,
+    )

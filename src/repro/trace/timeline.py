@@ -1,0 +1,106 @@
+"""Timeline analysis: busy intervals and overlap metrics.
+
+The paper's temporal-sharing analysis (Fig. 6) reasons about how much of
+the data-transfer time hides under kernel execution.  Given a context's
+trace, this module computes exactly that: merged busy intervals per action
+class and the overlap between classes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.hstreams.enums import ActionKind
+from repro.trace.events import TraceEvent
+
+Interval = tuple[float, float]
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> list[Interval]:
+    """Merge overlapping/adjacent intervals into a disjoint sorted list."""
+    merged: list[Interval] = []
+    for start, end in sorted(intervals):
+        if end < start:
+            raise ValueError(f"invalid interval ({start}, {end})")
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def overlap_seconds(
+    a: Iterable[Interval], b: Iterable[Interval]
+) -> float:
+    """Total time covered by both interval sets simultaneously."""
+    ma, mb = merge_intervals(a), merge_intervals(b)
+    total = 0.0
+    i = j = 0
+    while i < len(ma) and j < len(mb):
+        lo = max(ma[i][0], mb[j][0])
+        hi = min(ma[i][1], mb[j][1])
+        if lo < hi:
+            total += hi - lo
+        if ma[i][1] < mb[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+class Timeline:
+    """Busy-interval view over a trace."""
+
+    def __init__(self, events: Sequence[TraceEvent]) -> None:
+        self.events = list(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def filter(
+        self,
+        kinds: Iterable[ActionKind] | None = None,
+        device: int | None = None,
+        stream: int | None = None,
+    ) -> "Timeline":
+        """A sub-timeline matching the given criteria."""
+        kindset = set(kinds) if kinds is not None else None
+        return Timeline(
+            [
+                e
+                for e in self.events
+                if (kindset is None or e.kind in kindset)
+                and (device is None or e.device == device)
+                and (stream is None or e.stream == stream)
+            ]
+        )
+
+    def intervals(self) -> list[Interval]:
+        """Merged busy intervals of this timeline's events."""
+        return merge_intervals((e.start, e.end) for e in self.events)
+
+    def busy_time(self) -> float:
+        return sum(end - start for start, end in self.intervals())
+
+    def makespan(self) -> float:
+        """Last end minus first start (0 for an empty timeline)."""
+        if not self.events:
+            return 0.0
+        return max(e.end for e in self.events) - min(
+            e.start for e in self.events
+        )
+
+    def transfer_compute_overlap(self) -> float:
+        """Seconds during which a transfer and a kernel ran concurrently."""
+        transfers = self.filter(
+            kinds=(ActionKind.H2D, ActionKind.D2H)
+        ).intervals()
+        kernels = self.filter(kinds=(ActionKind.EXE,)).intervals()
+        return overlap_seconds(transfers, kernels)
+
+    def bytes_moved(self) -> int:
+        return sum(
+            e.nbytes
+            for e in self.events
+            if e.kind in (ActionKind.H2D, ActionKind.D2H)
+        )

@@ -1,0 +1,29 @@
+"""Small shared helpers: units, tables, and logging setup."""
+
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    US,
+    MS,
+    SEC,
+    bytes_to_mb,
+    fmt_bytes,
+    fmt_time,
+    gflops,
+)
+from repro.util.tables import ascii_table
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "US",
+    "MS",
+    "SEC",
+    "bytes_to_mb",
+    "fmt_bytes",
+    "fmt_time",
+    "gflops",
+    "ascii_table",
+]

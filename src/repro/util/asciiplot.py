@@ -1,0 +1,82 @@
+"""Terminal line charts for experiment series.
+
+The experiment harness prints tables; with ``--plot`` it also renders
+each figure as an ASCII chart so the U-shapes, plateaus and divisor
+spikes of the paper's figures are visible at a glance without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+#: Glyph assigned to each series, in order.
+_SERIES_GLYPHS = "ox+*#@%&"
+
+
+def ascii_plot(
+    x_labels: Sequence[object],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    y_label: str = "",
+    log_y: bool = False,
+) -> str:
+    """Render one or more series over a shared categorical x axis.
+
+    Values are scaled into ``height`` rows (optionally log-scaled);
+    points of overlapping series overwrite in legend order.
+    """
+    import math
+
+    if not series:
+        raise ValueError("need at least one series")
+    if height < 3 or width < 8:
+        raise ValueError("chart must be at least 8x3")
+    n = len(x_labels)
+    if n == 0 or any(len(v) != n for v in series.values()):
+        raise ValueError("series lengths must match the x axis")
+    if len(series) > len(_SERIES_GLYPHS):
+        raise ValueError(f"at most {len(_SERIES_GLYPHS)} series supported")
+
+    values = [v for vs in series.values() for v in vs]
+    if log_y and any(v <= 0 for v in values):
+        raise ValueError("log scale requires positive values")
+    transform = (lambda v: math.log10(v)) if log_y else (lambda v: v)
+    lo = min(transform(v) for v in values)
+    hi = max(transform(v) for v in values)
+    span = hi - lo if hi > lo else 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, vs), glyph in zip(series.items(), _SERIES_GLYPHS):
+        for i, v in enumerate(vs):
+            col = int(i / max(n - 1, 1) * (width - 1))
+            row = height - 1 - int(
+                (transform(v) - lo) / span * (height - 1)
+            )
+            grid[row][col] = glyph
+
+    y_hi = f"{max(values):g}"
+    y_lo = f"{min(values):g}"
+    margin = max(len(y_hi), len(y_lo), len(y_label)) + 1
+    lines = []
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = y_hi.rjust(margin)
+        elif r == height - 1:
+            prefix = y_lo.rjust(margin)
+        elif r == height // 2 and y_label:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix} |{''.join(row)}|")
+    x_axis = f"{'':>{margin}} +{'-' * width}+"
+    x_ticks = (
+        f"{'':>{margin}}  {str(x_labels[0]):<{width // 2}}"
+        f"{str(x_labels[-1]):>{width // 2}}"
+    )
+    legend = "  ".join(
+        f"{glyph}: {label}"
+        for (label, _), glyph in zip(series.items(), _SERIES_GLYPHS)
+    )
+    return "\n".join(lines + [x_axis, x_ticks, legend])

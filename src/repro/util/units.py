@@ -1,0 +1,52 @@
+"""Unit constants and formatting helpers.
+
+The simulation clock counts **seconds** (floats).  Sizes are **bytes**
+(ints).  These helpers keep magic numbers out of the model code and make
+experiment output readable.
+"""
+
+from __future__ import annotations
+
+KB: int = 1024
+MB: int = 1024 * 1024
+GB: int = 1024 * 1024 * 1024
+
+#: One microsecond / millisecond / second on the simulation clock.
+US: float = 1e-6
+MS: float = 1e-3
+SEC: float = 1.0
+
+
+def bytes_to_mb(nbytes: int) -> float:
+    """Return ``nbytes`` expressed in mebibytes."""
+    return nbytes / MB
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable byte count, e.g. ``'16.0 MB'``."""
+    value = float(nbytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration, e.g. ``'2.50 ms'``."""
+    if seconds < 0:
+        return "-" + fmt_time(-seconds)
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.2f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"
+
+
+def gflops(flops: float, seconds: float) -> float:
+    """Achieved GFLOP/s for ``flops`` floating point operations in ``seconds``."""
+    if seconds <= 0.0:
+        raise ValueError(f"duration must be positive, got {seconds!r}")
+    return flops / seconds / 1e9

@@ -1,0 +1,66 @@
+"""Tests for the application base framework (AppRun, measure, devices)."""
+
+import pytest
+
+from repro.apps import MatMulApp, NNApp
+from repro.apps.base import AppRun
+from repro.config import FAST_PROTOCOL
+from repro.errors import ConfigurationError
+
+
+class TestAppRun:
+    def test_elapsed_validated(self):
+        with pytest.raises(ConfigurationError):
+            AppRun(app="x", elapsed=0.0, places=1, tiles=1)
+
+    def test_report_requires_timeline(self):
+        run = AppRun(app="x", elapsed=1.0, places=1, tiles=1)
+        with pytest.raises(ConfigurationError):
+            run.report()
+        with pytest.raises(ConfigurationError):
+            run.energy()
+
+    def test_gflops_none_for_time_metric_apps(self):
+        run = NNApp(4096, 4).run(places=2)
+        assert run.gflops is None
+
+    def test_run_records_configuration(self):
+        run = MatMulApp(1024, 16).run(places=7)
+        assert run.places == 7
+        assert run.tiles == 16
+        assert run.app == "mm"
+
+
+class TestMeasureProtocol:
+    def test_measure_returns_summary(self):
+        app = NNApp(65536, 4)
+        summary = app.measure(places=4, protocol=FAST_PROTOCOL)
+        assert summary.n == 1
+        assert summary.mean > 0
+
+    def test_deterministic_platform_gives_zero_spread(self):
+        app = NNApp(65536, 4)
+        summary = app.measure(places=4, protocol=FAST_PROTOCOL)
+        single = app.run(places=4).elapsed
+        assert summary.mean == pytest.approx(single)
+
+
+class TestMultiDeviceApps:
+    def test_mm_runs_on_two_devices(self):
+        run = MatMulApp(2048, 16).run(places=4, num_devices=2)
+        assert run.elapsed > 0
+        devices = {e.device for e in run.timeline.events}
+        assert devices == {0, 1}
+
+    def test_mm_real_data_correct_on_two_devices(self):
+        import numpy as np
+
+        app = MatMulApp(64, 16, materialize=True)
+        run = app.run(places=4, num_devices=2)
+        c = MatMulApp.assemble(run.outputs)
+        assert np.allclose(c, run.outputs["a"] @ run.outputs["b"])
+
+    def test_streams_per_place_dimension(self):
+        run = MatMulApp(2048, 16).run(places=2, streams_per_place=2)
+        streams = {e.stream for e in run.timeline.events}
+        assert streams == {0, 1, 2, 3}

@@ -1,0 +1,205 @@
+"""Real-data correctness: every streamed app reproduces its reference.
+
+These are the integration tests that justify calling the benchmarks
+"real": the streamed execution paths (tiling, transfers, kernel closures)
+must produce bit-compatible results with straightforward NumPy/SciPy
+computations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    CholeskyApp,
+    HotspotApp,
+    KmeansApp,
+    MatMulApp,
+    NNApp,
+    SradApp,
+)
+from repro.errors import ConfigurationError
+from repro.kernels.kmeans import kmeans_assign, kmeans_reduce
+from repro.kernels.nn import nn_distances
+
+
+class TestMatMulCorrectness:
+    @pytest.mark.parametrize("places,n_tiles", [(1, 1), (2, 4), (4, 16)])
+    def test_streamed_equals_numpy(self, places, n_tiles):
+        app = MatMulApp(48, n_tiles, materialize=True, seed=7)
+        run = app.run(places=places)
+        c = MatMulApp.assemble(run.outputs)
+        assert np.allclose(c, run.outputs["a"] @ run.outputs["b"])
+
+    def test_gflops_metric(self):
+        run = MatMulApp(48, 4, materialize=True).run(places=2)
+        assert run.gflops == pytest.approx(
+            2 * 48**3 / run.elapsed / 1e9
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MatMulApp(48, 3)  # not a square
+        with pytest.raises(ConfigurationError):
+            MatMulApp(50, 9)  # grid does not divide size
+
+
+class TestCholeskyCorrectness:
+    @pytest.mark.parametrize("places,n_tiles", [(1, 4), (2, 9), (4, 16)])
+    def test_streamed_factorisation(self, places, n_tiles):
+        app = CholeskyApp(48, n_tiles, materialize=True, seed=3)
+        run = app.run(places=places)
+        lower = app.assemble_lower(run.outputs)
+        assert np.allclose(lower @ lower.T, run.outputs["a"])
+
+    def test_task_count(self):
+        # nb=4: 4 potrf + 6 trsm + 6 syrk + 4 gemm = 20 tasks.
+        app = CholeskyApp(48, 16)
+        run = app.run(places=2)
+        nb = 4
+        expected = (
+            nb
+            + nb * (nb - 1) // 2
+            + nb * (nb - 1) // 2
+            + sum((i - j - 1) for j in range(nb) for i in range(j + 1, nb))
+        )
+        assert run.outputs["task_count"] == expected
+
+    @pytest.mark.parametrize(
+        "mapping", ["owner", "round_robin", "least_loaded"]
+    )
+    def test_mapping_variants_stay_correct(self, mapping):
+        app = CholeskyApp(48, 9, mapping=mapping, materialize=True, seed=3)
+        run = app.run(places=3)
+        lower = app.assemble_lower(run.outputs)
+        assert np.allclose(lower @ lower.T, run.outputs["a"])
+
+    def test_mapping_validated(self):
+        with pytest.raises(ConfigurationError):
+            CholeskyApp(48, 9, mapping="chaotic")
+
+    def test_least_loaded_mapping_changes_assignment(self):
+        owner = CholeskyApp(2400, 36, mapping="owner").run(places=4)
+        balanced = CholeskyApp(2400, 36, mapping="least_loaded").run(places=4)
+        # Both complete the same work; the mapping changes the schedule.
+        assert owner.gflops > 0 and balanced.gflops > 0
+
+    def test_materialize_multidevice_rejected(self):
+        app = CholeskyApp(48, 4, materialize=True)
+        with pytest.raises(ConfigurationError):
+            app.run(places=2, num_devices=2)
+
+    def test_multidevice_transfers_exceed_single(self):
+        # Fig. 11 mechanism: two MICs move more data than one.
+        single = CholeskyApp(480, 25).run(places=4, num_devices=1)
+        double = CholeskyApp(480, 25).run(places=4, num_devices=2)
+        assert (
+            double.timeline.bytes_moved() > single.timeline.bytes_moved()
+        )
+
+
+class TestKmeansCorrectness:
+    def test_streamed_equals_sequential_lloyd(self):
+        app = KmeansApp(
+            300, 4, n_clusters=3, n_features=6, iterations=4,
+            materialize=True, seed=5,
+        )
+        run = app.run(places=2)
+        points = run.outputs["points"]
+        centroids = points[:3].astype(np.float64)
+        for _ in range(4):
+            labels, sums, counts = kmeans_assign(points, centroids)
+            centroids = kmeans_reduce([sums], [counts], centroids)
+        assert np.allclose(run.outputs["centroids"], centroids)
+        assert np.array_equal(run.outputs["labels"], labels)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            KmeansApp(10, 20)
+        with pytest.raises(ConfigurationError):
+            KmeansApp(100, 4, iterations=0)
+
+
+class TestHotspotCorrectness:
+    @pytest.mark.parametrize("places,n_tiles", [(1, 1), (2, 4), (4, 7)])
+    def test_streamed_equals_reference(self, places, n_tiles):
+        app = HotspotApp(24, n_tiles, iterations=4, materialize=True)
+        run = app.run(places=places)
+        result = run.outputs["result_buffer"].host
+        assert np.allclose(
+            result, app.reference_result(run.outputs), rtol=1e-5
+        )
+
+    @pytest.mark.parametrize("places,n_tiles", [(2, 4), (4, 7), (4, 16)])
+    def test_p2p_transform_equals_reference(self, places, n_tiles):
+        # The overlappable transform must not change the numerics.
+        app = HotspotApp(
+            24, n_tiles, iterations=5, halo_sync="p2p", materialize=True
+        )
+        run = app.run(places=places)
+        result = run.outputs["result_buffer"].host
+        assert np.allclose(
+            result, app.reference_result(run.outputs), rtol=1e-5
+        )
+
+    def test_p2p_is_faster_than_global_sync(self):
+        global_run = HotspotApp(
+            8192, 64, iterations=10, halo_sync="global"
+        ).run(places=14)
+        p2p_run = HotspotApp(
+            8192, 64, iterations=10, halo_sync="p2p"
+        ).run(places=14)
+        assert p2p_run.elapsed < global_run.elapsed
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HotspotApp(16, 32)
+        with pytest.raises(ConfigurationError):
+            HotspotApp(16, 4, iterations=0)
+        with pytest.raises(ConfigurationError):
+            HotspotApp(16, 4, halo_sync="telepathy")
+
+
+class TestNNCorrectness:
+    @pytest.mark.parametrize("places,n_tiles", [(1, 1), (2, 5), (4, 16)])
+    def test_topk_matches_bruteforce(self, places, n_tiles):
+        app = NNApp(400, n_tiles, k=7, materialize=True, seed=2)
+        run = app.run(places=places)
+        top = app.nearest(run.outputs)
+        d = nn_distances(run.outputs["records"], app.target)
+        expected = sorted((float(v), i) for i, v in enumerate(d))[:7]
+        assert top == expected
+
+    def test_distances_buffer_returned(self):
+        app = NNApp(100, 4, materialize=True)
+        run = app.run(places=2)
+        d = run.outputs["dists_buffer"].host
+        expected = nn_distances(run.outputs["records"], app.target)
+        assert np.allclose(d, expected, rtol=1e-5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NNApp(10, 11)
+        with pytest.raises(ConfigurationError):
+            NNApp(10, 2, k=0)
+
+
+class TestSradCorrectness:
+    @pytest.mark.parametrize("places,n_tiles", [(1, 1), (2, 4)])
+    def test_streamed_equals_reference(self, places, n_tiles):
+        app = SradApp(24, n_tiles, iterations=3, materialize=True)
+        run = app.run(places=places)
+        result = run.outputs["result_buffer"].host
+        reference = app.reference_result(run.outputs)
+        assert np.allclose(result, reference, rtol=1e-3)
+
+    def test_diffusion_reduces_speckle(self):
+        app = SradApp(32, 4, iterations=8, materialize=True)
+        run = app.run(places=2)
+        result = run.outputs["result_buffer"].host
+        assert np.std(result) < np.std(run.outputs["image0"])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SradApp(16, 17)
+        with pytest.raises(ConfigurationError):
+            SradApp(16, 4, lam=0.0)

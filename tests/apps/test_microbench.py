@@ -1,0 +1,71 @@
+"""Tests for the extended microbenchmarks."""
+
+import pytest
+
+from repro.apps.microbench import (
+    bandwidth_curve,
+    core_sharing_penalty,
+    launch_latency,
+    sync_cost_curve,
+)
+from repro.device.spec import PHI_31SP
+from repro.errors import ConfigurationError
+from repro.util.units import MB
+
+
+class TestBandwidthCurve:
+    def test_monotone_in_block_size(self):
+        curve = bandwidth_curve(
+            block_bytes=(1 << 14, 1 << 18, 1 << 22), total_bytes=8 * MB
+        )
+        bandwidths = [bw for _, bw in curve]
+        assert bandwidths == sorted(bandwidths)
+
+    def test_big_blocks_approach_peak(self):
+        ((_, bw),) = bandwidth_curve(
+            block_bytes=(8 * MB,), total_bytes=8 * MB
+        )
+        assert bw > 0.9 * PHI_31SP.link.bandwidth
+        assert bw < PHI_31SP.link.bandwidth
+
+    def test_small_blocks_are_latency_bound(self):
+        ((_, bw),) = bandwidth_curve(
+            block_bytes=(4096,), total_bytes=1 * MB
+        )
+        assert bw < 0.1 * PHI_31SP.link.bandwidth
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bandwidth_curve(block_bytes=())
+        with pytest.raises(ConfigurationError):
+            bandwidth_curve(block_bytes=(64 * MB,), total_bytes=MB)
+
+
+class TestLaunchLatency:
+    def test_near_configured_overheads(self):
+        measured = launch_latency()
+        expected = (
+            PHI_31SP.overheads.launch + PHI_31SP.overheads.dispatch
+        )
+        assert measured == pytest.approx(expected, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            launch_latency(repeats=0)
+
+
+class TestCoreSharingPenalty:
+    def test_misaligned_split_is_slower(self):
+        ratio = core_sharing_penalty()
+        assert ratio > 1.1
+
+    def test_penalty_disappears_without_straggler_factor(self):
+        spec = PHI_31SP.with_overrides(shared_core_throughput=1.0)
+        assert core_sharing_penalty(spec) == pytest.approx(1.0, rel=0.05)
+
+
+class TestSyncCostCurve:
+    def test_linear_in_stream_count(self):
+        curve = dict(sync_cost_curve(stream_counts=(1, 8, 56)))
+        assert curve[8] == pytest.approx(8 * curve[1], rel=0.01)
+        assert curve[56] == pytest.approx(56 * curve[1], rel=0.01)

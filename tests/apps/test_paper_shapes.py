@@ -1,0 +1,179 @@
+"""Shape tests: the paper's headline findings hold in the model.
+
+Each test asserts one of the F1-F10 claims from DESIGN.md at (scaled)
+paper geometry.  These run model-timed (virtual buffers), so they are
+fast despite the large nominal datasets.
+"""
+
+import pytest
+
+from repro.apps import (
+    CholeskyApp,
+    HotspotApp,
+    KmeansApp,
+    MatMulApp,
+    NNApp,
+    SradApp,
+)
+
+
+class TestF4OverallComparison:
+    """Fig. 8: who wins, per application."""
+
+    def test_mm_streamed_wins(self):
+        base = MatMulApp(2000, 1).run(places=1)
+        streamed = MatMulApp(2000, 4).run(places=4)
+        assert streamed.elapsed < base.elapsed
+
+    def test_cf_streamed_wins_big(self):
+        base = CholeskyApp(9600, 1).run(places=1)
+        streamed = CholeskyApp(9600, 100).run(places=4)
+        # The paper's largest improvement (24.1%): at least 15% here.
+        assert streamed.elapsed < 0.85 * base.elapsed
+
+    def test_kmeans_streamed_wins_despite_non_overlappable(self):
+        base = KmeansApp(1120000, 1, iterations=20).run(places=1)
+        streamed = KmeansApp(1120000, 56, iterations=20).run(places=56)
+        assert streamed.elapsed < 0.85 * base.elapsed
+
+    def test_hotspot_no_significant_change(self):
+        base = HotspotApp(8192, 1, iterations=10).run(places=1)
+        streamed = HotspotApp(8192, 64, iterations=10).run(places=37)
+        ratio = streamed.elapsed / base.elapsed
+        assert 0.85 < ratio < 1.15
+
+    def test_nn_streamed_wins(self):
+        base = NNApp(5242880, 1).run(places=1)
+        streamed = NNApp(5242880, 4).run(places=4)
+        assert streamed.elapsed < base.elapsed
+
+    def test_srad_sign_flip_small_vs_large(self):
+        # Fig. 8(f): streamed SRAD loses on small datasets and wins on
+        # large ones.
+        small_base = SradApp(1000, 1, iterations=10).run(places=1)
+        small_streamed = SradApp(1000, 100, iterations=10).run(places=4)
+        assert small_streamed.elapsed > small_base.elapsed
+
+        large_base = SradApp(10000, 1, iterations=10).run(places=1)
+        large_streamed = SradApp(10000, 100, iterations=10).run(places=4)
+        assert large_streamed.elapsed < large_base.elapsed
+
+
+class TestF5PartitionGeometry:
+    """Fig. 9(a)/(b): aligned partition counts are the fast points."""
+
+    def test_mm_divisor_spikes(self):
+        runs = {
+            p: MatMulApp(3000, 36).run(places=p).gflops
+            for p in (3, 4, 7, 13, 14)
+        }
+        # Aligned counts beat their misaligned neighbours.
+        assert runs[4] > runs[3]
+        assert runs[14] > runs[13]
+        assert runs[7] > runs[3]
+
+    def test_cf_divisor_spikes(self):
+        runs = {
+            p: CholeskyApp(4800, 36).run(places=p).gflops
+            for p in (3, 4, 15, 14)
+        }
+        assert runs[4] > runs[3]
+        assert runs[14] > runs[15]
+
+
+class TestF6KmeansMonotone:
+    """Fig. 9(c): Kmeans time falls with the number of partitions."""
+
+    def test_monotone_decreasing_on_divisors(self):
+        times = [
+            KmeansApp(1120000, 56, iterations=10).run(places=p).elapsed
+            for p in (1, 4, 14, 56)
+        ]
+        assert times == sorted(times, reverse=True)
+
+
+class TestF7HotspotDip:
+    """Fig. 9(d): the global minimum falls in the P in [33, 37] band."""
+
+    def test_minimum_in_cache_friendly_band(self):
+        app = HotspotApp(16384, 256, iterations=10)
+        candidates = (4, 8, 14, 22, 28, 33, 35, 37, 45, 56)
+        times = {p: app.run(places=p).elapsed for p in candidates}
+        best = min(times, key=times.get)
+        assert 28 <= best <= 40, f"minimum at P={best}: {times}"
+
+
+class TestF8NNPlateau:
+    """Fig. 9(e): NN time drops sharply until P=4, then plateaus."""
+
+    def test_sharp_drop_then_flat(self):
+        app = NNApp(5242880, 512)
+        t1 = app.run(places=1).elapsed
+        t4 = app.run(places=4).elapsed
+        t16 = app.run(places=16).elapsed
+        t56 = app.run(places=56).elapsed
+        assert t4 < t1 / 2, "no sharp initial drop"
+        assert abs(t16 - t4) / t4 < 0.35, "no plateau after P=4"
+        assert abs(t56 - t4) / t4 < 0.35, "no plateau after P=4"
+
+
+class TestF9TileSweeps:
+    """Fig. 10: tile-count sweeps are U-shaped (in time)."""
+
+    def test_mm_tiles_u_shape(self):
+        gf = {
+            t: MatMulApp(6000, t).run(places=4).gflops
+            for t in (1, 4, 400)
+        }
+        assert gf[4] > gf[1], "one tile starves 3 of 4 partitions"
+        assert gf[4] > gf[400], "tiny tiles should lose"
+
+    def test_mm_single_tile_wastes_three_quarters(self):
+        # With T=1 and P=4, one partition works and three idle.
+        one = MatMulApp(6000, 1).run(places=4).gflops
+        four = MatMulApp(6000, 4).run(places=4).gflops
+        assert one < 0.4 * four
+
+    def test_cf_needs_many_tiles(self):
+        gf = {
+            t: CholeskyApp(9600, t).run(places=4).gflops
+            for t in (4, 100)
+        }
+        assert gf[100] > 2 * gf[4], "CF needs T >> P for DAG parallelism"
+
+    def test_kmeans_best_at_t_equals_p(self):
+        times = {
+            t: KmeansApp(1120000, t, iterations=10).run(places=4).elapsed
+            for t in (1, 4, 112)
+        }
+        assert times[4] < times[1]
+        assert times[4] < times[112]
+
+    def test_nn_t1_close_to_t4(self):
+        # Fig. 10(e): NN is transfer-bound, so T=1 and T=4 land in the
+        # same ballpark (T=1 additionally pays its kernel on a single
+        # partition, so allow up to 1.5x).
+        app1 = NNApp(5242880, 1)
+        app4 = NNApp(5242880, 4)
+        t1 = app1.run(places=4).elapsed
+        t4 = app4.run(places=4).elapsed
+        assert t1 < 1.5 * t4
+
+
+class TestF10MultiMic:
+    """Fig. 11: two MICs beat one, but below the 2x projection."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        app = CholeskyApp(4800, 100)
+        one = app.run(places=4, num_devices=1)
+        two = app.run(places=8, num_devices=2)
+        return one, two
+
+    def test_two_mics_faster(self, runs):
+        one, two = runs
+        assert two.elapsed < one.elapsed
+
+    def test_below_linear_scaling(self, runs):
+        one, two = runs
+        assert two.elapsed > one.elapsed / 2

@@ -1,0 +1,115 @@
+"""Tests for the tuning space, the paper's pruning rules, and search."""
+
+import pytest
+
+from repro.autotune import (
+    Config,
+    ConfigSpace,
+    PruningRules,
+    paper_pruned_space,
+    run_search,
+)
+from repro.device.calibration import PAPER_FAST_PARTITIONS
+from repro.errors import ConfigurationError
+
+
+def full_space():
+    return ConfigSpace(
+        p_values=list(range(1, 57)),
+        t_values=[1, 2, 4, 8, 16, 28, 56, 112, 224, 448],
+    )
+
+
+class TestConfigSpace:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            Config(0, 1)
+        with pytest.raises(ConfigurationError):
+            Config(1, -1)
+
+    def test_space_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConfigSpace(p_values=[], t_values=[1])
+
+    def test_iteration_and_size(self):
+        space = ConfigSpace(p_values=[1, 2], t_values=[1, 4])
+        assert space.size == 4
+        assert sorted(space) == [
+            Config(1, 1), Config(1, 4), Config(2, 1), Config(2, 4),
+        ]
+
+    def test_validity_filter(self):
+        space = ConfigSpace(
+            p_values=[1, 2],
+            t_values=[1, 4],
+            validity=lambda c: c.tiles >= c.places,
+        )
+        assert Config(2, 1) not in list(space)
+        assert space.size == 3
+
+    def test_restrict_empty_p_rejected(self):
+        with pytest.raises(ConfigurationError):
+            full_space().restrict(p_keep=lambda p: False)
+
+
+class TestPruning:
+    def test_partition_rule_keeps_paper_set(self):
+        pruned = paper_pruned_space(full_space())
+        assert tuple(pruned.p_values) == PAPER_FAST_PARTITIONS
+
+    def test_tile_rule_keeps_multiples(self):
+        pruned = paper_pruned_space(full_space())
+        assert all(c.tiles % c.places == 0 for c in pruned)
+
+    def test_max_multiple_bounds_tiles(self):
+        rules = PruningRules(max_multiple=2)
+        pruned = paper_pruned_space(full_space(), rules=rules)
+        assert all(c.tiles // c.places <= 2 for c in pruned)
+
+    def test_pruning_reduces_space_significantly(self):
+        space = full_space()
+        pruned = paper_pruned_space(space)
+        assert pruned.size < space.size / 5
+
+    def test_rules_can_be_disabled(self):
+        rules = PruningRules(
+            aligned_partitions=False, balanced_tiles=False
+        )
+        pruned = paper_pruned_space(full_space(), rules=rules)
+        assert pruned.size == full_space().size
+
+
+class TestSearch:
+    @staticmethod
+    def objective(config):
+        # Synthetic objective with optimum at P=8, T=32: the classic
+        # U-shapes in both axes.
+        p_term = (config.places - 8) ** 2 * 0.01
+        t_term = (config.tiles - 32) ** 2 * 0.001
+        return 1.0 + p_term + t_term
+
+    def test_exhaustive_finds_global_minimum(self):
+        outcome = run_search(self.objective, full_space())
+        assert outcome.best == Config(8, 28)  # nearest grid point to 32
+        assert outcome.evaluations == full_space().size
+
+    def test_pruned_search_quality_and_reduction(self):
+        exhaustive = run_search(self.objective, full_space())
+        pruned = run_search(
+            self.objective, paper_pruned_space(full_space())
+        )
+        assert pruned.reduction_vs(exhaustive) > 5
+        assert pruned.quality_vs(exhaustive) < 1.05
+
+    def test_empty_space_rejected(self):
+        space = ConfigSpace(
+            p_values=[1], t_values=[1], validity=lambda c: False
+        )
+        with pytest.raises(ConfigurationError):
+            run_search(self.objective, space)
+
+    def test_history_recorded(self):
+        outcome = run_search(self.objective, full_space())
+        assert len(outcome.history) == outcome.evaluations
+        times = [t for _, t in outcome.history]
+        assert outcome.best_time == min(times)

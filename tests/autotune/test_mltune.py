@@ -1,0 +1,112 @@
+"""Tests for the learned tuner (the paper's ML future-work item)."""
+
+import pytest
+
+from repro.apps import MatMulApp
+from repro.autotune import (
+    Config,
+    ConfigSpace,
+    LearnedTuner,
+    run_search,
+    train_test_split,
+)
+from repro.errors import ConfigurationError
+
+
+def synthetic_objective(config: Config) -> float:
+    # Log-U-shapes in both axes with an alignment discount — the
+    # structure the feature map is designed for.
+    import math
+
+    lp, lt = math.log2(config.places), math.log2(config.tiles)
+    time = 1.0 + 0.2 * (lp - 3.0) ** 2 + 0.1 * (lt - 5.0) ** 2
+    if 56 % config.places != 0:
+        time *= 1.4
+    return time
+
+
+def space():
+    return ConfigSpace(
+        p_values=[1, 2, 3, 4, 6, 7, 8, 12, 14, 16, 28, 56],
+        t_values=[1, 4, 16, 32, 64, 128, 256],
+    )
+
+
+class TestLearnedTuner:
+    def test_unfitted_rejects_predict(self):
+        with pytest.raises(ConfigurationError):
+            LearnedTuner().predict(Config(4, 16))
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(ConfigurationError):
+            LearnedTuner().fit([(Config(1, 1), 1.0)] * 4)
+        with pytest.raises(ConfigurationError):
+            LearnedTuner().fit([(Config(1, 1), -1.0)] * 6)
+
+    def test_learns_synthetic_structure(self):
+        samples = [(c, synthetic_objective(c)) for c in space()]
+        train, test = train_test_split(samples)
+        tuner = LearnedTuner().fit(train)
+        assert tuner.rank_correlation(test) > 0.8
+
+    def test_suggestion_close_to_true_optimum(self):
+        samples = [(c, synthetic_objective(c)) for c in space()]
+        train, _ = train_test_split(samples)
+        tuner = LearnedTuner().fit(train)
+        suggested = tuner.suggest(space())
+        true_best = run_search(synthetic_objective, space()).best_time
+        assert synthetic_objective(suggested) <= 1.15 * true_best
+
+    def test_split_validation(self):
+        with pytest.raises(ConfigurationError):
+            train_test_split([], train_every=1)
+
+    def test_rank_correlation_needs_samples(self):
+        samples = [(c, synthetic_objective(c)) for c in space()]
+        tuner = LearnedTuner().fit(samples)
+        with pytest.raises(ConfigurationError):
+            tuner.rank_correlation(samples[:2])
+
+    def test_empty_space_suggestion_rejected(self):
+        samples = [(c, synthetic_objective(c)) for c in space()]
+        tuner = LearnedTuner().fit(samples)
+        empty = ConfigSpace(
+            p_values=[1], t_values=[1], validity=lambda c: False
+        )
+        with pytest.raises(ConfigurationError):
+            tuner.suggest(empty)
+
+
+class TestLearnedTunerOnSimulatedApp:
+    """End-to-end: train on measured MM runs, predict the rest."""
+
+    @pytest.fixture(scope="class")
+    def mm_samples(self):
+        mm_space = ConfigSpace(
+            p_values=[1, 2, 3, 4, 6, 7, 8, 12, 14, 16, 28, 56],
+            t_values=[1, 4, 16, 36, 144],
+        )
+        return (
+            mm_space,
+            [
+                (c, MatMulApp(3000, c.tiles).run(places=c.places).elapsed)
+                for c in mm_space
+            ],
+        )
+
+    def test_rank_correlation_on_holdout(self, mm_samples):
+        _, samples = mm_samples
+        train, test = train_test_split(samples)
+        tuner = LearnedTuner().fit(train)
+        assert tuner.rank_correlation(test) > 0.6
+
+    def test_suggested_config_is_competitive(self, mm_samples):
+        mm_space, samples = mm_samples
+        train, _ = train_test_split(samples)
+        tuner = LearnedTuner().fit(train)
+        suggested = tuner.suggest(mm_space)
+        by_config = dict(samples)
+        best = min(by_config.values())
+        # The suggestion (from half the measurements) lands within 25 %
+        # of the true optimum.
+        assert by_config[suggested] <= 1.25 * best

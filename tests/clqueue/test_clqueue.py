@@ -1,0 +1,141 @@
+"""Tests for the OpenCL-style command-queue front-end."""
+
+import numpy as np
+import pytest
+
+from repro.clqueue import CLContext, CLEvent
+from repro.device import KernelWork
+from repro.errors import ConfigurationError
+from repro.hstreams.enums import ActionKind
+
+
+def work(name="k", flops=1e8):
+    return KernelWork(
+        name=name, flops=flops, bytes_touched=0.0, thread_rate=1e9
+    )
+
+
+class TestCLContext:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CLContext(sub_devices=0)
+        ctx = CLContext(sub_devices=2)
+        with pytest.raises(ConfigurationError):
+            ctx.create_command_queue(sub_device=2)
+        ctx.release()
+
+    def test_release_finalises(self):
+        ctx = CLContext()
+        q = ctx.create_command_queue()
+        q.enqueue_nd_range_kernel(work())
+        ctx.release()
+        assert ctx._inner._finalized
+
+
+class TestInOrderQueue:
+    def test_full_roundtrip_computes(self):
+        ctx = CLContext(sub_devices=2)
+        host = np.arange(128, dtype=np.float32)
+        out = np.zeros(128, dtype=np.float32)
+        src = ctx.create_buffer(host)
+        dst = ctx.create_buffer(out)
+        q = ctx.create_command_queue(sub_device=0)
+        q.enqueue_write_buffer(src)
+        q.enqueue_write_buffer(dst, count=0)
+
+        def kernel():
+            dst.instance(0)[:] = src.instance(0) + 1.0
+
+        ev = q.enqueue_nd_range_kernel(work("inc"), fn=kernel)
+        read = q.enqueue_read_buffer(dst)
+        q.finish()
+        assert np.allclose(out, host + 1.0)
+        assert ev.is_complete and read.is_complete
+
+    def test_in_order_queue_serialises(self):
+        ctx = CLContext()
+        q = ctx.create_command_queue()
+        a = q.enqueue_nd_range_kernel(work("a", 1e9))
+        b = q.enqueue_nd_range_kernel(work("b", 1e9))
+        q.finish()
+        assert b.action.started_at >= a.action.finished_at
+
+    def test_event_profiling_timestamps(self):
+        ctx = CLContext()
+        q = ctx.create_command_queue()
+        ev = q.enqueue_nd_range_kernel(work())
+        assert ev.timestamps == (None, None)
+        assert not ev.is_complete
+        q.finish()
+        start, end = ev.timestamps
+        assert start is not None and end is not None and end > start
+
+
+class TestOutOfOrderQueue:
+    def test_independent_commands_may_overlap_transfers_and_compute(self):
+        ctx = CLContext(sub_devices=1, streams_per_place=4)
+        buf = ctx.create_buffer(shape=(1 << 22,), dtype=np.uint8)
+        q = ctx.create_command_queue(out_of_order=True)
+        q.enqueue_nd_range_kernel(work("long", 5e9))
+        q.enqueue_write_buffer(buf, count=1 << 22)
+        q.finish()
+        from repro.trace import Timeline
+
+        assert Timeline(ctx.trace).transfer_compute_overlap() > 0
+
+    def test_wait_list_orders_across_lanes(self):
+        ctx = CLContext(streams_per_place=4)
+        q = ctx.create_command_queue(out_of_order=True)
+        first = q.enqueue_nd_range_kernel(work("first", 1e9))
+        second = q.enqueue_nd_range_kernel(
+            work("second"), wait_list=[first]
+        )
+        q.finish()
+        assert second.action.started_at >= first.action.finished_at
+
+    def test_wait_list_type_checked(self):
+        ctx = CLContext()
+        q = ctx.create_command_queue()
+        with pytest.raises(ConfigurationError):
+            q.enqueue_marker(wait_list=["not-an-event"])
+        ctx.release()
+
+    def test_kernels_on_one_sub_device_still_serialise(self):
+        # Out-of-order queueing does not duplicate the cores: two
+        # kernels on one place run one at a time.
+        ctx = CLContext(streams_per_place=4)
+        q = ctx.create_command_queue(out_of_order=True)
+        a = q.enqueue_nd_range_kernel(work("a", 1e9))
+        b = q.enqueue_nd_range_kernel(work("b", 1e9))
+        q.finish()
+        intervals = sorted(
+            [
+                (a.action.started_at, a.action.finished_at),
+                (b.action.started_at, b.action.finished_at),
+            ]
+        )
+        assert intervals[1][0] >= intervals[0][1]
+
+
+class TestTwoQueues:
+    def test_queues_on_different_sub_devices_run_concurrently(self):
+        ctx = CLContext(sub_devices=2)
+        q0 = ctx.create_command_queue(sub_device=0)
+        q1 = ctx.create_command_queue(sub_device=1)
+        a = q0.enqueue_nd_range_kernel(work("a", 2e9))
+        b = q1.enqueue_nd_range_kernel(work("b", 2e9))
+        ctx.finish_all()
+        # Overlapping execution across sub-devices.
+        assert a.action.started_at < b.action.finished_at
+        assert b.action.started_at < a.action.finished_at
+
+    def test_trace_has_all_kinds(self):
+        ctx = CLContext(sub_devices=2)
+        buf = ctx.create_buffer(shape=(1024,), dtype=np.float32)
+        q = ctx.create_command_queue()
+        q.enqueue_write_buffer(buf)
+        q.enqueue_nd_range_kernel(work())
+        q.enqueue_read_buffer(buf)
+        ctx.finish_all()
+        kinds = {e.kind for e in ctx.trace}
+        assert kinds == {ActionKind.H2D, ActionKind.EXE, ActionKind.D2H}

@@ -1,0 +1,125 @@
+"""Tests for the CUDA-streams-flavoured front-end."""
+
+import numpy as np
+import pytest
+
+from repro.custreams import CudaDevice
+from repro.device import KernelWork
+from repro.errors import ConfigurationError
+from repro.trace import Timeline
+
+
+def work(name="k", flops=1e8):
+    return KernelWork(
+        name=name, flops=flops, bytes_touched=0.0, thread_rate=1e9
+    )
+
+
+class TestCudaDevice:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CudaDevice(num_streams=0)
+
+    def test_default_stream_exists(self):
+        dev = CudaDevice(num_streams=2)
+        assert dev.default_stream is dev.streams[0]
+        dev.reset()
+
+    def test_classic_async_pipeline(self):
+        dev = CudaDevice(num_streams=4)
+        host = np.arange(1 << 16, dtype=np.float32)
+        out = np.zeros(1 << 16, dtype=np.float32)
+        src = dev.malloc(host)
+        dst = dev.malloc(out)
+        chunk = (1 << 16) // 4
+        for i, stream in enumerate(dev.streams):
+            lo = i * chunk
+            stream.memcpy_h2d_async(src, offset=lo, count=chunk)
+            dst.instantiate(stream._stream.place.device)
+
+            def fn(lo=lo, d=stream._stream.place.device.index):
+                dst.instance(d)[lo : lo + chunk] = (
+                    src.instance(d)[lo : lo + chunk] * 2
+                )
+
+            stream.launch_kernel(work(f"scale{i}"), fn=fn)
+            stream.memcpy_d2h_async(dst, offset=lo, count=chunk)
+        dev.synchronize()
+        assert np.allclose(out, host * 2)
+        assert Timeline(dev.trace).transfer_compute_overlap() > 0
+
+
+class TestCudaEvents:
+    def test_record_and_elapsed(self):
+        dev = CudaDevice(num_streams=1)
+        stream = dev.default_stream
+        start = dev.create_event()
+        stop = dev.create_event()
+        stream.record_event(start)
+        stream.launch_kernel(work("timed", 1e9))
+        stream.record_event(stop)
+        stream.synchronize()
+        assert stop.elapsed_since(start) > 0
+
+    def test_elapsed_requires_completion(self):
+        dev = CudaDevice(num_streams=1)
+        ev1, ev2 = dev.create_event(), dev.create_event()
+        with pytest.raises(ConfigurationError):
+            ev2.elapsed_since(ev1)
+
+    def test_stream_wait_event_orders_across_streams(self):
+        dev = CudaDevice(num_streams=2)
+        s0, s1 = dev.streams
+        producer_done = dev.create_event()
+        producer = s0.launch_kernel(work("producer", 2e9))
+        s0.record_event(producer_done)
+        s1.wait_event(producer_done)
+        consumer = s1.launch_kernel(work("consumer"))
+        dev.synchronize()
+        assert consumer.started_at >= producer.finished_at
+
+    def test_wait_applies_only_to_subsequent_work(self):
+        dev = CudaDevice(num_streams=2)
+        s0, s1 = dev.streams
+        gate = dev.create_event()
+        slow = s0.launch_kernel(work("slow", 5e9))
+        s0.record_event(gate)
+        # Enqueued BEFORE the wait: must not be delayed by it.
+        early = s1.launch_kernel(work("early"))
+        s1.wait_event(gate)
+        late = s1.launch_kernel(work("late"))
+        dev.synchronize()
+        assert early.finished_at < slow.finished_at
+        assert late.started_at >= slow.finished_at
+
+    def test_wait_on_unrecorded_event_rejected(self):
+        dev = CudaDevice(num_streams=2)
+        with pytest.raises(ConfigurationError):
+            dev.streams[1].wait_event(dev.create_event())
+
+    def test_event_query(self):
+        dev = CudaDevice(num_streams=1)
+        ev = dev.create_event()
+        assert not ev.is_recorded and not ev.is_complete
+        dev.default_stream.record_event(ev)
+        assert ev.is_recorded and not ev.is_complete
+        dev.synchronize()
+        assert ev.is_complete
+
+    def test_cross_device_event_rejected(self):
+        dev_a = CudaDevice(num_streams=1)
+        dev_b = CudaDevice(num_streams=1)
+        ev = dev_a.create_event()
+        with pytest.raises(ConfigurationError):
+            dev_b.default_stream.record_event(ev)
+
+
+class TestNoPartitionControl:
+    def test_streams_map_to_fixed_places(self):
+        # The paper's GPU contrast: stream count fixes the resource
+        # split; there is no separate partition knob.
+        dev = CudaDevice(num_streams=4)
+        places = {s._stream.place.index for s in dev.streams}
+        assert len(places) == 4
+        threads = {s._stream.place.nthreads for s in dev.streams}
+        assert threads == {56}

@@ -1,0 +1,73 @@
+"""Tests for the first-invocation (kernel upload) cost model."""
+
+import pytest
+
+from repro.device import KernelWork, MicDevice, PHI_31SP
+from repro.device.spec import RuntimeOverheads
+from repro.sim import Environment
+
+WARM = PHI_31SP.with_overrides(
+    overheads=RuntimeOverheads(first_invoke_extra=1.5e-3)
+)
+
+
+def work(name="k"):
+    return KernelWork(
+        name=name, flops=1e8, bytes_touched=0.0, thread_rate=1e9
+    )
+
+
+class TestFirstInvoke:
+    def test_default_spec_has_no_upload_cost(self):
+        mic = MicDevice(Environment())
+        first = mic.kernel_duration(work(), mic.partition(0))
+        second = mic.kernel_duration(work(), mic.partition(0))
+        assert first == second
+
+    def test_first_invocation_pays_upload(self):
+        mic = MicDevice(Environment(), WARM)
+        first = mic.kernel_duration(work(), mic.partition(0))
+        second = mic.kernel_duration(work(), mic.partition(0))
+        assert first == pytest.approx(second + 1.5e-3)
+
+    def test_upload_is_per_kernel_name(self):
+        mic = MicDevice(Environment(), WARM)
+        mic.kernel_duration(work("a"), mic.partition(0))
+        cold_b = mic.kernel_duration(work("b"), mic.partition(0))
+        warm_b = mic.kernel_duration(work("b"), mic.partition(0))
+        assert cold_b == pytest.approx(warm_b + 1.5e-3)
+
+    def test_upload_is_per_device(self):
+        env = Environment()
+        mic0 = MicDevice(env, WARM, index=0)
+        mic1 = MicDevice(env, WARM, index=1)
+        mic0.kernel_duration(work(), mic0.partition(0))
+        cold = mic1.kernel_duration(work(), mic1.partition(0))
+        warm = mic1.kernel_duration(work(), mic1.partition(0))
+        assert cold == pytest.approx(warm + 1.5e-3)
+
+
+class TestProtocolExperiment:
+    def test_checks_pass(self):
+        from repro.experiments import protocol
+
+        result = protocol.run(fast=True)
+        assert result.all_checks_pass
+
+    def test_first_iteration_visibly_slower(self):
+        from repro.experiments import protocol
+
+        result = protocol.run(fast=True)
+        elapsed = result.series_by_label("elapsed")
+        assert elapsed[0] > 1.3 * min(elapsed[1:])
+
+
+class TestAppRunConvenience:
+    def test_report_and_energy_from_app_run(self):
+        from repro.apps import MatMulApp
+
+        run = MatMulApp(1024, 4).run(places=4)
+        report = run.report()
+        assert report.makespan > 0
+        energy = run.energy()
+        assert energy.total_joules > 0

@@ -1,0 +1,176 @@
+"""Unit tests for the memory and compute cost models."""
+
+import pytest
+
+from repro.device import ComputeModel, DeviceMemory, KernelWork, PHI_31SP, Topology
+from repro.errors import DeviceMemoryError, KernelError
+from repro.util.units import MB
+
+
+@pytest.fixture()
+def mem():
+    return DeviceMemory(PHI_31SP)
+
+
+class TestDeviceMemory:
+    def test_allocate_release_roundtrip(self, mem):
+        mem.allocate(100 * MB)
+        assert mem.used == 100 * MB
+        mem.release(100 * MB)
+        assert mem.used == 0
+
+    def test_exhaustion_raises(self, mem):
+        with pytest.raises(DeviceMemoryError, match="exhausted"):
+            mem.allocate(mem.capacity + 1)
+
+    def test_over_release_raises(self, mem):
+        mem.allocate(10)
+        with pytest.raises(DeviceMemoryError):
+            mem.release(11)
+
+    def test_negative_sizes_rejected(self, mem):
+        with pytest.raises(DeviceMemoryError):
+            mem.allocate(-1)
+        with pytest.raises(DeviceMemoryError):
+            mem.release(-1)
+
+    def test_alloc_cost_grows_with_threads(self, mem):
+        # Paper Sec. V-B1: Kmeans' temp-alloc overhead increases linearly
+        # with the thread count of the allocating team.
+        assert mem.alloc_cost(224) > mem.alloc_cost(56) > mem.alloc_cost(4)
+        delta1 = mem.alloc_cost(100) - mem.alloc_cost(99)
+        delta2 = mem.alloc_cost(10) - mem.alloc_cost(9)
+        assert delta1 == pytest.approx(delta2)
+
+    def test_alloc_cost_needs_positive_threads(self, mem):
+        with pytest.raises(DeviceMemoryError):
+            mem.alloc_cost(0)
+
+    def test_alloc_cost_grows_with_temp_bytes(self, mem):
+        # First-touch paging: bigger scratch costs more (SRAD mechanism).
+        assert mem.alloc_cost(4, temp_bytes=1 << 30) > mem.alloc_cost(
+            4, temp_bytes=1 << 20
+        )
+        with pytest.raises(DeviceMemoryError):
+            mem.alloc_cost(4, temp_bytes=-1)
+
+
+def make_work(**kwargs):
+    defaults = dict(
+        name="k",
+        flops=1e9,
+        bytes_touched=1e6,
+        thread_rate=1e9,
+    )
+    defaults.update(kwargs)
+    return KernelWork(**defaults)
+
+
+class TestKernelWork:
+    def test_validation(self):
+        with pytest.raises(KernelError):
+            make_work(flops=-1)
+        with pytest.raises(KernelError):
+            make_work(thread_rate=0)
+        with pytest.raises(KernelError):
+            make_work(efficiency=0.0)
+        with pytest.raises(KernelError):
+            make_work(efficiency=1.5)
+        with pytest.raises(KernelError):
+            make_work(serial_time=-1e-3)
+
+    def test_scaled(self):
+        w = make_work(flops=100.0, bytes_touched=10.0)
+        half = w.scaled(0.5)
+        assert half.flops == 50.0
+        assert half.bytes_touched == 5.0
+        with pytest.raises(KernelError):
+            w.scaled(-1.0)
+
+
+class TestComputeModel:
+    @pytest.fixture()
+    def model(self):
+        return ComputeModel(PHI_31SP)
+
+    @pytest.fixture()
+    def topo(self):
+        return Topology(PHI_31SP)
+
+    def test_more_threads_is_faster_compute_bound(self, model, topo):
+        work = make_work(flops=1e10, bytes_touched=0.0)
+        whole = topo.partitions(1)[0]
+        quarter = topo.partitions(4)[0]
+        assert model.kernel_time(work, whole) < model.kernel_time(work, quarter)
+
+    def test_compute_bound_scales_inverse_with_threads(self, model, topo):
+        work = make_work(flops=1e10, bytes_touched=0.0)
+        whole = topo.partitions(1)[0]
+        half = topo.partitions(2)[0]
+        t1 = model.kernel_time(work, whole)
+        t2 = model.kernel_time(work, half)
+        # Up to the (tiny, large-work) granularity factor.
+        assert t2 == pytest.approx(2 * t1, rel=1e-3)
+
+    def test_grain_factor_punishes_tiny_kernels(self, model, topo):
+        whole = topo.partitions(1)[0]
+        tiny = make_work(flops=1e4, bytes_touched=0.0)
+        big = make_work(flops=1e10, bytes_touched=0.0)
+        assert model.grain_factor(tiny, whole) < 0.05
+        assert model.grain_factor(big, whole) > 0.99
+        # Zero-flop kernels are unaffected.
+        none = make_work(flops=0.0, bytes_touched=1e6)
+        assert model.grain_factor(none, whole) == 1.0
+
+    def test_memory_bandwidth_is_proportional_share(self, model, topo):
+        # Partitions share the aggregate bandwidth proportionally, so
+        # memory-bound work is work-conserving across partitionings.
+        work = make_work(flops=0.0, bytes_touched=1e9, thread_rate=1e9)
+        whole = topo.partitions(1)[0]
+        half = topo.partitions(2)[0]
+        assert model.kernel_time(work, half) == pytest.approx(
+            2 * model.kernel_time(work, whole)
+        )
+        assert model.memory_rate(whole) == pytest.approx(
+            PHI_31SP.mem_bandwidth
+        )
+
+    def test_shared_core_straggler_penalty(self, model, topo):
+        work = make_work(flops=1e10, bytes_touched=0.0)
+        aligned = topo.partitions(4)[0]       # 56 threads, aligned
+        shared = topo.partitions(3)[0]        # 75 threads, shares a core
+        assert shared.nthreads > aligned.nthreads
+        t_aligned = model.kernel_time(work, aligned)
+        t_shared = model.kernel_time(work, shared)
+        # Despite having more threads, the sharing partition is slower
+        # per-thread; with the straggler factor its advantage shrinks to
+        # below the thread ratio.
+        speedup = t_aligned / t_shared
+        thread_ratio = shared.nthreads / aligned.nthreads
+        assert speedup < thread_ratio
+
+    def test_cache_span_bonus_applies_to_stencils_only(self, model, topo):
+        parts = topo.partitions(37)  # 6-7 threads, span <= 2 cores
+        p37 = parts[0]
+        assert p37.core_span <= PHI_31SP.cache_span_cores
+        stencil = make_work(flops=1e9, bytes_touched=0.0, cache_sensitive=True)
+        plain = make_work(flops=1e9, bytes_touched=0.0, cache_sensitive=False)
+        t_stencil = model.kernel_time(stencil, p37)
+        t_plain = model.kernel_time(plain, p37)
+        assert t_stencil < t_plain
+
+    def test_no_cache_bonus_for_wide_partitions(self, model, topo):
+        wide = topo.partitions(4)[0]  # spans 14 cores
+        stencil = make_work(flops=1e9, bytes_touched=0.0, cache_sensitive=True)
+        plain = make_work(flops=1e9, bytes_touched=0.0, cache_sensitive=False)
+        assert model.kernel_time(stencil, wide) == model.kernel_time(plain, wide)
+
+    def test_serial_time_added(self, model, topo):
+        whole = topo.partitions(1)[0]
+        base = make_work(flops=1e9, bytes_touched=0.0)
+        with_serial = make_work(
+            flops=1e9, bytes_touched=0.0, serial_time=1e-3
+        )
+        assert model.kernel_time(with_serial, whole) == pytest.approx(
+            model.kernel_time(base, whole) + 1e-3
+        )

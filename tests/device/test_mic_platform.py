@@ -1,0 +1,105 @@
+"""Unit tests for MicDevice, HeteroPlatform and the calibration anchors."""
+
+import pytest
+
+from repro.device import HeteroPlatform, KernelWork, MicDevice, PHI_31SP
+from repro.device.calibration import (
+    PAPER_FAST_PARTITIONS,
+    calibration_anchors,
+    calibration_report,
+    fast_partition_counts,
+)
+from repro.errors import ConfigurationError, TopologyError
+from repro.sim import Environment
+
+
+class TestMicDevice:
+    @pytest.fixture()
+    def mic(self):
+        return MicDevice(Environment())
+
+    def test_defaults_to_one_partition(self, mic):
+        assert len(mic.partitions) == 1
+        assert mic.partition(0).nthreads == 224
+
+    def test_repartition(self, mic):
+        parts = mic.repartition(4)
+        assert len(parts) == 4
+        assert len(mic.partitions) == 4
+        assert mic.partition_lock(3).capacity == 1
+
+    def test_partition_bounds_checked(self, mic):
+        with pytest.raises(TopologyError):
+            mic.partition(1)
+        with pytest.raises(TopologyError):
+            mic.partition_lock(-1)
+
+    def test_kernel_duration_includes_launch(self, mic):
+        work = KernelWork(
+            name="k", flops=0.0, bytes_touched=0.0, thread_rate=1e9
+        )
+        t = mic.kernel_duration(work, mic.partition(0))
+        assert t == pytest.approx(PHI_31SP.overheads.launch)
+
+    def test_kernel_duration_adds_alloc_cost_when_allocating(self, mic):
+        base = KernelWork(
+            name="k", flops=1e9, bytes_touched=0.0, thread_rate=1e9
+        )
+        allocating = KernelWork(
+            name="k",
+            flops=1e9,
+            bytes_touched=0.0,
+            thread_rate=1e9,
+            temp_alloc_bytes=1024,
+        )
+        p = mic.partition(0)
+        assert mic.kernel_duration(allocating, p) == pytest.approx(
+            mic.kernel_duration(base, p)
+            + mic.memory.alloc_cost(p.nthreads, 1024)
+        )
+
+
+class TestHeteroPlatform:
+    def test_default_single_device(self):
+        platform = HeteroPlatform()
+        assert platform.num_devices == 1
+        assert platform.device(0).spec is PHI_31SP
+
+    def test_multi_device(self):
+        platform = HeteroPlatform(num_devices=2)
+        assert platform.num_devices == 2
+        # Each card has its own link: transfers to different cards may
+        # overlap.
+        assert platform.device(0).link is not platform.device(1).link
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HeteroPlatform(num_devices=0)
+        with pytest.raises(ConfigurationError):
+            HeteroPlatform(num_devices=2, device_spec=[PHI_31SP])
+        platform = HeteroPlatform()
+        with pytest.raises(ConfigurationError):
+            platform.device(5)
+
+    def test_shared_clock(self):
+        platform = HeteroPlatform(num_devices=2)
+        assert platform.device(0).env is platform.device(1).env
+        platform.env.timeout(1.0)
+        platform.run()
+        assert platform.now == 1.0
+
+
+class TestCalibration:
+    def test_all_anchors_within_ten_percent(self):
+        for anchor in calibration_anchors():
+            assert anchor.rel_error < 0.10, (
+                f"{anchor.name} ({anchor.description}): model "
+                f"{anchor.model_value:g} vs paper {anchor.paper_value:g}"
+            )
+
+    def test_fast_partition_counts_match_paper(self):
+        assert tuple(fast_partition_counts()) == PAPER_FAST_PARTITIONS
+
+    def test_report_renders(self):
+        text = calibration_report()
+        assert "A1" in text and "Fig. 5" in text

@@ -1,0 +1,87 @@
+"""Tests for the seeded measurement-noise model."""
+
+import numpy as np
+import pytest
+
+from repro.apps import NNApp
+from repro.config import PAPER_PROTOCOL
+from repro.device import HeteroPlatform, KernelWork, MicDevice, PHI_31SP
+from repro.sim import Environment
+from repro.trace.stats import summarize
+
+NOISY = PHI_31SP.with_overrides(noise_sigma=0.02)
+
+
+def kernel_time(spec, seed=1):
+    mic = MicDevice(Environment(), spec, seed=seed)
+    work = KernelWork(
+        name="k", flops=1e9, bytes_touched=0.0, thread_rate=1e9
+    )
+    return mic.kernel_duration(work, mic.partition(0))
+
+
+class TestNoiseModel:
+    def test_default_is_deterministic(self):
+        times = {kernel_time(PHI_31SP, seed=s) for s in range(5)}
+        assert len(times) == 1
+
+    def test_noise_perturbs_durations(self):
+        times = {kernel_time(NOISY, seed=s) for s in range(5)}
+        assert len(times) == 5
+
+    def test_noise_is_seeded_reproducibly(self):
+        assert kernel_time(NOISY, seed=3) == kernel_time(NOISY, seed=3)
+
+    def test_noise_is_small_relative_perturbation(self):
+        clean = kernel_time(PHI_31SP)
+        noisy = kernel_time(NOISY)
+        assert abs(noisy - clean) / clean < 0.15
+
+    def test_devices_get_distinct_streams(self):
+        platform = HeteroPlatform(num_devices=2, device_spec=NOISY)
+        w = KernelWork(name="k", flops=1e9, bytes_touched=0.0, thread_rate=1e9)
+        d0 = platform.device(0)
+        d1 = platform.device(1)
+        assert d0.kernel_duration(w, d0.partition(0)) != d1.kernel_duration(
+            w, d1.partition(0)
+        )
+
+    def test_transfers_jittered_too(self):
+        from repro.device.pcie import TransferDirection
+
+        env = Environment()
+        mic = MicDevice(env, NOISY, seed=9)
+        assert mic.link._jitter is not None
+        durations = []
+        for _ in range(4):
+            start = env.now
+            env.run(
+                until=env.process(
+                    mic.transfer(TransferDirection.H2D, 1 << 20)
+                )
+            )
+            durations.append(env.now - start)
+        assert len(set(durations)) == len(durations)
+
+    def test_clean_link_has_no_jitter_hook(self):
+        mic = MicDevice(Environment(), PHI_31SP)
+        assert mic.link._jitter is None
+
+    def test_paper_protocol_becomes_meaningful_with_noise(self):
+        # With noise, the 11-iteration protocol yields a real spread but
+        # a stable mean near the deterministic value.
+        clean = NNApp(131072, 4).run(places=4).elapsed
+        samples = []
+        for i in range(PAPER_PROTOCOL.iterations):
+            app = NNApp(131072, 4, spec=NOISY)
+            platform = HeteroPlatform(device_spec=NOISY, seed=1000 + i)
+            from repro.hstreams import StreamContext
+
+            ctx = StreamContext(places=4, platform=platform)
+            start = ctx.now
+            app._execute(ctx)
+            ctx.sync_all()
+            samples.append(ctx.now - start)
+        summary = summarize(samples, PAPER_PROTOCOL)
+        assert summary.std > 0.0
+        assert summary.mean == pytest.approx(clean, rel=0.1)

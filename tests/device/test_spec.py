@@ -1,0 +1,62 @@
+"""Unit tests for device/host/link specifications."""
+
+import pytest
+
+from repro.device import PHI_31SP, DeviceSpec, HostSpec, LinkSpec
+from repro.errors import ConfigurationError
+from repro.util.units import MB
+
+
+class TestLinkSpec:
+    def test_transfer_time_formula(self):
+        link = LinkSpec(bandwidth=1e9, latency=1e-6)
+        assert link.transfer_time(1_000_000) == pytest.approx(1e-6 + 1e-3)
+
+    def test_zero_bytes_is_free(self):
+        assert LinkSpec().transfer_time(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkSpec().transfer_time(-1)
+
+    def test_one_mb_block_matches_fig5_anchor(self):
+        # 1 MB in ~0.16 ms so that 16 blocks take ~2.5 ms (Fig. 5).
+        t = PHI_31SP.link.transfer_time(1 * MB)
+        assert 16 * t == pytest.approx(2.5e-3, rel=0.1)
+
+    def test_default_is_half_duplex(self):
+        assert not PHI_31SP.link.full_duplex
+
+
+class TestDeviceSpec:
+    def test_phi_31sp_topology_numbers(self):
+        assert PHI_31SP.num_cores == 57
+        assert PHI_31SP.usable_cores == 56
+        assert PHI_31SP.total_threads == 224
+
+    def test_peak_gflops_near_1tf(self):
+        # 224 threads * 4 DP flops * 1.1 GHz ~ 986 GFLOPS.
+        assert PHI_31SP.peak_gflops == pytest.approx(985.6)
+
+    def test_reserved_cores_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec(num_cores=4, reserved_cores=4)
+
+    def test_threads_per_core_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec(threads_per_core=0)
+
+    def test_memory_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec(memory_bytes=100)
+
+    def test_with_overrides_returns_new_spec(self):
+        spec = PHI_31SP.with_overrides(clock_ghz=2.0)
+        assert spec.clock_ghz == 2.0
+        assert PHI_31SP.clock_ghz == 1.1
+
+
+class TestHostSpec:
+    def test_paper_host(self):
+        host = HostSpec()
+        assert host.total_cores == 24

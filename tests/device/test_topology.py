@@ -1,0 +1,100 @@
+"""Unit and property tests for partition geometry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import PHI_31SP, Topology
+from repro.device.calibration import PAPER_FAST_PARTITIONS, fast_partition_counts
+from repro.errors import TopologyError
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Topology(PHI_31SP)
+
+
+class TestPartitionGeometry:
+    def test_single_partition_covers_everything(self, topo):
+        (p,) = topo.partitions(1)
+        assert p.thread_start == 0
+        assert p.thread_stop == 224
+        assert p.core_span == 56
+        assert not p.shares_core
+
+    def test_counts_validation(self, topo):
+        with pytest.raises(TopologyError):
+            topo.partitions(0)
+        with pytest.raises(TopologyError):
+            topo.partitions(225)
+
+    def test_four_partitions_are_aligned(self, topo):
+        parts = topo.partitions(4)
+        assert [p.nthreads for p in parts] == [56, 56, 56, 56]
+        assert all(not p.shares_core for p in parts)
+        assert all(p.core_span == 14 for p in parts)
+
+    def test_three_partitions_share_cores(self, topo):
+        parts = topo.partitions(3)
+        # 224 / 3 = 74.67: boundaries fall inside cores.
+        assert any(p.shares_core for p in parts)
+        assert sum(p.nthreads for p in parts) == 224
+
+    def test_paper_fast_set_is_exactly_the_aligned_counts(self):
+        assert tuple(fast_partition_counts()) == PAPER_FAST_PARTITIONS
+
+    def test_divisor_16_is_not_aligned(self, topo):
+        # 16 divides 224 but not 56: partitions of 14 threads split cores.
+        assert not topo.partition_is_aligned(16)
+
+    def test_core_of_thread(self, topo):
+        assert topo.core_of_thread(0) == 0
+        assert topo.core_of_thread(3) == 0
+        assert topo.core_of_thread(4) == 1
+        assert topo.core_of_thread(223) == 55
+        with pytest.raises(TopologyError):
+            topo.core_of_thread(224)
+        with pytest.raises(TopologyError):
+            topo.core_of_thread(-1)
+
+    def test_hotspot_sweet_spot_span(self, topo):
+        # At P in [33, 37] partitions have 6-7 threads spanning <= 3 cores;
+        # the paper observes good cache locality there.  Verify the spans
+        # our model exposes.
+        for count in range(33, 38):
+            spans = [p.core_span for p in topo.partitions(count)]
+            assert max(spans) <= 3
+
+
+class TestPartitionProperties:
+    @given(count=st.integers(min_value=1, max_value=224))
+    @settings(max_examples=100, deadline=None)
+    def test_partitions_tile_thread_space(self, count):
+        topo = Topology(PHI_31SP)
+        parts = topo.partitions(count)
+        assert len(parts) == count
+        # Contiguous, disjoint, covering [0, 224).
+        assert parts[0].thread_start == 0
+        assert parts[-1].thread_stop == 224
+        for a, b in zip(parts, parts[1:]):
+            assert a.thread_stop == b.thread_start
+        # Balanced to within one thread.
+        sizes = [p.nthreads for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(count=st.integers(min_value=1, max_value=224))
+    @settings(max_examples=100, deadline=None)
+    def test_sharing_flag_consistent_with_boundaries(self, count):
+        topo = Topology(PHI_31SP)
+        parts = topo.partitions(count)
+        tpc = PHI_31SP.threads_per_core
+        for p in parts:
+            boundary_cut = (p.thread_start % tpc != 0) or (
+                p.thread_stop % tpc != 0 and p.thread_stop != 224
+            )
+            assert p.shares_core == boundary_cut
+
+    @given(count=st.sampled_from([1, 2, 4, 7, 8, 14, 28, 56]))
+    def test_aligned_counts_never_share(self, count):
+        topo = Topology(PHI_31SP)
+        assert topo.partition_is_aligned(count)

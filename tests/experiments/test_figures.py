@@ -1,0 +1,182 @@
+"""Integration tests: every figure regenerates with its claims passing.
+
+These run the same fast-mode presets as ``python -m repro.experiments``
+and assert the paper's qualitative claims (the ``checks``) hold, plus a
+few quantitative anchors.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig5_transfers,
+    fig6_overlap,
+    fig7_partitions,
+    fig8_apps,
+    fig9_partition_sweep,
+    fig10_tile_sweep,
+    fig11_multimic,
+    heuristics_search,
+)
+
+
+def assert_all_checks(result):
+    failed = [c.description for c in result.checks if not c.passed]
+    assert not failed, f"{result.experiment}: failed checks: {failed}"
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5_transfers.run(fast=True)
+
+    def test_checks(self, result):
+        assert_all_checks(result)
+
+    def test_cc_level_matches_paper(self, result):
+        cc = result.series_by_label("CC")
+        assert cc[0] == pytest.approx(5.2, rel=0.1)
+
+    def test_id_is_half_of_cc(self, result):
+        cc = result.series_by_label("CC")
+        id_ = result.series_by_label("ID")
+        assert id_[0] == pytest.approx(cc[0] / 2, rel=0.1)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_overlap.run(fast=True)
+
+    def test_checks(self, result):
+        assert_all_checks(result)
+
+    def test_data_line_constant(self, result):
+        data = result.series_by_label("Data")
+        assert max(data) == min(data)
+
+
+class TestFig7:
+    def test_checks(self):
+        assert_all_checks(fig7_partitions.run(fast=True))
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {r.experiment: r for r in fig8_apps.run(fast=True)}
+
+    def test_all_panels_present(self, results):
+        assert set(results) == {
+            "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f",
+        }
+
+    @pytest.mark.parametrize(
+        "panel", ["fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f"]
+    )
+    def test_panel_checks(self, results, panel):
+        assert_all_checks(results[panel])
+
+    def test_cf_improvement_factor(self, results):
+        # The paper's largest winner: CF gains ~24 %; ours should gain
+        # at least that order.
+        base = results["fig8b"].series_by_label("w/o")
+        streamed = results["fig8b"].series_by_label("w/")
+        gain = streamed[-1] / base[-1]
+        assert gain > 1.2
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {r.experiment: r for r in fig9_partition_sweep.run(fast=True)}
+
+    @pytest.mark.parametrize(
+        "panel", ["fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f"]
+    )
+    def test_panel_checks(self, results, panel):
+        assert_all_checks(results[panel])
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {r.experiment: r for r in fig10_tile_sweep.run(fast=True)}
+
+    @pytest.mark.parametrize(
+        "panel", ["fig10a", "fig10b", "fig10c", "fig10d", "fig10e", "fig10f"]
+    )
+    def test_panel_checks(self, results, panel):
+        assert_all_checks(results[panel])
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11_multimic.run(fast=True)
+
+    def test_checks(self, result):
+        assert_all_checks(result)
+
+    def test_speedup_between_1_and_2(self, result):
+        one = result.series_by_label("1-mic")
+        two = result.series_by_label("2-mics")
+        for a, b in zip(one, two):
+            assert 1.0 < b / a < 2.0
+
+
+class TestHeuristics:
+    def test_checks(self):
+        assert_all_checks(heuristics_search.run(fast=True))
+
+
+class TestFutureOverlap:
+    def test_checks(self):
+        from repro.experiments import future_overlap
+
+        assert_all_checks(future_overlap.run(fast=True))
+
+
+class TestStreamsPerPlace:
+    def test_checks(self):
+        from repro.experiments import streams_per_place
+
+        assert_all_checks(streams_per_place.run(fast=True))
+
+    def test_every_split_reported(self):
+        from repro.experiments import streams_per_place
+
+        result = streams_per_place.run(fast=True)
+        assert len(result.x) == 4
+
+
+class TestMicroprobes:
+    def test_checks(self):
+        from repro.experiments import microprobes
+
+        assert_all_checks(microprobes.run(fast=True))
+
+
+class TestProtocol:
+    def test_checks(self):
+        from repro.experiments import protocol
+
+        assert_all_checks(protocol.run(fast=True))
+
+
+class TestEnergyExperimentRegistered:
+    def test_checks(self):
+        from repro.experiments import energy
+
+        assert_all_checks(energy.run(fast=True))
+
+
+class TestCliRunAll:
+    def test_run_all_collects_every_panel(self):
+        from repro.experiments.__main__ import EXPERIMENTS
+
+        # All experiments are registered; each run fn is callable.
+        assert {
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "heuristics", "future-overlap", "energy", "streams-per-place",
+            "protocol", "microprobes",
+        } <= set(EXPERIMENTS)

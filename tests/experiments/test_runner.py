@@ -1,0 +1,44 @@
+"""Tests for the experiment-result containers."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentResult
+
+
+@pytest.fixture()
+def result():
+    return ExperimentResult(
+        experiment="figX",
+        title="demo",
+        x_label="n",
+        x=[1, 2, 3],
+        y_label="ms",
+    )
+
+
+class TestExperimentResult:
+    def test_series_length_validated(self, result):
+        with pytest.raises(ExperimentError):
+            result.add_series("bad", [1.0, 2.0])
+
+    def test_series_lookup(self, result):
+        result.add_series("a", [1.0, 2.0, 3.0])
+        assert result.series_by_label("a") == [1.0, 2.0, 3.0]
+        with pytest.raises(ExperimentError):
+            result.series_by_label("missing")
+
+    def test_checks_aggregate(self, result):
+        result.add_check("ok", True)
+        assert result.all_checks_pass
+        result.add_check("bad", False)
+        assert not result.all_checks_pass
+
+    def test_table_and_report_render(self, result):
+        result.add_series("a", [1.0, 2.0, 3.0])
+        result.add_check("claim", True)
+        result.notes = "a note"
+        text = result.report()
+        assert "figX: demo" in text
+        assert "[PASS] claim" in text
+        assert "note: a note" in text

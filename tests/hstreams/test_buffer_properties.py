@@ -1,0 +1,100 @@
+"""Property-based fuzzing of buffer ranges and transfer integrity."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import MicDevice
+from repro.hstreams import Buffer, StreamContext
+from repro.sim import Environment
+
+
+@st.composite
+def ranges(draw, size):
+    offset = draw(st.integers(min_value=0, max_value=size - 1))
+    count = draw(st.integers(min_value=0, max_value=size - offset))
+    return offset, count
+
+
+class TestBufferRangeProperties:
+    @given(
+        size=st.integers(min_value=1, max_value=256),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partial_copies_touch_exactly_the_range(self, size, data):
+        mic = MicDevice(Environment())
+        host = np.arange(size, dtype=np.float64) + 1.0
+        buf = Buffer(host)
+        buf.instantiate(mic)
+        offset, count = data.draw(ranges(size))
+        buf.copy_h2d(mic.index, offset, count)
+        inst = buf.instance(mic.index)
+        assert np.array_equal(
+            inst[offset : offset + count], host[offset : offset + count]
+        )
+        untouched = np.ones(size, dtype=bool)
+        untouched[offset : offset + count] = False
+        assert np.all(inst[untouched] == 0.0)
+
+    @given(
+        size=st.integers(min_value=1, max_value=128),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_through_disjoint_tiles_reconstructs(self, size, data):
+        """Any tiling of the index space round-trips losslessly."""
+        n_cuts = data.draw(st.integers(min_value=0, max_value=5))
+        cuts = sorted(
+            data.draw(
+                st.sets(
+                    st.integers(min_value=1, max_value=size - 1)
+                    if size > 1
+                    else st.nothing(),
+                    max_size=n_cuts,
+                )
+            )
+        ) if size > 1 else []
+        bounds = [0, *cuts, size]
+
+        ctx = StreamContext(places=2)
+        src_host = np.random.default_rng(size).random(size).astype(
+            np.float32
+        )
+        dst_host = np.zeros(size, dtype=np.float32)
+        src = ctx.buffer(src_host.copy())
+        dst = ctx.buffer(dst_host)
+        for i, (lo, hi) in enumerate(zip(bounds, bounds[1:])):
+            stream = ctx.stream(i % 2)
+            stream.h2d(src, offset=lo, count=hi - lo)
+            dst.instantiate(stream.place.device)
+            from repro.device import KernelWork
+
+            def fn(lo=lo, hi=hi, d=stream.place.device.index):
+                dst.instance(d)[lo:hi] = src.instance(d)[lo:hi]
+
+            stream.invoke(
+                KernelWork(
+                    name=f"copy{i}", flops=float(hi - lo),
+                    bytes_touched=8.0 * (hi - lo), thread_rate=1e9,
+                ),
+                fn=fn,
+            )
+            stream.d2h(dst, offset=lo, count=hi - lo)
+        ctx.sync_all()
+        assert np.array_equal(dst_host, src_host)
+
+    @given(size=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_memory_accounting_is_exact(self, size):
+        mic = MicDevice(Environment())
+        buffers = [
+            Buffer(None, shape=(size + i,), dtype=np.float32)
+            for i in range(5)
+        ]
+        for b in buffers:
+            b.instantiate(mic)
+        assert mic.memory.used == sum(b.nbytes for b in buffers)
+        for b in buffers:
+            b.evict(mic.index)
+        assert mic.memory.used == 0

@@ -1,0 +1,135 @@
+"""Tests for context construction, multi-device layout, and the app API."""
+
+import numpy as np
+import pytest
+
+from repro.device import HeteroPlatform, KernelWork, PHI_31SP
+from repro.errors import ConfigurationError
+from repro.hstreams import StreamContext, app_api
+from repro.hstreams.errors import ContextStateError
+
+
+def work(flops=1e8, name="k"):
+    return KernelWork(
+        name=name, flops=flops, bytes_touched=0.0, thread_rate=1e9
+    )
+
+
+class TestContextConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StreamContext(places=0)
+        with pytest.raises(ConfigurationError):
+            StreamContext(places=1, streams_per_place=0)
+
+    def test_places_and_streams(self):
+        ctx = StreamContext(places=4, streams_per_place=2)
+        assert ctx.num_places == 4
+        assert ctx.num_streams == 8
+        assert len(ctx.places) == 4
+        # Each place gets 224/4 = 56 threads.
+        assert all(p.nthreads == 56 for p in ctx.places)
+
+    def test_stream_index_bounds(self):
+        ctx = StreamContext(places=2)
+        with pytest.raises(ConfigurationError):
+            ctx.stream(2)
+
+    def test_init_pays_partition_setup(self):
+        ctx = StreamContext(places=8)
+        expected = 8 * PHI_31SP.overheads.partition_setup
+        assert ctx.now == pytest.approx(expected)
+
+    def test_places_spread_over_devices(self):
+        platform = HeteroPlatform(num_devices=2)
+        ctx = StreamContext(places=4, platform=platform)
+        assert len(ctx.domains) == 2
+        assert [d.num_places for d in ctx.domains] == [2, 2]
+        # Each device was repartitioned into its local place count.
+        assert len(platform.device(0).partitions) == 2
+        assert len(platform.device(1).partitions) == 2
+        # Each device's places use all 224 threads.
+        for domain in ctx.domains:
+            assert sum(p.nthreads for p in domain.places) == 224
+
+    def test_odd_place_count_over_two_devices(self):
+        platform = HeteroPlatform(num_devices=2)
+        ctx = StreamContext(places=5, platform=platform)
+        assert [d.num_places for d in ctx.domains] == [3, 2]
+
+    def test_fewer_places_than_devices_rejected(self):
+        platform = HeteroPlatform(num_devices=2)
+        with pytest.raises(ConfigurationError):
+            StreamContext(places=1, platform=platform)
+
+    def test_cross_device_dependency_pays_sync_cost(self):
+        platform = HeteroPlatform(num_devices=2)
+        ctx = StreamContext(places=2, platform=platform)
+        assert ctx.stream(0).place.device is not ctx.stream(1).place.device
+        first = ctx.stream(0).invoke(work(name="producer"))
+        ctx.stream(1).invoke(work(name="consumer"), deps=(first,))
+        ctx.sync_all()
+        by_label = {e.label: e for e in ctx.trace}
+        gap = by_label["consumer"].start - by_label["producer"].end
+        assert gap >= PHI_31SP.overheads.cross_device_sync
+
+    def test_same_device_dependency_pays_no_cross_cost(self):
+        ctx = StreamContext(places=2)
+        first = ctx.stream(0).invoke(work(name="producer"))
+        ctx.stream(1).invoke(work(name="consumer"), deps=(first,))
+        ctx.sync_all()
+        by_label = {e.label: e for e in ctx.trace}
+        gap = by_label["consumer"].start - by_label["producer"].end
+        assert gap < PHI_31SP.overheads.cross_device_sync
+
+
+class TestAppApi:
+    def teardown_method(self):
+        # Always reset the module-level default context.
+        if app_api._default_context is not None:
+            app_api._default_context = None
+
+    def test_full_workflow(self):
+        app_api.app_init(places=2)
+        host = np.arange(64, dtype=np.float32)
+        out = np.zeros(64, dtype=np.float32)
+        buf = app_api.app_create_buf(host, name="in")
+        obuf = app_api.app_create_buf(out, name="out")
+        app_api.app_xfer_memory(buf, app_api.H2D, stream=0)
+        app_api.app_xfer_memory(obuf, app_api.H2D, stream=0)
+
+        def kernel():
+            obuf.instance(0)[:] = buf.instance(0) * 3.0
+
+        app_api.app_invoke(0, work(name="triple"), fn=kernel)
+        app_api.app_xfer_memory(obuf, app_api.D2H, stream=0)
+        app_api.app_thread_sync()
+        assert np.allclose(out, host * 3.0)
+        app_api.app_fini()
+
+    def test_double_init_rejected(self):
+        app_api.app_init()
+        with pytest.raises(ContextStateError):
+            app_api.app_init()
+        app_api.app_fini()
+
+    def test_use_before_init_rejected(self):
+        with pytest.raises(ContextStateError):
+            app_api.current_context()
+        with pytest.raises(ContextStateError):
+            app_api.app_thread_sync()
+
+    def test_fini_allows_reinit(self):
+        app_api.app_init()
+        app_api.app_fini()
+        ctx = app_api.app_init(places=3)
+        assert ctx.num_places == 3
+        app_api.app_fini()
+
+    def test_event_wait_and_stream_sync(self):
+        app_api.app_init(places=2)
+        a = app_api.app_invoke(0, work(flops=1e9, name="a"))
+        app_api.app_event_wait((a,), stream=1)
+        t = app_api.app_stream_sync(1)
+        assert t >= a.finished_at
+        app_api.app_fini()

@@ -1,0 +1,119 @@
+"""Failure injection: errors inside the runtime surface, never vanish.
+
+A streaming runtime that swallows kernel failures silently corrupts
+results; these tests pin the error-propagation contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.device import KernelWork
+from repro.errors import DeviceMemoryError
+from repro.hstreams import StreamContext
+from repro.hstreams.errors import HstreamsError
+
+
+def work(name="k", flops=1e8):
+    return KernelWork(
+        name=name, flops=flops, bytes_touched=0.0, thread_rate=1e9
+    )
+
+
+class TestKernelFailures:
+    def test_kernel_exception_surfaces_at_sync(self):
+        ctx = StreamContext(places=1)
+
+        def bad_kernel():
+            raise RuntimeError("numerical blow-up")
+
+        ctx.stream(0).invoke(work("bad"), fn=bad_kernel)
+        with pytest.raises(RuntimeError, match="numerical blow-up"):
+            ctx.sync_all()
+
+    def test_failure_reports_on_stream_sync_too(self):
+        ctx = StreamContext(places=2)
+
+        def bad_kernel():
+            raise ValueError("nan detected")
+
+        ctx.stream(1).invoke(work("bad"), fn=bad_kernel)
+        with pytest.raises(ValueError, match="nan detected"):
+            ctx.stream(1).sync()
+
+    def test_earlier_actions_still_completed(self):
+        ctx = StreamContext(places=1)
+        host = np.zeros(4, dtype=np.float32)
+        buf = ctx.buffer(np.ones(4, dtype=np.float32))
+        sink = ctx.buffer(host)
+        s = ctx.stream(0)
+        s.h2d(buf)
+        sink.instantiate(s.place.device)
+
+        def good():
+            sink.instance(0)[:] = buf.instance(0) * 3
+
+        s.invoke(work("good"), fn=good)
+        s.d2h(sink)
+        s.invoke(work("bad"), fn=lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            ctx.sync_all()
+        # Everything enqueued before the failing kernel completed.
+        assert np.all(host == 3.0)
+
+    def test_failure_with_dependent_action_does_not_hang(self):
+        ctx = StreamContext(places=2)
+        bad = ctx.stream(0).invoke(work("bad"), fn=lambda: 1 / 0)
+        ctx.stream(1).invoke(work("dependent"), deps=(bad,))
+        with pytest.raises(ZeroDivisionError):
+            ctx.sync_all()
+
+
+class TestDeadlockDetection:
+    def test_fifo_dependency_cycle_reported(self):
+        from repro.hstreams.errors import DeadlockError
+
+        ctx = StreamContext(places=2)
+        # Stream 0: [blocker, victim]; blocker depends on an action that
+        # itself depends on victim — victim can never start because the
+        # FIFO holds it behind blocker.
+        gate = ctx.env.event()
+        blocker = ctx.stream(0).invoke(work("blocker"), deps=(gate,))
+        victim = ctx.stream(0).invoke(work("victim"))
+        ctx.stream(1).invoke(work("linker"), deps=(victim,)).done.callbacks
+        # gate never fires -> deadlock.
+        with pytest.raises(DeadlockError, match="blocker"):
+            ctx.sync_all()
+
+    def test_healthy_program_not_flagged(self):
+        ctx = StreamContext(places=2)
+        a = ctx.stream(0).invoke(work("a"))
+        ctx.stream(1).invoke(work("b"), deps=(a,))
+        ctx.sync_all()  # no exception
+
+
+class TestResourceFailures:
+    def test_device_memory_exhaustion_surfaces(self):
+        ctx = StreamContext(places=1)
+        spec = ctx.stream(0).place.device.spec
+        huge = ctx.buffer(
+            shape=(spec.memory_bytes + 1,), dtype=np.uint8
+        )
+        ctx.stream(0).h2d(huge, count=0)
+        with pytest.raises(DeviceMemoryError):
+            ctx.sync_all()
+
+    def test_d2h_of_nonresident_buffer_surfaces(self):
+        ctx = StreamContext(places=1)
+        buf = ctx.buffer(shape=(16,), dtype=np.float32)
+        ctx.stream(0).d2h(buf)
+        with pytest.raises(HstreamsError, match="never"):
+            ctx.sync_all()
+
+    def test_bad_range_rejected_at_enqueue(self):
+        from repro.hstreams.errors import BufferStateError
+
+        ctx = StreamContext(places=1)
+        buf = ctx.buffer(shape=(16,), dtype=np.float32)
+        with pytest.raises(BufferStateError):
+            ctx.stream(0).h2d(buf, offset=10, count=10)
+        ctx.sync_all()

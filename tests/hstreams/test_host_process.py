@@ -1,0 +1,98 @@
+"""Tests for host processes: data-dependent control flow in virtual time."""
+
+import numpy as np
+import pytest
+
+from repro.device import KernelWork
+from repro.hstreams import StreamContext
+from repro.hstreams.errors import ContextStateError
+
+
+def work(flops=1e8, name="k"):
+    return KernelWork(
+        name=name, flops=flops, bytes_touched=0.0, thread_rate=1e9
+    )
+
+
+class TestStreamBarrier:
+    def test_barrier_event_fires_after_tail(self):
+        ctx = StreamContext(places=1)
+        action = ctx.stream(0).invoke(work(flops=1e9))
+        barrier = ctx.stream(0).barrier()
+        ctx.run(until=barrier)
+        assert action.finished_at is not None
+        assert ctx.now >= action.finished_at
+
+    def test_barrier_includes_join_cost(self):
+        ctx = StreamContext(places=1)
+        spec = ctx.stream(0).place.device.spec
+        t0 = ctx.now
+        ctx.run(until=ctx.stream(0).barrier())
+        assert ctx.now - t0 == pytest.approx(spec.overheads.sync_per_stream)
+
+
+class TestJoinAll:
+    def test_join_all_waits_for_every_stream(self):
+        ctx = StreamContext(places=3)
+        actions = [
+            ctx.stream(i).invoke(work(flops=(i + 1) * 1e9)) for i in range(3)
+        ]
+        ctx.run(until=ctx.join_all())
+        assert all(a.finished_at is not None for a in actions)
+
+    def test_join_all_rejected_after_fini(self):
+        ctx = StreamContext(places=1)
+        ctx.fini()
+        with pytest.raises(ContextStateError):
+            ctx.join_all()
+
+
+class TestHostProcess:
+    def test_convergence_loop_in_virtual_time(self):
+        """A host process iterates until a computed value converges; the
+        number of iterations is decided *inside* the simulation."""
+        ctx = StreamContext(places=2)
+        value = np.array([100.0])
+        iterations_run = []
+
+        def host():
+            while value[0] > 1.0:
+                for i in range(2):
+                    def halve(i=i):
+                        if i == 0:
+                            value[0] /= 2.0
+
+                    ctx.stream(i).invoke(work(name=f"it{len(iterations_run)}"),
+                                         fn=halve)
+                yield ctx.join_all()
+                iterations_run.append(ctx.now)
+            return len(iterations_run)
+
+        process = ctx.host_process(host())
+        result = ctx.run(until=process)
+        assert result == 7  # 100 / 2^7 < 1
+        assert value[0] < 1.0
+        # Iterations happened at strictly increasing virtual times.
+        assert iterations_run == sorted(iterations_run)
+
+    def test_host_process_can_wait_single_action(self):
+        ctx = StreamContext(places=2)
+
+        def host():
+            first = ctx.stream(0).invoke(work(flops=1e9, name="a"))
+            got = yield first.done
+            assert got is first
+            second = ctx.stream(1).invoke(work(name="b"))
+            yield second.done
+            return ctx.now
+
+        end = ctx.run(until=ctx.host_process(host()))
+        a, b = ctx.trace[0], ctx.trace[1]
+        assert b.start >= a.end
+        assert end >= b.end
+
+    def test_host_process_rejected_after_fini(self):
+        ctx = StreamContext(places=1)
+        ctx.fini()
+        with pytest.raises(ContextStateError):
+            ctx.host_process(iter(()))

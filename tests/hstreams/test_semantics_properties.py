@@ -1,0 +1,134 @@
+"""Property-based tests of the runtime's ordering contracts.
+
+Random programs of transfers and kernels across random stream counts
+must always satisfy: FIFO order within each stream, link exclusivity,
+place exclusivity, and dependency ordering.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import KernelWork
+from repro.hstreams import StreamContext
+from repro.hstreams.enums import ActionKind
+from repro.util.units import MB
+
+
+@st.composite
+def programs(draw):
+    """A random streamed program: per-action (stream, kind, size)."""
+    places = draw(st.sampled_from([1, 2, 4, 7]))
+    n_actions = draw(st.integers(min_value=1, max_value=25))
+    actions = []
+    for _ in range(n_actions):
+        stream = draw(st.integers(min_value=0, max_value=places - 1))
+        kind = draw(st.sampled_from(["h2d", "exe", "d2h"]))
+        size = draw(st.integers(min_value=1, max_value=4))  # MB / Gflop
+        actions.append((stream, kind, size))
+    return places, actions
+
+
+def run_program(places, actions):
+    ctx = StreamContext(places=places)
+    buf = ctx.buffer(shape=(8 * MB,), dtype=np.uint8)
+    for device in {s.place.device for s in ctx.streams}:
+        buf.instantiate(device)
+    enqueued = []
+    for stream_index, kind, size in actions:
+        stream = ctx.stream(stream_index)
+        if kind == "h2d":
+            enqueued.append(stream.h2d(buf, count=size * MB))
+        elif kind == "d2h":
+            enqueued.append(stream.d2h(buf, count=size * MB))
+        else:
+            enqueued.append(
+                stream.invoke(
+                    KernelWork(
+                        name=f"k{len(enqueued)}",
+                        flops=size * 1e8,
+                        bytes_touched=0.0,
+                        thread_rate=1e9,
+                    )
+                )
+            )
+    ctx.sync_all()
+    return ctx, enqueued
+
+
+@given(programs())
+@settings(max_examples=40, deadline=None)
+def test_fifo_order_within_each_stream(program):
+    places, actions = program
+    ctx, enqueued = run_program(places, actions)
+    per_stream: dict[int, list] = {}
+    for action in enqueued:
+        per_stream.setdefault(action.stream.index, []).append(action)
+    for stream_actions in per_stream.values():
+        finish_times = [a.finished_at for a in stream_actions]
+        assert finish_times == sorted(finish_times)
+        for earlier, later in zip(stream_actions, stream_actions[1:]):
+            assert later.started_at >= earlier.finished_at
+
+
+@given(programs())
+@settings(max_examples=40, deadline=None)
+def test_link_transfers_never_overlap(program):
+    places, actions = program
+    ctx, _ = run_program(places, actions)
+    transfers = sorted(
+        (
+            (e.start, e.end)
+            for e in ctx.trace
+            if e.kind in (ActionKind.H2D, ActionKind.D2H) and e.nbytes > 0
+        )
+    )
+    for (s0, e0), (s1, _) in zip(transfers, transfers[1:]):
+        assert s1 >= e0 - 1e-12, "serial link executed two transfers at once"
+
+
+@given(programs())
+@settings(max_examples=40, deadline=None)
+def test_kernels_on_one_place_never_overlap(program):
+    places, actions = program
+    ctx, enqueued = run_program(places, actions)
+    by_place: dict[int, list] = {}
+    for action in enqueued:
+        if action.kind is ActionKind.EXE:
+            by_place.setdefault(action.stream.place.index, []).append(action)
+    for place_actions in by_place.values():
+        intervals = sorted(
+            (a.started_at, a.finished_at) for a in place_actions
+        )
+        for (s0, e0), (s1, _) in zip(intervals, intervals[1:]):
+            assert s1 >= e0 - 1e-12
+
+
+@given(
+    n_chain=st.integers(min_value=2, max_value=8),
+    places=st.sampled_from([2, 4]),
+)
+@settings(max_examples=20, deadline=None)
+def test_random_dependency_chains_are_honoured(n_chain, places):
+    ctx = StreamContext(places=places)
+    rng = np.random.default_rng(n_chain * 10 + places)
+    actions = []
+    for i in range(n_chain):
+        deps = ()
+        if actions and rng.random() < 0.7:
+            deps = (actions[int(rng.integers(len(actions)))],)
+        stream = ctx.stream(int(rng.integers(places)))
+        actions.append(
+            stream.invoke(
+                KernelWork(
+                    name=f"c{i}", flops=1e8, bytes_touched=0.0,
+                    thread_rate=1e9,
+                ),
+                deps=deps,
+            )
+        )
+        actions[-1]._test_deps = deps  # remember for the assertion
+    ctx.sync_all()
+    for action in actions:
+        for dep in action._test_deps:
+            assert action.started_at >= dep.finished_at

@@ -1,0 +1,188 @@
+"""Semantics tests for streams: FIFO order, concurrency, dependencies.
+
+These test the properties that make multiple streams *work* — the very
+mechanisms the paper evaluates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.device import KernelWork
+from repro.hstreams import ActionKind, StreamContext
+from repro.hstreams.errors import ContextStateError, HstreamsError
+from repro.trace import Timeline
+from repro.util.units import MB
+
+
+def work(flops=1e8, name="k", **kwargs):
+    return KernelWork(
+        name=name, flops=flops, bytes_touched=0.0, thread_rate=1e9, **kwargs
+    )
+
+
+def vbuf(ctx, mb=1):
+    return ctx.buffer(shape=(mb * MB,), dtype=np.uint8)
+
+
+class TestFifoSemantics:
+    def test_actions_in_one_stream_never_overlap(self):
+        ctx = StreamContext(places=1)
+        s = ctx.stream(0)
+        buf = vbuf(ctx, 4)
+        s.h2d(buf)
+        s.invoke(work())
+        s.d2h(buf)
+        ctx.sync_all()
+        events = sorted(ctx.trace, key=lambda e: e.start)
+        assert [e.kind for e in events] == [
+            ActionKind.H2D,
+            ActionKind.EXE,
+            ActionKind.D2H,
+        ]
+        for a, b in zip(events, events[1:]):
+            assert b.start >= a.end
+
+    def test_enqueue_is_host_asynchronous(self):
+        ctx = StreamContext(places=1)
+        t0 = ctx.now
+        ctx.stream(0).invoke(work(flops=1e12))
+        # Enqueue does not advance the clock; only sync does.
+        assert ctx.now == t0
+        ctx.sync_all()
+        assert ctx.now > t0
+
+
+class TestCrossStreamConcurrency:
+    def test_kernels_on_different_places_overlap(self):
+        ctx = StreamContext(places=2)
+        ctx.stream(0).invoke(work(flops=1e10, name="a"))
+        ctx.stream(1).invoke(work(flops=1e10, name="b"))
+        ctx.sync_all()
+        tl = Timeline(ctx.trace).filter(kinds=(ActionKind.EXE,))
+        a, b = sorted(tl.events, key=lambda e: e.label)
+        assert a.start < b.end and b.start < a.end, "kernels did not overlap"
+
+    def test_two_streams_one_place_serialise_kernels(self):
+        ctx = StreamContext(places=1, streams_per_place=2)
+        assert ctx.num_streams == 2
+        ctx.stream(0).invoke(work(flops=1e10, name="a"))
+        ctx.stream(1).invoke(work(flops=1e10, name="b"))
+        ctx.sync_all()
+        events = Timeline(ctx.trace).filter(kinds=(ActionKind.EXE,)).events
+        first, second = sorted(events, key=lambda e: e.start)
+        assert second.start >= first.end
+
+    def test_transfers_from_two_streams_serialise_on_link(self):
+        # The single PCIe link is the bottleneck regardless of streams.
+        ctx = StreamContext(places=2)
+        big = 16
+        ctx.stream(0).h2d(vbuf(ctx, big))
+        ctx.stream(1).h2d(vbuf(ctx, big))
+        ctx.sync_all()
+        transfers = Timeline(ctx.trace).filter(
+            kinds=(ActionKind.H2D,)
+        ).events
+        first, second = sorted(transfers, key=lambda e: e.start)
+        assert second.start >= first.end
+
+    def test_transfer_overlaps_other_streams_kernel(self):
+        # Temporal sharing (Fig. 1 / Fig. 6): stream 1's kernel hides
+        # stream 0's transfer.
+        ctx = StreamContext(places=2)
+        ctx.stream(1).invoke(work(flops=5e10, name="long"))
+        ctx.stream(0).h2d(vbuf(ctx, 16))
+        ctx.sync_all()
+        overlap = Timeline(ctx.trace).transfer_compute_overlap()
+        assert overlap > 0.0
+
+    def test_streamed_beats_serial_for_overlappable_pipeline(self):
+        # 4 tasks of (H2D, EXE, D2H) on 4 streams vs 1 stream: the
+        # multi-stream version must be faster (temporal sharing).
+        def makespan(num_places):
+            ctx = StreamContext(places=num_places)
+            t0 = ctx.now
+            for i in range(4):
+                s = ctx.stream(i % ctx.num_streams)
+                buf = vbuf(ctx, 8)
+                s.h2d(buf)
+                s.invoke(work(flops=2.24e11 / 4, name=f"t{i}"))
+                s.d2h(buf)
+            ctx.sync_all()
+            return ctx.now - t0
+
+        assert makespan(4) < makespan(1)
+
+
+class TestDependencies:
+    def test_explicit_dep_orders_across_streams(self):
+        ctx = StreamContext(places=2)
+        first = ctx.stream(0).invoke(work(flops=1e10, name="first"))
+        ctx.stream(1).invoke(work(flops=1e8, name="second"), deps=(first,))
+        ctx.sync_all()
+        by_label = {e.label: e for e in ctx.trace}
+        assert by_label["second"].start >= by_label["first"].end
+
+    def test_dep_on_raw_event(self):
+        ctx = StreamContext(places=1)
+        gate = ctx.env.timeout(1.0)
+        ctx.stream(0).invoke(work(name="gated"), deps=(gate,))
+        ctx.sync_all()
+        assert ctx.trace[0].start >= 1.0
+
+    def test_invalid_dep_rejected(self):
+        ctx = StreamContext(places=1)
+        with pytest.raises(HstreamsError):
+            ctx.stream(0).invoke(work(), deps=("not-an-event",))
+
+    def test_marker_completes_after_fifo(self):
+        ctx = StreamContext(places=1)
+        s = ctx.stream(0)
+        s.invoke(work(flops=1e10))
+        marker = s.marker()
+        ctx.sync_all()
+        exe = next(e for e in ctx.trace if e.kind is ActionKind.EXE)
+        assert marker.finished_at >= exe.end
+
+    def test_d2h_before_any_h2d_fails(self):
+        ctx = StreamContext(places=1)
+        buf = vbuf(ctx)
+        ctx.stream(0).d2h(buf)
+        with pytest.raises(HstreamsError, match="never"):
+            ctx.sync_all()
+
+
+class TestSync:
+    def test_stream_sync_only_waits_for_that_stream(self):
+        ctx = StreamContext(places=2)
+        ctx.stream(0).invoke(work(flops=1e9, name="short"))
+        ctx.stream(1).invoke(work(flops=1e12, name="long"))
+        t_after_s0 = ctx.stream(0).sync()
+        short = next(e for e in ctx.trace if e.label == "short")
+        assert t_after_s0 >= short.end
+        long_events = [e for e in ctx.trace if e.label == "long"]
+        assert not long_events, "stream sync waited for the other stream"
+        ctx.sync_all()
+
+    def test_sync_all_cost_scales_with_stream_count(self):
+        # The host joins streams serially: an idle context still pays
+        # P * sync_per_stream (the Fig. 7 management overhead).
+        def idle_sync_cost(places):
+            ctx = StreamContext(places=places)
+            t0 = ctx.now
+            ctx.sync_all()
+            return ctx.now - t0
+
+        assert idle_sync_cost(32) == pytest.approx(32 * idle_sync_cost(1))
+
+    def test_closed_context_rejects_work(self):
+        ctx = StreamContext(places=1)
+        ctx.fini()
+        with pytest.raises(ContextStateError):
+            ctx.stream(0).invoke(work())
+        with pytest.raises(ContextStateError):
+            ctx.sync_all()
+
+    def test_context_manager_finalises(self):
+        with StreamContext(places=1) as ctx:
+            ctx.stream(0).invoke(work())
+        assert ctx._finalized

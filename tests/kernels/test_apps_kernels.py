@@ -1,0 +1,217 @@
+"""Tests for the kmeans, hotspot, nn and srad kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelError
+from repro.kernels import (
+    hotspot_step,
+    hotspot_work,
+    kmeans_assign,
+    kmeans_assign_work,
+    kmeans_reduce,
+    nn_distances,
+    nn_topk,
+    nn_work,
+    srad_statistics,
+    srad_statistics_work,
+    srad_update,
+    srad_update_work,
+)
+from repro.kernels.nn import merge_topk
+from repro.kernels.srad import q0sqr_from_stats
+from repro.kernels.hotspot import AMB_TEMP
+
+
+class TestKmeans:
+    def test_assignment_matches_bruteforce(self):
+        rng = np.random.default_rng(0)
+        points = rng.random((200, 5)).astype(np.float32)
+        centroids = rng.random((4, 5)).astype(np.float32)
+        labels, sums, counts = kmeans_assign(points, centroids)
+        dists = np.linalg.norm(
+            points[:, None, :] - centroids[None, :, :], axis=2
+        )
+        assert np.array_equal(labels, np.argmin(dists, axis=1))
+        assert counts.sum() == 200
+        for k in range(4):
+            assert np.allclose(sums[k], points[labels == k].sum(axis=0))
+
+    def test_feature_mismatch_rejected(self):
+        with pytest.raises(KernelError):
+            kmeans_assign(np.zeros((4, 3)), np.zeros((2, 5)))
+
+    def test_reduce_forms_means(self):
+        prev = np.zeros((2, 2))
+        sums = [np.array([[2.0, 2.0], [0.0, 0.0]])]
+        counts = [np.array([2, 0])]
+        new = kmeans_reduce(sums, counts, prev)
+        assert np.allclose(new[0], [1.0, 1.0])
+        assert np.allclose(new[1], prev[1])  # empty cluster keeps centroid
+
+    def test_reduce_validation(self):
+        with pytest.raises(KernelError):
+            kmeans_reduce([], [], np.zeros((2, 2)))
+
+    def test_full_lloyd_iteration_converges_on_blobs(self):
+        rng = np.random.default_rng(1)
+        blob_a = rng.normal(0.0, 0.1, (100, 2))
+        blob_b = rng.normal(5.0, 0.1, (100, 2))
+        points = np.vstack([blob_a, blob_b]).astype(np.float64)
+        centroids = np.array([[1.0, 1.0], [4.0, 4.0]])
+        for _ in range(10):
+            _, sums, counts = kmeans_assign(points, centroids)
+            centroids = kmeans_reduce([sums], [counts], centroids)
+        assert np.allclose(
+            sorted(centroids[:, 0]), [0.0, 5.0], atol=0.15
+        )
+
+    def test_work_has_alloc_overhead(self):
+        w = kmeans_assign_work(20000, 8)
+        assert w.temp_alloc_bytes > 0
+        with pytest.raises(KernelError):
+            kmeans_assign_work(0, 8)
+
+
+class TestHotspot:
+    def test_uniform_grid_relaxes_toward_ambient(self):
+        temp = np.full((16, 16), 100.0, dtype=np.float64)
+        power = np.zeros_like(temp)
+        out = hotspot_step(temp, power, step=1.0)
+        # No gradients, no power: only the ambient term acts.
+        assert np.all(out < temp)
+        assert np.all(out > AMB_TEMP)
+
+    def test_matches_explicit_loop(self):
+        rng = np.random.default_rng(2)
+        temp = rng.uniform(70, 90, (8, 8))
+        power = rng.uniform(0, 1, (8, 8))
+        out = hotspot_step(temp, power, step=0.5)
+        from repro.kernels.hotspot import CAP_RATIO, RX, RY, RZ
+
+        padded = np.pad(temp, 1, mode="edge")
+        for i in range(8):
+            for j in range(8):
+                delta = 0.5 * CAP_RATIO * (
+                    power[i, j]
+                    + (padded[i, j + 1] + padded[i + 2, j + 1] - 2 * temp[i, j]) / RY
+                    + (padded[i + 1, j + 2] + padded[i + 1, j] - 2 * temp[i, j]) / RX
+                    + (AMB_TEMP - temp[i, j]) / RZ
+                )
+                assert out[i, j] == pytest.approx(temp[i, j] + delta)
+
+    def test_shape_validation(self):
+        with pytest.raises(KernelError):
+            hotspot_step(np.zeros((4, 4)), np.zeros((4, 5)))
+
+    def test_work_is_cache_sensitive(self):
+        w = hotspot_work(1024, 1024)
+        assert w.cache_sensitive
+        with pytest.raises(KernelError):
+            hotspot_work(0, 4)
+
+
+class TestNN:
+    def test_distances_match_numpy(self):
+        rng = np.random.default_rng(3)
+        records = rng.uniform(-90, 90, (100, 2)).astype(np.float32)
+        d = nn_distances(records, (40.0, 120.0))
+        expected = np.sqrt(
+            (records[:, 0] - 40.0) ** 2 + (records[:, 1] - 120.0) ** 2
+        )
+        assert np.allclose(d, expected, rtol=1e-5)
+
+    def test_shape_validation(self):
+        with pytest.raises(KernelError):
+            nn_distances(np.zeros((4, 3)), (0.0, 0.0))
+
+    def test_topk_and_merge(self):
+        d1 = np.array([5.0, 1.0, 3.0])
+        d2 = np.array([0.5, 9.0, 2.0])
+        top1 = nn_topk(d1, 2, offset=0)
+        top2 = nn_topk(d2, 2, offset=3)
+        merged = merge_topk([top1, top2], 3)
+        assert [i for _, i in merged] == [3, 1, 5]
+        assert merged[0][0] == 0.5
+
+    def test_topk_validation(self):
+        with pytest.raises(KernelError):
+            nn_topk(np.array([1.0]), 0)
+
+    def test_topk_k_larger_than_tile(self):
+        top = nn_topk(np.array([2.0, 1.0]), 10)
+        assert len(top) == 2
+
+    @given(
+        n=st.integers(4, 64),
+        k=st.integers(1, 5),
+        tiles=st.integers(1, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_tiled_topk_equals_global_topk(self, n, k, tiles):
+        rng = np.random.default_rng(n * 100 + k * 10 + tiles)
+        d = rng.random(n)
+        bounds = np.linspace(0, n, tiles + 1).astype(int)
+        partials = [
+            nn_topk(d[a:b], k, offset=a)
+            for a, b in zip(bounds, bounds[1:])
+            if b > a
+        ]
+        merged = merge_topk(partials, k)
+        expected = sorted((float(v), i) for i, v in enumerate(d))[:k]
+        assert merged == expected
+
+    def test_work_validation(self):
+        with pytest.raises(KernelError):
+            nn_work(0)
+
+
+class TestSrad:
+    def test_statistics(self):
+        img = np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32)
+        total, total_sq = srad_statistics(img)
+        assert total == pytest.approx(10.0)
+        assert total_sq == pytest.approx(30.0)
+
+    def test_q0sqr(self):
+        # variance / mean^2 of [1,2,3,4]: mean 2.5, var 1.25.
+        q = q0sqr_from_stats(10.0, 30.0, 4)
+        assert q == pytest.approx(1.25 / 6.25)
+        with pytest.raises(KernelError):
+            q0sqr_from_stats(0.0, 0.0, 4)
+
+    def test_uniform_image_is_fixed_point(self):
+        img = np.full((16, 16), 3.0, dtype=np.float64)
+        total, total_sq = srad_statistics(img)
+        q0 = q0sqr_from_stats(total, total_sq, img.size)
+        assert q0 == pytest.approx(0.0)
+        out = srad_update(img, q0sqr=1e-8, lam=0.5)
+        assert np.allclose(out, img)
+
+    def test_diffusion_smooths_speckle(self):
+        rng = np.random.default_rng(4)
+        img = np.exp(rng.normal(0.0, 0.3, (64, 64))).astype(np.float64)
+        total, total_sq = srad_statistics(img)
+        q0 = q0sqr_from_stats(total, total_sq, img.size)
+        out = img
+        for _ in range(20):
+            out = srad_update(out, q0, lam=0.5)
+        assert np.std(out) < np.std(img)
+        assert np.all(np.isfinite(out))
+
+    def test_lambda_validation(self):
+        with pytest.raises(KernelError):
+            srad_update(np.ones((4, 4)), 0.1, lam=0.0)
+
+    def test_update_work_allocates_scratch(self):
+        w = srad_update_work(100, 100)
+        assert w.temp_alloc_bytes == 4 * 100 * 100 * 4
+        assert w.cache_sensitive
+        s = srad_statistics_work(100, 100)
+        assert s.temp_alloc_bytes == 0
+        with pytest.raises(KernelError):
+            srad_update_work(0, 1)
+        with pytest.raises(KernelError):
+            srad_statistics_work(1, 0)

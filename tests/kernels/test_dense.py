@@ -1,0 +1,178 @@
+"""Tests for vecadd, gemm, and the Cholesky tile kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import KernelError
+from repro.kernels import (
+    gemm,
+    gemm_work,
+    potrf,
+    potrf_work,
+    trsm,
+    trsm_work,
+    vecadd,
+    vecadd_work,
+)
+from repro.kernels.cholesky import gemm_update_work, syrk_update_work
+from repro.kernels.cost import tile_efficiency
+
+
+class TestVecadd:
+    def test_result_matches_numpy(self):
+        a = np.arange(100, dtype=np.float32)
+        assert np.allclose(vecadd(a, 2.5, 10), a + 2.5)
+
+    def test_out_parameter(self):
+        a = np.ones(8, dtype=np.float32)
+        out = np.empty(8, dtype=np.float32)
+        result = vecadd(a, 1.0, 1, out=out)
+        assert result is out
+        assert np.all(out == 2.0)
+
+    def test_iterations_validation(self):
+        with pytest.raises(KernelError):
+            vecadd(np.ones(4), 1.0, 0)
+
+    def test_work_scales_with_iterations(self):
+        w1 = vecadd_work(1000, 10)
+        w2 = vecadd_work(1000, 20)
+        assert w2.flops == 2 * w1.flops
+        assert w2.bytes_touched == w1.bytes_touched  # cache-resident adds
+
+    def test_work_validation(self):
+        with pytest.raises(KernelError):
+            vecadd_work(-1, 10)
+        with pytest.raises(KernelError):
+            vecadd_work(10, 0)
+
+
+class TestGemm:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((5, 7))
+        b = rng.random((7, 3))
+        c = np.zeros((5, 3))
+        gemm(a, b, c, accumulate=False)
+        assert np.allclose(c, a @ b)
+
+    def test_accumulate(self):
+        a = np.eye(3)
+        b = np.eye(3)
+        c = np.full((3, 3), 2.0)
+        gemm(a, b, c, accumulate=True)
+        assert np.allclose(c, 2.0 + np.eye(3))
+
+    def test_shape_validation(self):
+        with pytest.raises(KernelError):
+            gemm(np.zeros((2, 3)), np.zeros((4, 2)), np.zeros((2, 2)))
+        with pytest.raises(KernelError):
+            gemm(np.zeros(3), np.zeros((3, 3)), np.zeros((3, 3)))
+
+    def test_work_flop_count(self):
+        w = gemm_work(100, 200, 300)
+        assert w.flops == 2 * 100 * 200 * 300
+
+    def test_small_tiles_less_efficient(self):
+        small = gemm_work(32, 32, 32)
+        large = gemm_work(2048, 2048, 2048)
+        assert small.efficiency < large.efficiency
+
+    def test_work_validation(self):
+        with pytest.raises(KernelError):
+            gemm_work(0, 1, 1)
+
+    @given(
+        m=st.integers(1, 8),
+        n=st.integers(1, 8),
+        k=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gemm_property_random_shapes(self, m, n, k):
+        rng = np.random.default_rng(m * 64 + n * 8 + k)
+        a, b = rng.random((m, k)), rng.random((k, n))
+        c = np.zeros((m, n))
+        gemm(a, b, c, accumulate=False)
+        assert np.allclose(c, a @ b)
+
+
+class TestCholeskyKernels:
+    @staticmethod
+    def spd(n, seed=0):
+        rng = np.random.default_rng(seed)
+        m = rng.random((n, n))
+        return m @ m.T + n * np.eye(n)
+
+    def test_potrf_matches_numpy(self):
+        a = self.spd(16)
+        expected = np.linalg.cholesky(a)
+        tile = a.copy()
+        potrf(tile)
+        assert np.allclose(tile, expected)
+
+    def test_potrf_shape_validation(self):
+        with pytest.raises(KernelError):
+            potrf(np.zeros((3, 4)))
+
+    def test_trsm_solves_panel(self):
+        a = self.spd(8, seed=1)
+        diag = np.linalg.cholesky(a)
+        rng = np.random.default_rng(2)
+        panel = rng.random((5, 8))
+        expected = panel @ np.linalg.inv(diag.T)
+        trsm(panel, diag)
+        assert np.allclose(panel, expected)
+
+    def test_trsm_shape_validation(self):
+        with pytest.raises(KernelError):
+            trsm(np.zeros((5, 8)), np.zeros((7, 7)))
+
+    def test_blocked_factorisation_reconstructs(self):
+        # Full blocked right-looking Cholesky over 2x2 tiles using only
+        # the tile kernels; verify L @ L.T == A.
+        n, b = 16, 8
+        a = self.spd(n, seed=3)
+        tiles = {
+            (i, j): a[i * b : (i + 1) * b, j * b : (j + 1) * b].copy()
+            for i in range(2)
+            for j in range(2)
+        }
+        potrf(tiles[(0, 0)])
+        trsm(tiles[(1, 0)], tiles[(0, 0)])
+        tiles[(1, 1)] -= tiles[(1, 0)] @ tiles[(1, 0)].T
+        potrf(tiles[(1, 1)])
+        lower = np.zeros((n, n))
+        lower[:b, :b] = np.tril(tiles[(0, 0)])
+        lower[b:, :b] = tiles[(1, 0)]
+        lower[b:, b:] = np.tril(tiles[(1, 1)])
+        assert np.allclose(lower @ lower.T, a)
+
+    def test_work_flop_ratios(self):
+        b = 64
+        w_potrf = potrf_work(b)
+        w_trsm = trsm_work(b)
+        w_syrk = syrk_update_work(b)
+        w_gemm = gemm_update_work(b)
+        assert w_trsm.flops == pytest.approx(3 * w_potrf.flops)
+        assert w_syrk.flops == w_trsm.flops
+        assert w_gemm.flops == 2 * w_syrk.flops
+        assert w_potrf.serial_time > 0
+
+    def test_work_validation(self):
+        for builder in (potrf_work, trsm_work, syrk_update_work, gemm_update_work):
+            with pytest.raises(KernelError):
+                builder(0)
+
+
+class TestTileEfficiency:
+    def test_monotone_in_tile_size(self):
+        effs = [tile_efficiency(b) for b in (16, 64, 256, 1024)]
+        assert effs == sorted(effs)
+        assert all(0 < e < 1 for e in effs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tile_efficiency(0)

@@ -1,0 +1,135 @@
+"""Tests for the analytical transfer/overlap/stream-count models."""
+
+import pytest
+
+from repro.apps import HBench
+from repro.device.spec import LinkSpec, PHI_31SP
+from repro.errors import ConfigurationError
+from repro.model import (
+    OverlapModel,
+    Regime,
+    TransferModel,
+    optimal_streams,
+    streamed_time_estimate,
+)
+from repro.util.units import MB
+
+FULL_DUPLEX = PHI_31SP.with_overrides(link=LinkSpec(full_duplex=True))
+
+
+class TestTransferModel:
+    def test_affine_in_chunks(self):
+        tm = TransferModel()
+        one = tm.time(16 * MB, chunks=1)
+        four = tm.time(16 * MB, chunks=4)
+        assert four == pytest.approx(
+            one + 3 * PHI_31SP.link.latency
+        )
+
+    def test_zero_bytes(self):
+        assert TransferModel().time(0) == 0.0
+
+    def test_validation(self):
+        tm = TransferModel()
+        with pytest.raises(ConfigurationError):
+            tm.time(1, chunks=0)
+        with pytest.raises(ConfigurationError):
+            tm.time(-1)
+        with pytest.raises(ConfigurationError):
+            tm.bandwidth_at(0)
+
+    def test_round_trip_serialises_on_phi(self):
+        tm = TransferModel()
+        assert tm.round_trip(16 * MB, 16 * MB) == pytest.approx(
+            2 * tm.time(16 * MB)
+        )
+
+    def test_round_trip_overlaps_full_duplex(self):
+        tm = TransferModel(spec=FULL_DUPLEX)
+        assert tm.round_trip(16 * MB, 16 * MB) == pytest.approx(
+            tm.time(16 * MB)
+        )
+
+    def test_effective_bandwidth_grows_with_chunk_size(self):
+        tm = TransferModel()
+        assert tm.bandwidth_at(16 * MB) > tm.bandwidth_at(64 * 1024)
+        assert tm.bandwidth_at(16 * MB) < PHI_31SP.link.bandwidth
+
+
+class TestOverlapModel:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OverlapModel(-1.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            OverlapModel(1.0, 1.0, 1.0).streamed(0)
+
+    def test_serial_is_sum(self):
+        m = OverlapModel(1.0, 2.0, 3.0)
+        assert m.serial() == 6.0
+
+    def test_ideal_half_duplex_sums_transfers(self):
+        m = OverlapModel(2.0, 3.0, 2.0)
+        assert m.ideal() == 4.0  # max(2+2, 3)
+
+    def test_ideal_full_duplex_takes_max(self):
+        m = OverlapModel(2.0, 3.0, 2.0, spec=FULL_DUPLEX)
+        assert m.ideal() == 3.0
+
+    def test_streamed_between_ideal_and_serial(self):
+        m = OverlapModel(1.0, 2.0, 1.0)
+        for n in (2, 4, 8):
+            assert m.ideal() <= m.streamed(n) <= m.serial()
+
+    def test_streamed_improves_with_streams(self):
+        m = OverlapModel(1.0, 2.0, 1.0)
+        assert m.streamed(8) < m.streamed(2) < m.streamed(1)
+
+    def test_regimes(self):
+        assert (
+            OverlapModel(3.0, 1.0, 3.0).regime()
+            is Regime.DOMINANT_TRANSFERS
+        )
+        assert OverlapModel(1.0, 9.0, 1.0).regime() is Regime.DOMINANT_KERNEL
+        assert OverlapModel(1.0, 2.0, 1.0).regime() is Regime.BALANCED
+
+    def test_speedup_bound(self):
+        m = OverlapModel(1.0, 2.0, 1.0)
+        assert m.speedup_bound() == pytest.approx(4.0 / 2.0)
+
+    def test_predicts_measured_hbench_within_5_percent(self):
+        # The model should track the simulated Fig. 6 streamed times.
+        hb = HBench()
+        for iterations in (20, 40, 60):
+            m = OverlapModel(
+                hb.data_time() / 2,
+                hb.kernel_time(iterations),
+                hb.data_time() / 2,
+            )
+            predicted = streamed_time_estimate(
+                hb.data_time() / 2,
+                hb.kernel_time(iterations),
+                hb.data_time() / 2,
+                streams=4,
+            )
+            measured = hb.streamed_time(iterations, streams=4)
+            assert predicted == pytest.approx(measured, rel=0.05)
+            assert m.ideal() <= measured <= m.serial() * 1.05
+
+
+class TestOptimalStreams:
+    def test_returns_core_aligned_count(self):
+        n, _ = optimal_streams(1e-3, 5e-3, 1e-3)
+        assert PHI_31SP.usable_cores % n == 0
+
+    def test_kernel_dominant_prefers_more_streams(self):
+        n_kernel, _ = optimal_streams(1e-3, 50e-3, 1e-3)
+        n_transfer, _ = optimal_streams(50e-3, 1e-3, 50e-3)
+        assert n_kernel >= n_transfer
+
+    def test_overhead_prevents_degenerate_maximum(self):
+        n, _ = optimal_streams(1e-3, 5e-3, 1e-3)
+        assert n < PHI_31SP.usable_cores
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            optimal_streams(1e-3, 1e-3, 1e-3, max_streams=0)

@@ -1,0 +1,99 @@
+"""Tests for model-vs-simulation validation and the scheduling policy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model import (
+    max_rel_error,
+    validate_overlap_model,
+    validation_report,
+)
+
+
+class TestOverlapValidation:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return validate_overlap_model()
+
+    def test_grid_size(self, points):
+        assert len(points) == 15  # 5 intensities x 3 stream counts
+
+    def test_model_tracks_simulation(self, points):
+        assert max_rel_error(points) < 0.05
+
+    def test_median_error_is_small(self, points):
+        errors = sorted(p.rel_error for p in points)
+        assert errors[len(errors) // 2] < 0.02
+
+    def test_report_renders(self, points):
+        text = validation_report(points)
+        assert "predicted" in text and "simulated" in text
+
+    def test_validation_inputs_checked(self):
+        with pytest.raises(ConfigurationError):
+            validate_overlap_model(iterations=())
+        with pytest.raises(ConfigurationError):
+            max_rel_error([])
+
+
+class TestLeastLoadedPolicy:
+    def test_balances_heterogeneous_tasks(self):
+        from repro.device import KernelWork
+        from repro.hstreams import StreamContext
+        from repro.pipeline import (
+            MappingPolicy,
+            Task,
+            TaskGraph,
+            schedule_graph,
+        )
+
+        def work(flops, name):
+            return KernelWork(
+                name=name, flops=flops, bytes_touched=0.0, thread_rate=1e9
+            )
+
+        # Pathological round-robin case: big tasks all land on stream 0.
+        sizes = [8e9, 1e8, 1e8, 1e8] * 4
+
+        def makespan(policy):
+            ctx = StreamContext(places=4)
+            graph = TaskGraph(
+                Task(name=f"t{i}", work=work(s, f"t{i}"))
+                for i, s in enumerate(sizes)
+            )
+            t0 = ctx.now
+            schedule_graph(graph, ctx, policy)
+            ctx.sync_all()
+            return ctx.now - t0
+
+        rr = makespan(MappingPolicy.ROUND_ROBIN)
+        ll = makespan(MappingPolicy.LEAST_LOADED)
+        assert ll < 0.5 * rr
+
+    def test_homogeneous_tasks_spread_evenly(self):
+        from repro.device import KernelWork
+        from repro.hstreams import StreamContext
+        from repro.pipeline import (
+            MappingPolicy,
+            Task,
+            TaskGraph,
+            schedule_graph,
+        )
+
+        ctx = StreamContext(places=4)
+        graph = TaskGraph(
+            Task(
+                name=f"t{i}",
+                work=KernelWork(
+                    name=f"t{i}", flops=1e9, bytes_touched=0.0,
+                    thread_rate=1e9,
+                ),
+            )
+            for i in range(8)
+        )
+        sched = schedule_graph(graph, ctx, MappingPolicy.LEAST_LOADED)
+        ctx.sync_all()
+        per_stream = [0] * 4
+        for record in sched.values():
+            per_stream[record.stream] += 1
+        assert per_stream == [2, 2, 2, 2]

@@ -1,0 +1,63 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.util.asciiplot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_single_series_extremes_labelled(self):
+        chart = ascii_plot([1, 2, 3], {"y": [1.0, 5.0, 2.0]})
+        assert "5" in chart and "1" in chart
+        assert "o: y" in chart
+
+    def test_multiple_series_glyphs(self):
+        chart = ascii_plot(
+            [1, 2], {"a": [1.0, 2.0], "b": [2.0, 1.0]}
+        )
+        assert "o: a" in chart and "x: b" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_log_scale(self):
+        chart = ascii_plot(
+            [1, 2, 3], {"y": [1.0, 10.0, 100.0]}, log_y=True
+        )
+        # On a log scale the three points are equally spaced; the middle
+        # point sits near the vertical middle.
+        rows = [line for line in chart.splitlines() if "|" in line]
+        middle_rows = rows[len(rows) // 3 : 2 * len(rows) // 3 + 1]
+        assert any("o" in row for row in middle_rows)
+
+    def test_constant_series(self):
+        chart = ascii_plot([1, 2, 3], {"y": [4.0, 4.0, 4.0]})
+        grid = "\n".join(
+            line for line in chart.splitlines() if line.rstrip().endswith("|")
+        )
+        assert grid.count("o") == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1], {})
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], {"y": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_plot([1], {"y": [0.0]}, log_y=True)
+        with pytest.raises(ValueError):
+            ascii_plot([1], {"y": [1.0]}, height=2)
+        with pytest.raises(ValueError):
+            ascii_plot(
+                [1],
+                {f"s{i}": [1.0] for i in range(9)},
+            )
+
+    def test_experiment_result_plot_integration(self):
+        from repro.experiments.runner import ExperimentResult
+
+        result = ExperimentResult(
+            experiment="figX", title="t", x_label="n", x=[1, 2, 4],
+            y_label="ms",
+        )
+        result.add_series("time", [3.0, 1.0, 2.0])
+        text = result.report(plot=True)
+        assert "o: time" in text
+        assert "figX" in text

@@ -1,0 +1,101 @@
+"""Tests for the util helpers and global configuration."""
+
+import pytest
+
+from repro.config import FAST_PROTOCOL, PAPER_PROTOCOL, RunProtocol, Scale
+from repro.util import (
+    GB,
+    KB,
+    MB,
+    ascii_table,
+    bytes_to_mb,
+    fmt_bytes,
+    fmt_time,
+    gflops,
+)
+
+
+class TestUnits:
+    def test_constants(self):
+        assert KB == 1024
+        assert MB == KB * 1024
+        assert GB == MB * 1024
+
+    def test_bytes_to_mb(self):
+        assert bytes_to_mb(16 * MB) == 16.0
+
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (512, "512 B"),
+            (2048, "2.0 KB"),
+            (16 * MB, "16.0 MB"),
+            (3 * GB, "3.0 GB"),
+            (5 * 1024 * GB, "5.0 TB"),
+        ],
+    )
+    def test_fmt_bytes(self, nbytes, expected):
+        assert fmt_bytes(nbytes) == expected
+
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (5e-9, "5.00 ns"),
+            (2.5e-6, "2.50 us"),
+            (1.5e-3, "1.50 ms"),
+            (0.25, "250.00 ms"),
+            (3.0, "3.000 s"),
+        ],
+    )
+    def test_fmt_time(self, seconds, expected):
+        assert fmt_time(seconds) == expected
+
+    def test_fmt_time_negative(self):
+        assert fmt_time(-1e-3) == "-1.00 ms"
+
+    def test_gflops(self):
+        assert gflops(2e9, 1.0) == 2.0
+        with pytest.raises(ValueError):
+            gflops(1e9, 0.0)
+
+
+class TestAsciiTable:
+    def test_alignment_and_title(self):
+        text = ascii_table(
+            ["name", "value"],
+            [["alpha", 1.0], ["b", 123456.0]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        # All data lines share the same width.
+        assert len(set(len(line) for line in lines[1:])) <= 2
+
+    def test_row_length_validated(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [["only-one"]])
+
+    def test_float_formatting(self):
+        text = ascii_table(["v"], [[0.12349], [1234.5], [12.3]])
+        assert "0.1235" in text
+        assert "1234" in text  # no decimals above 1000
+        assert "12.30" in text
+
+    def test_zero(self):
+        assert "0" in ascii_table(["v"], [[0.0]])
+
+
+class TestConfig:
+    def test_scale_values(self):
+        assert Scale.PAPER.value == "paper"
+        assert str(Scale.TINY) == "tiny"
+
+    def test_protocols(self):
+        assert PAPER_PROTOCOL.iterations == 11
+        assert PAPER_PROTOCOL.measured == 10
+        assert FAST_PROTOCOL.measured == 1
+
+    def test_protocol_validation(self):
+        with pytest.raises(ValueError):
+            RunProtocol(iterations=2, warmup=2)

@@ -1,0 +1,105 @@
+"""Tests for the energy model and the energy experiment."""
+
+import pytest
+
+from repro.device.spec import PHI_31SP, PowerSpec
+from repro.errors import ConfigurationError, ReproError
+from repro.hstreams.enums import ActionKind
+from repro.trace import energy_report
+from repro.trace.events import TraceEvent
+
+
+def ev(kind, start, end, threads=0, nbytes=0):
+    return TraceEvent(
+        kind=kind, stream=0, device=0, start=start, end=end,
+        nbytes=nbytes, threads=threads,
+    )
+
+
+class TestPowerSpec:
+    def test_defaults_near_tdp(self):
+        power = PHI_31SP.power
+        full_load = power.idle_watts + 224 * power.active_watts_per_thread
+        assert 250 <= full_load <= 290  # around the 270 W TDP
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerSpec(idle_watts=-1)
+
+
+class TestEnergyReport:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ReproError):
+            energy_report([])
+
+    def test_hand_computed_breakdown(self):
+        power = PHI_31SP.power
+        events = [
+            ev(ActionKind.H2D, 0.0, 1.0, nbytes=100),
+            ev(ActionKind.EXE, 1.0, 3.0, threads=100),
+        ]
+        report = energy_report(events)
+        assert report.makespan == 3.0
+        assert report.idle_joules == pytest.approx(3.0 * power.idle_watts)
+        assert report.compute_joules == pytest.approx(
+            2.0 * 100 * power.active_watts_per_thread
+        )
+        assert report.link_joules == pytest.approx(1.0 * power.link_watts)
+        assert report.total_joules == pytest.approx(
+            report.idle_joules + report.compute_joules + report.link_joules
+        )
+
+    def test_average_watts_and_perf_per_watt(self):
+        events = [ev(ActionKind.EXE, 0.0, 2.0, threads=224)]
+        report = energy_report(events)
+        assert report.average_watts > PHI_31SP.power.idle_watts
+        ppw = report.gflops_per_watt(1e12)
+        assert ppw > 0
+        with pytest.raises(ReproError):
+            report.gflops_per_watt(0.0)
+
+    def test_second_idle_card_costs_energy(self):
+        events = [ev(ActionKind.EXE, 0.0, 1.0, threads=10)]
+        one = energy_report(events, num_devices=1)
+        two = energy_report(events, num_devices=2)
+        assert two.total_joules == pytest.approx(
+            one.total_joules + PHI_31SP.power.idle_watts
+        )
+        with pytest.raises(ReproError):
+            energy_report(events, num_devices=0)
+
+    def test_table_renders(self):
+        events = [ev(ActionKind.EXE, 0.0, 1.0, threads=10)]
+        text = energy_report(events).to_table()
+        assert "total energy" in text
+
+    def test_kernel_trace_events_carry_threads(self):
+        import numpy as np
+
+        from repro.device import KernelWork
+        from repro.hstreams import StreamContext
+
+        ctx = StreamContext(places=4)
+        ctx.stream(0).invoke(
+            KernelWork(name="k", flops=1e8, bytes_touched=0.0,
+                       thread_rate=1e9)
+        )
+        ctx.sync_all()
+        exe = next(e for e in ctx.trace if e.kind is ActionKind.EXE)
+        assert exe.threads == 56  # 224 / 4 places
+
+
+class TestEnergyExperiment:
+    def test_checks_pass(self):
+        from repro.experiments import energy
+
+        result = energy.run(fast=True)
+        assert result.all_checks_pass
+
+    def test_streamed_saves_idle_energy(self):
+        from repro.experiments import energy
+
+        result = energy.run(fast=True)
+        joules = result.series_by_label("energy [J]")
+        # CF: the big winner in time is also the big winner in energy.
+        assert joules[3] < 0.9 * joules[2]

@@ -1,0 +1,88 @@
+"""Tests for Gantt rendering and Chrome-tracing export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.device import KernelWork
+from repro.errors import ReproError
+from repro.hstreams import StreamContext
+from repro.hstreams.enums import ActionKind
+from repro.trace import render_gantt, to_chrome_trace, write_chrome_trace
+from repro.trace.events import TraceEvent
+
+
+@pytest.fixture(scope="module")
+def trace():
+    """A small real trace: 2 streams pipelining (H2D, EXE, D2H)."""
+    ctx = StreamContext(places=2)
+    buf = ctx.buffer(shape=(1 << 22,), dtype=np.float32)
+    for i in range(2):
+        s = ctx.stream(i)
+        s.h2d(buf, offset=i * (1 << 21), count=1 << 21)
+        s.invoke(
+            KernelWork(
+                name=f"k{i}", flops=1e9, bytes_touched=0.0, thread_rate=1e9
+            )
+        )
+        s.d2h(buf, offset=i * (1 << 21), count=1 << 21)
+    ctx.sync_all()
+    return ctx.trace
+
+
+class TestGantt:
+    def test_renders_all_streams(self, trace):
+        art = render_gantt(trace)
+        assert "s0 |" in art
+        assert "s1 |" in art
+        assert "#" in art and ">" in art and "<" in art
+
+    def test_lane_by_kind(self, trace):
+        art = render_gantt(trace, lane_by="kind")
+        assert "h2d" in art and "exe" in art and "d2h" in art
+
+    def test_empty_trace(self):
+        assert render_gantt([]) == "(empty trace)"
+
+    def test_validation(self, trace):
+        with pytest.raises(ReproError):
+            render_gantt(trace, width=5)
+        with pytest.raises(ReproError):
+            render_gantt(trace, lane_by="color")
+
+    def test_marker_glyph(self):
+        events = [
+            TraceEvent(
+                kind=ActionKind.MARKER, stream=0, device=0,
+                start=1.0, end=1.0,
+            )
+        ]
+        assert "|" in render_gantt(events)
+
+
+class TestChromeTrace:
+    def test_records_shape(self, trace):
+        records = to_chrome_trace(trace)
+        assert len(records) == len(trace)
+        for record in records:
+            assert record["ph"] == "X"
+            assert record["dur"] >= 0
+            assert record["pid"] == 0
+            assert record["tid"] in (0, 1)
+
+    def test_transfer_records_carry_bytes(self, trace):
+        records = to_chrome_trace(trace)
+        h2d = [r for r in records if r["cat"] == "h2d"]
+        assert all(r["args"]["bytes"] == (1 << 21) * 4 for r in h2d)
+
+    def test_records_time_sorted(self, trace):
+        records = to_chrome_trace(trace)
+        timestamps = [r["ts"] for r in records]
+        assert timestamps == sorted(timestamps)
+
+    def test_write_roundtrip(self, trace, tmp_path):
+        path = write_chrome_trace(trace, tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert len(payload["traceEvents"]) == len(trace)

@@ -1,0 +1,158 @@
+"""Unit and property tests for timeline/overlap analysis and stats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import FAST_PROTOCOL, PAPER_PROTOCOL, RunProtocol
+from repro.hstreams.enums import ActionKind
+from repro.trace import TraceEvent, Timeline, overlap_seconds
+from repro.trace.stats import mean_confidence, summarize
+from repro.trace.timeline import merge_intervals
+
+
+def ev(kind, start, end, stream=0, device=0, nbytes=0, label=""):
+    return TraceEvent(
+        kind=kind, stream=stream, device=device, start=start, end=end,
+        nbytes=nbytes, label=label,
+    )
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_disjoint_sorted(self):
+        assert merge_intervals([(3, 4), (1, 2)]) == [(1, 2), (3, 4)]
+
+    def test_overlapping_merge(self):
+        assert merge_intervals([(1, 3), (2, 5), (6, 7)]) == [(1, 5), (6, 7)]
+
+    def test_adjacent_merge(self):
+        assert merge_intervals([(1, 2), (2, 3)]) == [(1, 3)]
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            merge_intervals([(2, 1)])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 100, allow_nan=False),
+                st.floats(0, 100, allow_nan=False),
+            ).map(lambda t: (min(t), max(t))),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_merged_are_disjoint_and_cover_same_length_at_least(self, ivs):
+        merged = merge_intervals(ivs)
+        for (s0, e0), (s1, e1) in zip(merged, merged[1:]):
+            assert e0 < s1
+        # Total merged length <= sum of input lengths.
+        assert sum(e - s for s, e in merged) <= sum(
+            e - s for s, e in ivs
+        ) + 1e-9
+
+
+class TestOverlapSeconds:
+    def test_no_overlap(self):
+        assert overlap_seconds([(0, 1)], [(2, 3)]) == 0.0
+
+    def test_partial_overlap(self):
+        assert overlap_seconds([(0, 2)], [(1, 3)]) == pytest.approx(1.0)
+
+    def test_containment(self):
+        assert overlap_seconds([(0, 10)], [(2, 4), (6, 7)]) == pytest.approx(
+            3.0
+        )
+
+    @given(
+        a=st.lists(
+            st.tuples(st.floats(0, 50), st.floats(0, 50)).map(
+                lambda t: (min(t), max(t))
+            ),
+            max_size=10,
+        ),
+        b=st.lists(
+            st.tuples(st.floats(0, 50), st.floats(0, 50)).map(
+                lambda t: (min(t), max(t))
+            ),
+            max_size=10,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_overlap_symmetric_and_bounded(self, a, b):
+        o1 = overlap_seconds(a, b)
+        o2 = overlap_seconds(b, a)
+        assert o1 == pytest.approx(o2)
+        len_a = sum(e - s for s, e in merge_intervals(a))
+        len_b = sum(e - s for s, e in merge_intervals(b))
+        assert o1 <= min(len_a, len_b) + 1e-9
+
+
+class TestTimeline:
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            ev(ActionKind.EXE, 2.0, 1.0)
+
+    def test_filter_and_busy_time(self):
+        events = [
+            ev(ActionKind.H2D, 0, 1, nbytes=100),
+            ev(ActionKind.EXE, 0.5, 2),
+            ev(ActionKind.D2H, 2, 3, nbytes=50, device=1),
+        ]
+        tl = Timeline(events)
+        assert len(tl.filter(kinds=(ActionKind.EXE,))) == 1
+        assert len(tl.filter(device=1)) == 1
+        assert tl.bytes_moved() == 150
+        assert tl.makespan() == pytest.approx(3.0)
+        assert tl.busy_time() == pytest.approx(3.0)
+
+    def test_transfer_compute_overlap(self):
+        events = [
+            ev(ActionKind.H2D, 0, 2),
+            ev(ActionKind.EXE, 1, 4),
+            ev(ActionKind.D2H, 3.5, 5),
+        ]
+        tl = Timeline(events)
+        assert tl.transfer_compute_overlap() == pytest.approx(1.5)
+
+    def test_empty_timeline(self):
+        tl = Timeline([])
+        assert tl.makespan() == 0.0
+        assert tl.busy_time() == 0.0
+
+
+class TestStats:
+    def test_summarize_drops_warmup(self):
+        samples = [100.0] + [2.0] * 10  # first is warmup
+        s = summarize(samples, PAPER_PROTOCOL)
+        assert s.mean == pytest.approx(2.0)
+        assert s.n == 10
+        assert s.minimum == s.maximum == 2.0
+
+    def test_summarize_needs_enough_samples(self):
+        with pytest.raises(ValueError):
+            summarize([1.0] * 5, PAPER_PROTOCOL)
+
+    def test_fast_protocol(self):
+        s = summarize([99.0, 3.0], FAST_PROTOCOL)
+        assert s.mean == 3.0 and s.n == 1 and s.std == 0.0
+
+    def test_protocol_validation(self):
+        with pytest.raises(ValueError):
+            RunProtocol(iterations=1, warmup=1)
+
+    def test_mean_confidence(self):
+        mean, half = mean_confidence([1.0, 2.0, 3.0, 4.0])
+        assert mean == pytest.approx(2.5)
+        assert half > 0
+
+    def test_mean_confidence_constant_series(self):
+        mean, half = mean_confidence([5.0, 5.0, 5.0])
+        assert mean == 5.0 and half == 0.0
+
+    def test_mean_confidence_needs_two(self):
+        with pytest.raises(ValueError):
+            mean_confidence([1.0])
