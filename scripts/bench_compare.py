@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Engine-throughput regression gate.
+
+Runs ``benchmarks/bench_engine.py`` under pytest-benchmark with
+``--benchmark-autosave``, then compares the fresh save against the
+previous one (or against the checked-in ``BENCH_engine.json`` baseline
+when no previous save exists) and fails when any benchmark's mean time
+regresses by more than the threshold.
+
+Usage::
+
+    python scripts/bench_compare.py                 # run + compare
+    python scripts/bench_compare.py --threshold 10  # stricter gate
+    python scripts/bench_compare.py --rebaseline    # refresh BENCH_engine.json
+
+The first ever run records its results as ``BENCH_engine.json`` in the
+repo root so the gate works out of the box on a fresh clone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "BENCH_engine.json"
+STORAGE = REPO_ROOT / ".benchmarks"
+
+
+def run_bench() -> Path:
+    """Run the engine benches with autosave; return the new save file."""
+    before = set(STORAGE.rglob("*.json")) if STORAGE.exists() else set()
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(REPO_ROOT / "benchmarks" / "bench_engine.py"),
+        "--benchmark-only",
+        "--benchmark-autosave",
+        f"--benchmark-storage={STORAGE}",
+        "-q",
+    ]
+    env_path = str(REPO_ROOT / "src")
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = env_path + (
+        ":" + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+    if result.returncode != 0:
+        sys.exit(f"benchmark run failed (exit {result.returncode})")
+    after = set(STORAGE.rglob("*.json"))
+    new = sorted(after - before)
+    if not new:
+        sys.exit("pytest-benchmark produced no autosave file")
+    return new[-1]
+
+
+def load_means(path: Path) -> dict[str, float]:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    return {
+        bench["name"]: bench["stats"]["mean"]
+        for bench in data["benchmarks"]
+    }
+
+
+def previous_save(current: Path) -> Path | None:
+    saves = sorted(p for p in STORAGE.rglob("*.json") if p != current)
+    return saves[-1] if saves else None
+
+
+def compare(
+    reference: Path, current: Path, threshold_pct: float
+) -> int:
+    ref_means = load_means(reference)
+    cur_means = load_means(current)
+    print(f"reference: {reference}")
+    print(f"current:   {current}\n")
+    failures = []
+    for name, cur_mean in sorted(cur_means.items()):
+        ref_mean = ref_means.get(name)
+        if ref_mean is None:
+            print(f"  {name}: NEW (no reference)")
+            continue
+        # Throughput ratio: >1 is faster than the reference.
+        speedup = ref_mean / cur_mean
+        change = 100.0 * (cur_mean - ref_mean) / ref_mean
+        status = "ok"
+        if change > threshold_pct:
+            status = "REGRESSION"
+            failures.append((name, change))
+        print(
+            f"  {name}: mean {cur_mean * 1e3:.2f} ms "
+            f"(ref {ref_mean * 1e3:.2f} ms, {change:+.1f}% time, "
+            f"{speedup:.2f}x throughput) {status}"
+        )
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark(s) regressed more than "
+            f"{threshold_pct:.0f}%:"
+        )
+        for name, change in failures:
+            print(f"  {name}: {change:+.1f}%")
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=20.0,
+        help="maximum tolerated mean-time increase in percent (default 20)",
+    )
+    parser.add_argument(
+        "--rebaseline",
+        action="store_true",
+        help="overwrite BENCH_engine.json with this run's results",
+    )
+    args = parser.parse_args()
+
+    current = run_bench()
+    if args.rebaseline or not BASELINE.exists():
+        shutil.copyfile(current, BASELINE)
+        print(f"baseline recorded: {BASELINE}")
+        if not args.rebaseline:
+            return 0
+    reference = previous_save(current) or BASELINE
+    return compare(reference, current, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,11 +4,17 @@
 Usage::
 
     python scripts/profile_sim.py [--sort cumulative|tottime] [--top N]
+    python scripts/profile_sim.py --workload fig9mm [--jobs 4]
 
-Profiles a paper-scale SRAD partition-sweep point (the heaviest regular
-workload: ~80k actions) and prints the hot functions.  Last measured:
-~25k simulated actions/second, dominated by generator resumption and
-heap churn — flat profile, no algorithmic hotspot.
+Workloads:
+
+* ``srad``   (default) — one paper-scale SRAD partition-sweep point
+  (~80k actions), the heaviest single regular run;
+* ``fig9mm`` — the full Fig. 9 MM partition sweep (P = 1..56, D=6000,
+  T=144).  Profiles a serial sweep and prints the top cumulative
+  hotspots, then times the same sweep end-to-end three ways — serial,
+  parallel (``--jobs``), and cache-warm — so before/after numbers for
+  engine or executor changes are reproducible with one command.
 """
 
 from __future__ import annotations
@@ -16,17 +22,10 @@ from __future__ import annotations
 import argparse
 import cProfile
 import pstats
+import time
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--sort", default="cumulative", choices=["cumulative", "tottime"]
-    )
-    parser.add_argument("--top", type=int, default=25)
-    parser.add_argument("--iterations", type=int, default=30)
-    args = parser.parse_args()
-
+def profile_srad(args: argparse.Namespace) -> None:
     from repro.apps import SradApp
 
     app = SradApp(10000, 400, iterations=args.iterations)
@@ -38,6 +37,82 @@ def main() -> None:
     actions = len(run.timeline.events)
     print(f"simulated {actions} actions, makespan {run.elapsed:.3f}s\n")
     pstats.Stats(profiler).sort_stats(args.sort).print_stats(args.top)
+
+
+def profile_fig9mm(args: argparse.Namespace) -> None:
+    from repro.apps import MatMulApp
+    from repro.parallel import RunSpec, SimulationCache, SweepExecutor
+
+    specs = [
+        RunSpec.for_app(MatMulApp, 6000, 144, places=p)
+        for p in range(1, 57)
+    ]
+
+    # 1. Profile the serial sweep (cProfile cannot see worker processes,
+    #    so the hotspot list always comes from the in-process path).
+    profiler = cProfile.Profile()
+    profiler.enable()
+    serial_runs = SweepExecutor(jobs=1).map(specs)
+    profiler.disable()
+    print(f"fig9 MM sweep: {len(specs)} simulations, best "
+          f"{max(run.gflops for run in serial_runs):.1f} GFLOPS\n")
+    pstats.Stats(profiler).sort_stats(args.sort).print_stats(args.top)
+
+    # 2. End-to-end wall-clock: serial vs parallel vs cache-warm.
+    t0 = time.perf_counter()
+    SweepExecutor(jobs=1).map(specs)
+    serial_time = time.perf_counter() - t0
+
+    cache = SimulationCache()
+    t0 = time.perf_counter()
+    parallel_runs = SweepExecutor(jobs=args.jobs, cache=cache).map(specs)
+    parallel_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm_runs = SweepExecutor(jobs=args.jobs, cache=cache).map(specs)
+    warm_time = time.perf_counter() - t0
+
+    assert [r.gflops for r in parallel_runs] == [
+        r.gflops for r in serial_runs
+    ], "parallel sweep diverged from serial"
+    assert [r.gflops for r in warm_runs] == [r.gflops for r in serial_runs]
+
+    print("end-to-end wall-clock, full fig9 MM sweep (P=1..56):")
+    print(f"  serial   (jobs=1):          {serial_time:8.2f} s")
+    print(
+        f"  parallel (jobs={args.jobs}):          {parallel_time:8.2f} s  "
+        f"({serial_time / parallel_time:.2f}x)"
+    )
+    print(
+        f"  cache-warm rerun:           {warm_time:8.2f} s  "
+        f"({serial_time / warm_time:.0f}x, {cache.stats.hits} hits)"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sort", default="cumulative", choices=["cumulative", "tottime"]
+    )
+    parser.add_argument("--top", type=int, default=None)
+    parser.add_argument("--iterations", type=int, default=30)
+    parser.add_argument(
+        "--workload", default="srad", choices=["srad", "fig9mm"]
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes for the fig9mm timing pass (0 = all cores)",
+    )
+    args = parser.parse_args()
+    if args.top is None:
+        args.top = 20 if args.workload == "fig9mm" else 25
+
+    if args.workload == "fig9mm":
+        profile_fig9mm(args)
+    else:
+        profile_srad(args)
 
 
 if __name__ == "__main__":

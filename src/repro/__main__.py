@@ -90,6 +90,13 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("info", help="device spec and calibration anchors")
     sub.add_parser("demo", help="run a streamed pipeline, show Gantt+report")
     exp = sub.add_parser("experiments", help="regenerate paper figures")
+    exp.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweep-style figures (0 = all cores)",
+    )
     exp.add_argument("rest", nargs=argparse.REMAINDER)
     args = parser.parse_args(argv)
 
@@ -99,7 +106,10 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_demo()
     from repro.experiments.__main__ import main as experiments_main
 
-    return experiments_main(args.rest)
+    rest = list(args.rest)
+    if args.jobs is not None:
+        rest = ["--jobs", str(args.jobs)] + rest
+    return experiments_main(rest)
 
 
 if __name__ == "__main__":

@@ -4,9 +4,13 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 from repro.autotune.space import Config, ConfigSpace
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel import RunSpec, SweepExecutor
 
 #: An objective: configuration -> seconds (lower is better).
 Objective = Callable[[Config], float]
@@ -33,13 +37,49 @@ class SearchOutcome:
         return reference.evaluations / self.evaluations
 
 
-def run_search(objective: Objective, space: ConfigSpace) -> SearchOutcome:
-    """Evaluate ``objective`` on every configuration of ``space``."""
-    history: list[tuple[Config, float]] = []
-    for config in space:
-        history.append((config, objective(config)))
-    if not history:
+def run_search(
+    objective: Objective | None = None,
+    space: ConfigSpace | None = None,
+    *,
+    spec_fn: "Callable[[Config], RunSpec] | None" = None,
+    executor: "SweepExecutor | None" = None,
+    metric: Callable[[Any], float] | None = None,
+) -> SearchOutcome:
+    """Evaluate every configuration of ``space``.
+
+    Two evaluation modes:
+
+    * classic — ``objective(config) -> float``, evaluated serially;
+    * spec-based — ``spec_fn(config) -> RunSpec``, fanned over
+      ``executor`` (a :class:`repro.parallel.SweepExecutor`, which adds
+      multiprocessing and cache lookups).  ``metric`` maps each
+      :class:`~repro.apps.base.AppRun` to the objective value (default:
+      simulated elapsed seconds).
+
+    Both modes record ``history`` in the space's iteration order, so a
+    parallel search is bit-identical to the serial one.
+    """
+    if space is None:
+        raise ConfigurationError("run_search requires a configuration space")
+    configs = list(space)
+    if not configs:
         raise ConfigurationError("configuration space is empty")
+
+    if spec_fn is not None:
+        from repro.parallel import SweepExecutor
+
+        ex = executor if executor is not None else SweepExecutor(jobs=1)
+        runs = ex.map([spec_fn(config) for config in configs])
+        measure = metric if metric is not None else (lambda run: run.elapsed)
+        times = [measure(run) for run in runs]
+    elif objective is not None:
+        times = [objective(config) for config in configs]
+    else:
+        raise ConfigurationError(
+            "run_search needs an objective or a spec_fn"
+        )
+
+    history = list(zip(configs, times))
     best, best_time = min(history, key=lambda item: item[1])
     return SearchOutcome(
         best=best,

@@ -18,6 +18,7 @@ Anchors (all from the paper):
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from repro.device.spec import DeviceSpec, PHI_31SP
@@ -115,6 +116,28 @@ def fast_partition_counts(spec: DeviceSpec = PHI_31SP) -> list[int]:
         for p in topo.aligned_partition_counts()
         if 2 <= p <= spec.usable_cores
     ]
+
+
+@functools.lru_cache(maxsize=64)
+def model_fingerprint(spec: DeviceSpec = PHI_31SP) -> str:
+    """Stable hash of every fitted model constant (plus the anchor
+    predictions they produce) for ``spec``.
+
+    This is the cache-invalidation token of :mod:`repro.parallel.cache`:
+    any recalibration — a changed spec field, a changed anchor formula —
+    changes the fingerprint, so memoized simulation timings from the old
+    model can never be served for the new one.
+    """
+    import dataclasses
+    import hashlib
+    import json
+
+    payload: dict[str, object] = dataclasses.asdict(spec)
+    payload["_anchors"] = [
+        (a.name, a.model_value) for a in calibration_anchors(spec)
+    ]
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
 def calibration_report(spec: DeviceSpec = PHI_31SP) -> str:

@@ -9,6 +9,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -57,13 +58,25 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also render each figure as an ASCII chart",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sweep-style figures "
+        "(0 = all cores; default: 1, serial)",
+    )
     args = parser.parse_args(argv)
 
     names = args.figures or list(EXPERIMENTS)
     failed = 0
     for name in names:
+        run_fn = EXPERIMENTS[name]
+        kwargs: dict[str, object] = {"fast": not args.full}
+        if "jobs" in inspect.signature(run_fn).parameters:
+            kwargs["jobs"] = args.jobs
         start = time.perf_counter()
-        outcome = EXPERIMENTS[name](fast=not args.full)
+        outcome = run_fn(**kwargs)
         elapsed = time.perf_counter() - start
         results = outcome if isinstance(outcome, list) else [outcome]
         for result in results:

@@ -4,6 +4,10 @@ One panel per application at fixed P=4 (the paper's Fig. 10 caption
 configuration; for NN the caption prints P=512, which cannot exceed the
 224 hardware threads and is treated as a typo for the T=512 of Fig. 9e —
 we sweep T at P=4).
+
+Like the partition sweep, each panel fans its independent runs over the
+:mod:`repro.parallel` executor and shares the process-wide simulation
+cache (the (app, D, P, T) points here overlap fig8's candidate search).
 """
 
 from __future__ import annotations
@@ -17,15 +21,23 @@ from repro.apps import (
     SradApp,
 )
 from repro.experiments.runner import ExperimentResult
+from repro.parallel import RunSpec, SweepExecutor, shared_cache
 
 
-def _sweep(result, app_factory, tiles, metric, places=4):
-    values = [metric(app_factory(t).run(places=places)) for t in tiles]
+def _executor(executor, jobs) -> SweepExecutor:
+    if executor is not None:
+        return executor
+    return SweepExecutor(jobs=jobs, cache=shared_cache())
+
+
+def _sweep(result, make_spec, tiles, metric, executor):
+    runs = executor.map([make_spec(t) for t in tiles])
+    values = [metric(run) for run in runs]
     result.add_series(result.y_label, values)
     return dict(zip(tiles, values))
 
 
-def run_mm(fast: bool = True) -> ExperimentResult:
+def run_mm(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
     tiles = [1, 4, 16, 144, 400] if fast else [1, 4, 9, 16, 25, 36, 100, 144, 225, 400]
     result = ExperimentResult(
         experiment="fig10a",
@@ -34,7 +46,13 @@ def run_mm(fast: bool = True) -> ExperimentResult:
         x=tiles,
         y_label="GFLOPS",
     )
-    by_t = _sweep(result, lambda t: MatMulApp(6000, t), tiles, lambda r: r.gflops)
+    by_t = _sweep(
+        result,
+        lambda t: RunSpec.for_app(MatMulApp, 6000, t, places=4),
+        tiles,
+        lambda r: r.gflops,
+        _executor(executor, jobs),
+    )
     result.add_check(
         "T=1 starves three of four partitions (T=4 is >2x better)",
         by_t[4] > 2 * by_t[1],
@@ -46,7 +64,7 @@ def run_mm(fast: bool = True) -> ExperimentResult:
     return result
 
 
-def run_cf(fast: bool = True) -> ExperimentResult:
+def run_cf(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
     tiles = [4, 16, 100, 400] if fast else [4, 9, 16, 25, 36, 64, 100, 144, 225, 256, 400]
     result = ExperimentResult(
         experiment="fig10b",
@@ -56,7 +74,11 @@ def run_cf(fast: bool = True) -> ExperimentResult:
         y_label="GFLOPS",
     )
     by_t = _sweep(
-        result, lambda t: CholeskyApp(9600, t), tiles, lambda r: r.gflops
+        result,
+        lambda t: RunSpec.for_app(CholeskyApp, 9600, t, places=4),
+        tiles,
+        lambda r: r.gflops,
+        _executor(executor, jobs),
     )
     result.add_check(
         "CF needs many tiles: T=100 beats T=4 by >2x (DAG parallelism)",
@@ -65,7 +87,9 @@ def run_cf(fast: bool = True) -> ExperimentResult:
     return result
 
 
-def run_kmeans(fast: bool = True) -> ExperimentResult:
+def run_kmeans(
+    fast: bool = True, jobs: int = 1, executor=None
+) -> ExperimentResult:
     tiles = [1, 2, 4, 16, 56, 224] if fast else [1, 2, 4, 8, 16, 20, 28, 32, 56, 112, 224]
     iterations = 10 if fast else 100
     result = ExperimentResult(
@@ -77,9 +101,12 @@ def run_kmeans(fast: bool = True) -> ExperimentResult:
     )
     by_t = _sweep(
         result,
-        lambda t: KmeansApp(1120000, t, iterations=iterations),
+        lambda t: RunSpec.for_app(
+            KmeansApp, 1120000, t, places=4, iterations=iterations
+        ),
         tiles,
         lambda r: r.elapsed,
+        _executor(executor, jobs),
     )
     result.add_check(
         "fastest at T=4 (= P): load balance without extra invocations",
@@ -88,7 +115,9 @@ def run_kmeans(fast: bool = True) -> ExperimentResult:
     return result
 
 
-def run_hotspot(fast: bool = True) -> ExperimentResult:
+def run_hotspot(
+    fast: bool = True, jobs: int = 1, executor=None
+) -> ExperimentResult:
     tiles = [1, 4, 16, 64, 256, 1024] if fast else [1, 4, 16, 64, 256, 1024, 4096]
     iterations = 10 if fast else 50
     result = ExperimentResult(
@@ -100,9 +129,12 @@ def run_hotspot(fast: bool = True) -> ExperimentResult:
     )
     by_t = _sweep(
         result,
-        lambda t: HotspotApp(16384, t, iterations=iterations),
+        lambda t: RunSpec.for_app(
+            HotspotApp, 16384, t, places=4, iterations=iterations
+        ),
         tiles,
         lambda r: r.elapsed,
+        _executor(executor, jobs),
     )
     interior_best = min(v for t, v in by_t.items() if 1 < t < tiles[-1])
     result.add_check(
@@ -112,7 +144,7 @@ def run_hotspot(fast: bool = True) -> ExperimentResult:
     return result
 
 
-def run_nn(fast: bool = True) -> ExperimentResult:
+def run_nn(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
     tiles = [1, 4, 32, 256, 2048] if fast else [2**k for k in range(12)]
     result = ExperimentResult(
         experiment="fig10e",
@@ -123,9 +155,10 @@ def run_nn(fast: bool = True) -> ExperimentResult:
     )
     by_t = _sweep(
         result,
-        lambda t: NNApp(5242880, t),
+        lambda t: RunSpec.for_app(NNApp, 5242880, t, places=4),
         tiles,
         lambda r: r.elapsed * 1e3,
+        _executor(executor, jobs),
     )
     result.add_check(
         "transfer-bound: T=1 within 1.5x of T=4",
@@ -138,7 +171,9 @@ def run_nn(fast: bool = True) -> ExperimentResult:
     return result
 
 
-def run_srad(fast: bool = True) -> ExperimentResult:
+def run_srad(
+    fast: bool = True, jobs: int = 1, executor=None
+) -> ExperimentResult:
     tiles = [1, 4, 25, 100, 400, 625] if fast else [1, 4, 16, 25, 100, 400, 625, 2500]
     iterations = 5 if fast else 100
     result = ExperimentResult(
@@ -150,9 +185,12 @@ def run_srad(fast: bool = True) -> ExperimentResult:
     )
     by_t = _sweep(
         result,
-        lambda t: SradApp(10000, t, iterations=iterations),
+        lambda t: RunSpec.for_app(
+            SradApp, 10000, t, places=4, iterations=iterations
+        ),
         tiles,
         lambda r: r.elapsed,
+        _executor(executor, jobs),
     )
     interior_best = min(v for t, v in by_t.items() if 1 < t < tiles[-1])
     result.add_check(
@@ -162,12 +200,13 @@ def run_srad(fast: bool = True) -> ExperimentResult:
     return result
 
 
-def run(fast: bool = True) -> list[ExperimentResult]:
+def run(fast: bool = True, jobs: int = 1) -> list[ExperimentResult]:
+    executor = _executor(None, jobs)
     return [
-        run_mm(fast),
-        run_cf(fast),
-        run_kmeans(fast),
-        run_hotspot(fast),
-        run_nn(fast),
-        run_srad(fast),
+        run_mm(fast, executor=executor),
+        run_cf(fast, executor=executor),
+        run_kmeans(fast, executor=executor),
+        run_hotspot(fast, executor=executor),
+        run_nn(fast, executor=executor),
+        run_srad(fast, executor=executor),
     ]

@@ -4,9 +4,16 @@ One panel per application.  The non-streamed baseline is a single
 stream with a single tile; the streamed version uses the best
 configuration from a small candidate set (standing in for the paper's
 exhaustive enumeration).
+
+Each panel batches every run it needs — baselines plus all streamed
+candidates across all datasets — into one executor sweep, so the runs
+parallelize together and repeated configurations (many candidates recur
+in fig9/fig10 and the heuristics grid) come from the shared cache.
 """
 
 from __future__ import annotations
+
+import math
 
 from repro.apps import (
     CholeskyApp,
@@ -17,21 +24,40 @@ from repro.apps import (
     SradApp,
 )
 from repro.experiments.runner import ExperimentResult
+from repro.parallel import RunSpec, SweepExecutor, shared_cache
 
 
-def _best(app_factory, configs):
-    """The fastest run over (places, tiles) candidates."""
-    return min(
-        (app_factory(t).run(places=p) for p, t in configs),
-        key=lambda run: run.elapsed,
-    )
+def _executor(executor, jobs) -> SweepExecutor:
+    if executor is not None:
+        return executor
+    return SweepExecutor(jobs=jobs, cache=shared_cache())
+
+
+def _batched_best(executor, base_specs, candidate_groups):
+    """Run all baselines and candidate groups in one sweep.
+
+    Returns ``(base_runs, best_runs)`` where ``best_runs[i]`` is the
+    fastest run of ``candidate_groups[i]`` (min simulated elapsed).
+    """
+    flat = list(base_specs)
+    offsets = []
+    for group in candidate_groups:
+        offsets.append((len(flat), len(group)))
+        flat.extend(group)
+    runs = executor.map(flat)
+    base_runs = runs[: len(base_specs)]
+    best_runs = [
+        min(runs[start : start + count], key=lambda run: run.elapsed)
+        for start, count in offsets
+    ]
+    return base_runs, best_runs
 
 
 def _improvement(base: float, streamed: float) -> float:
     return 100.0 * (base - streamed) / base
 
 
-def run_mm(fast: bool = True) -> ExperimentResult:
+def run_mm(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
     datasets = [2000, 4000, 6000] if fast else [2000, 4000, 6000, 8000, 10000, 12000]
     result = ExperimentResult(
         experiment="fig8a",
@@ -40,19 +66,22 @@ def run_mm(fast: bool = True) -> ExperimentResult:
         x=[f"{d}^2" for d in datasets],
         y_label="GFLOPS",
     )
-    import math
-
-    base, streamed = [], []
-    for d in datasets:
-        base.append(MatMulApp(d, 1).run(places=1).gflops)
-        candidates = [
-            (p, t)
+    base_specs = [
+        RunSpec.for_app(MatMulApp, d, 1, places=1) for d in datasets
+    ]
+    candidate_groups = [
+        [
+            RunSpec.for_app(MatMulApp, d, t, places=p)
             for p, t in [(4, 4), (4, 16), (4, 100), (7, 49)]
             if d % math.isqrt(t) == 0
         ]
-        streamed.append(
-            _best(lambda t, d=d: MatMulApp(d, t), candidates).gflops
-        )
+        for d in datasets
+    ]
+    base_runs, best_runs = _batched_best(
+        _executor(executor, jobs), base_specs, candidate_groups
+    )
+    base = [run.gflops for run in base_runs]
+    streamed = [run.gflops for run in best_runs]
     result.add_series("w/o", base)
     result.add_series("w/", streamed)
     result.add_check(
@@ -62,7 +91,7 @@ def run_mm(fast: bool = True) -> ExperimentResult:
     return result
 
 
-def run_cf(fast: bool = True) -> ExperimentResult:
+def run_cf(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
     datasets = [4800, 9600] if fast else [7200, 9600, 12000, 14400, 16800, 19200]
     result = ExperimentResult(
         experiment="fig8b",
@@ -71,15 +100,21 @@ def run_cf(fast: bool = True) -> ExperimentResult:
         x=[f"{d}^2" for d in datasets],
         y_label="GFLOPS",
     )
-    base, streamed = [], []
-    for d in datasets:
-        base.append(CholeskyApp(d, 1).run(places=1).gflops)
-        streamed.append(
-            _best(
-                lambda t, d=d: CholeskyApp(d, t),
-                [(2, 100), (4, 100), (4, 225)],
-            ).gflops
-        )
+    base_specs = [
+        RunSpec.for_app(CholeskyApp, d, 1, places=1) for d in datasets
+    ]
+    candidate_groups = [
+        [
+            RunSpec.for_app(CholeskyApp, d, t, places=p)
+            for p, t in [(2, 100), (4, 100), (4, 225)]
+        ]
+        for d in datasets
+    ]
+    base_runs, best_runs = _batched_best(
+        _executor(executor, jobs), base_specs, candidate_groups
+    )
+    base = [run.gflops for run in base_runs]
+    streamed = [run.gflops for run in best_runs]
     result.add_series("w/o", base)
     result.add_series("w/", streamed)
     improvements = [
@@ -96,7 +131,9 @@ def run_cf(fast: bool = True) -> ExperimentResult:
     return result
 
 
-def run_kmeans(fast: bool = True) -> ExperimentResult:
+def run_kmeans(
+    fast: bool = True, jobs: int = 1, executor=None
+) -> ExperimentResult:
     datasets = (
         [140000, 560000, 1120000]
         if fast
@@ -110,18 +147,23 @@ def run_kmeans(fast: bool = True) -> ExperimentResult:
         x=[f"{d // 1000}K" for d in datasets],
         y_label="seconds",
     )
-    base, streamed = [], []
+    specs = []
     for d in datasets:
-        base.append(
-            KmeansApp(d, 1, iterations=iterations).run(places=1).elapsed
+        specs.append(
+            RunSpec.for_app(
+                KmeansApp, d, 1, places=1, iterations=iterations
+            )
         )
         tiles = max(1, d // 20000)
         places = min(56, tiles)
-        streamed.append(
-            KmeansApp(d, tiles, iterations=iterations)
-            .run(places=places)
-            .elapsed
+        specs.append(
+            RunSpec.for_app(
+                KmeansApp, d, tiles, places=places, iterations=iterations
+            )
         )
+    runs = _executor(executor, jobs).map(specs)
+    base = [run.elapsed for run in runs[0::2]]
+    streamed = [run.elapsed for run in runs[1::2]]
     result.add_series("w/o", base)
     result.add_series("w/", streamed)
     result.add_check(
@@ -131,7 +173,9 @@ def run_kmeans(fast: bool = True) -> ExperimentResult:
     return result
 
 
-def run_hotspot(fast: bool = True) -> ExperimentResult:
+def run_hotspot(
+    fast: bool = True, jobs: int = 1, executor=None
+) -> ExperimentResult:
     datasets = [2048, 4096, 8192] if fast else [1024, 2048, 4096, 8192, 16384]
     iterations = 10 if fast else 50
     result = ExperimentResult(
@@ -141,17 +185,26 @@ def run_hotspot(fast: bool = True) -> ExperimentResult:
         x=[f"{d}^2" for d in datasets],
         y_label="seconds",
     )
-    base, streamed = [], []
+    specs = []
     for d in datasets:
-        base.append(
-            HotspotApp(d, 1, iterations=iterations).run(places=1).elapsed
+        specs.append(
+            RunSpec.for_app(
+                HotspotApp, d, 1, places=1, iterations=iterations
+            )
         )
         tiles = min(max(1, (d // 1024) ** 2), d)
-        streamed.append(
-            HotspotApp(d, tiles, iterations=iterations)
-            .run(places=min(37, tiles))
-            .elapsed
+        specs.append(
+            RunSpec.for_app(
+                HotspotApp,
+                d,
+                tiles,
+                places=min(37, tiles),
+                iterations=iterations,
+            )
         )
+    runs = _executor(executor, jobs).map(specs)
+    base = [run.elapsed for run in runs[0::2]]
+    streamed = [run.elapsed for run in runs[1::2]]
     result.add_series("w/o", base)
     result.add_series("w/", streamed)
     ratios = [s / b for s, b in zip(streamed, base)]
@@ -170,7 +223,7 @@ def run_hotspot(fast: bool = True) -> ExperimentResult:
     return result
 
 
-def run_nn(fast: bool = True) -> ExperimentResult:
+def run_nn(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
     datasets = (
         [131072, 524288, 2097152]
         if fast
@@ -183,10 +236,13 @@ def run_nn(fast: bool = True) -> ExperimentResult:
         x=[f"{d // 1024}k" for d in datasets],
         y_label="milliseconds",
     )
-    base, streamed = [], []
+    specs = []
     for d in datasets:
-        base.append(NNApp(d, 1).run(places=1).elapsed * 1e3)
-        streamed.append(NNApp(d, 4).run(places=4).elapsed * 1e3)
+        specs.append(RunSpec.for_app(NNApp, d, 1, places=1))
+        specs.append(RunSpec.for_app(NNApp, d, 4, places=4))
+    runs = _executor(executor, jobs).map(specs)
+    base = [run.elapsed * 1e3 for run in runs[0::2]]
+    streamed = [run.elapsed * 1e3 for run in runs[1::2]]
     result.add_series("w/o", base)
     result.add_series("w/", streamed)
     result.notes = (
@@ -206,7 +262,9 @@ def run_nn(fast: bool = True) -> ExperimentResult:
     return result
 
 
-def run_srad(fast: bool = True) -> ExperimentResult:
+def run_srad(
+    fast: bool = True, jobs: int = 1, executor=None
+) -> ExperimentResult:
     datasets = [1000, 4000, 10000] if fast else [1000, 2000, 4000, 5000, 10000]
     iterations = 10 if fast else 100
     result = ExperimentResult(
@@ -216,14 +274,19 @@ def run_srad(fast: bool = True) -> ExperimentResult:
         x=[f"{d}^2" for d in datasets],
         y_label="seconds",
     )
-    base, streamed = [], []
+    specs = []
     for d in datasets:
-        base.append(
-            SradApp(d, 1, iterations=iterations).run(places=1).elapsed
+        specs.append(
+            RunSpec.for_app(SradApp, d, 1, places=1, iterations=iterations)
         )
-        streamed.append(
-            SradApp(d, 100, iterations=iterations).run(places=4).elapsed
+        specs.append(
+            RunSpec.for_app(
+                SradApp, d, 100, places=4, iterations=iterations
+            )
         )
+    runs = _executor(executor, jobs).map(specs)
+    base = [run.elapsed for run in runs[0::2]]
+    streamed = [run.elapsed for run in runs[1::2]]
     result.add_series("w/o", base)
     result.add_series("w/", streamed)
     result.add_check(
@@ -237,12 +300,13 @@ def run_srad(fast: bool = True) -> ExperimentResult:
     return result
 
 
-def run(fast: bool = True) -> list[ExperimentResult]:
+def run(fast: bool = True, jobs: int = 1) -> list[ExperimentResult]:
+    executor = _executor(None, jobs)
     return [
-        run_mm(fast),
-        run_cf(fast),
-        run_kmeans(fast),
-        run_hotspot(fast),
-        run_nn(fast),
-        run_srad(fast),
+        run_mm(fast, executor=executor),
+        run_cf(fast, executor=executor),
+        run_kmeans(fast, executor=executor),
+        run_hotspot(fast, executor=executor),
+        run_nn(fast, executor=executor),
+        run_srad(fast, executor=executor),
     ]

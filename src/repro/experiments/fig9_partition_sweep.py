@@ -5,6 +5,11 @@ figure-caption parameters).  The claims checked per panel are the ones
 Sec. V-B1 derives: divisor spikes (MM, CF), monotone improvement
 (Kmeans), the cache-friendly dip (Hotspot), the plateau after P=4 (NN),
 and the interior optimum (SRAD).
+
+Every panel is a sweep of independent runs, so all of them go through
+the :mod:`repro.parallel` executor: one :class:`RunSpec` per partition
+count (fast and full mode share the same code path), fanned over
+``jobs`` worker processes and memoized in the shared simulation cache.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from repro.apps import (
     SradApp,
 )
 from repro.experiments.runner import ExperimentResult
+from repro.parallel import RunSpec, SweepExecutor, shared_cache
 
 FAST_PARTITIONS = [1, 2, 3, 4, 7, 8, 13, 14, 16, 28, 33, 37, 56]
 FULL_PARTITIONS = list(range(1, 57))
@@ -27,13 +33,20 @@ def _partitions(fast: bool) -> list[int]:
     return FAST_PARTITIONS if fast else FULL_PARTITIONS
 
 
-def _sweep(result, app_factory, partitions, metric):
-    values = [metric(app_factory().run(places=p)) for p in partitions]
+def _executor(executor, jobs) -> SweepExecutor:
+    if executor is not None:
+        return executor
+    return SweepExecutor(jobs=jobs, cache=shared_cache())
+
+
+def _sweep(result, make_spec, partitions, metric, executor):
+    runs = executor.map([make_spec(p) for p in partitions])
+    values = [metric(run) for run in runs]
     result.add_series(result.y_label, values)
     return dict(zip(partitions, values))
 
 
-def run_mm(fast: bool = True) -> ExperimentResult:
+def run_mm(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
     ps = _partitions(fast)
     result = ExperimentResult(
         experiment="fig9a",
@@ -42,7 +55,13 @@ def run_mm(fast: bool = True) -> ExperimentResult:
         x=ps,
         y_label="GFLOPS",
     )
-    by_p = _sweep(result, lambda: MatMulApp(6000, 144), ps, lambda r: r.gflops)
+    by_p = _sweep(
+        result,
+        lambda p: RunSpec.for_app(MatMulApp, 6000, 144, places=p),
+        ps,
+        lambda r: r.gflops,
+        _executor(executor, jobs),
+    )
     result.add_check(
         "aligned counts beat misaligned neighbours (4>3, 14>13, 14>16)",
         by_p[4] > by_p[3] and by_p[14] > by_p[13] and by_p[14] > by_p[16],
@@ -50,7 +69,7 @@ def run_mm(fast: bool = True) -> ExperimentResult:
     return result
 
 
-def run_cf(fast: bool = True) -> ExperimentResult:
+def run_cf(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
     ps = _partitions(fast)
     result = ExperimentResult(
         experiment="fig9b",
@@ -60,7 +79,11 @@ def run_cf(fast: bool = True) -> ExperimentResult:
         y_label="GFLOPS",
     )
     by_p = _sweep(
-        result, lambda: CholeskyApp(9600, 144), ps, lambda r: r.gflops
+        result,
+        lambda p: RunSpec.for_app(CholeskyApp, 9600, 144, places=p),
+        ps,
+        lambda r: r.gflops,
+        _executor(executor, jobs),
     )
     result.add_check(
         "aligned counts beat misaligned neighbours (4>3, 14>13)",
@@ -69,7 +92,9 @@ def run_cf(fast: bool = True) -> ExperimentResult:
     return result
 
 
-def run_kmeans(fast: bool = True) -> ExperimentResult:
+def run_kmeans(
+    fast: bool = True, jobs: int = 1, executor=None
+) -> ExperimentResult:
     ps = _partitions(fast)
     iterations = 10 if fast else 100
     result = ExperimentResult(
@@ -81,9 +106,12 @@ def run_kmeans(fast: bool = True) -> ExperimentResult:
     )
     by_p = _sweep(
         result,
-        lambda: KmeansApp(1120000, 56, iterations=iterations),
+        lambda p: RunSpec.for_app(
+            KmeansApp, 1120000, 56, places=p, iterations=iterations
+        ),
         ps,
         lambda r: r.elapsed,
+        _executor(executor, jobs),
     )
     divisors = [p for p in (1, 2, 4, 7, 8, 14, 28, 56) if p in by_p]
     times = [by_p[p] for p in divisors]
@@ -94,7 +122,9 @@ def run_kmeans(fast: bool = True) -> ExperimentResult:
     return result
 
 
-def run_hotspot(fast: bool = True) -> ExperimentResult:
+def run_hotspot(
+    fast: bool = True, jobs: int = 1, executor=None
+) -> ExperimentResult:
     ps = _partitions(fast)
     iterations = 10 if fast else 50
     result = ExperimentResult(
@@ -106,9 +136,12 @@ def run_hotspot(fast: bool = True) -> ExperimentResult:
     )
     by_p = _sweep(
         result,
-        lambda: HotspotApp(16384, 256, iterations=iterations),
+        lambda p: RunSpec.for_app(
+            HotspotApp, 16384, 256, places=p, iterations=iterations
+        ),
         ps,
         lambda r: r.elapsed,
+        _executor(executor, jobs),
     )
     best = min(by_p, key=by_p.get)
     result.add_check(
@@ -118,7 +151,7 @@ def run_hotspot(fast: bool = True) -> ExperimentResult:
     return result
 
 
-def run_nn(fast: bool = True) -> ExperimentResult:
+def run_nn(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
     ps = _partitions(fast)
     result = ExperimentResult(
         experiment="fig9e",
@@ -129,9 +162,10 @@ def run_nn(fast: bool = True) -> ExperimentResult:
     )
     by_p = _sweep(
         result,
-        lambda: NNApp(5242880, 512),
+        lambda p: RunSpec.for_app(NNApp, 5242880, 512, places=p),
         ps,
         lambda r: r.elapsed * 1e3,
+        _executor(executor, jobs),
     )
     result.add_check(
         "sharp drop until P=4",
@@ -145,7 +179,9 @@ def run_nn(fast: bool = True) -> ExperimentResult:
     return result
 
 
-def run_srad(fast: bool = True) -> ExperimentResult:
+def run_srad(
+    fast: bool = True, jobs: int = 1, executor=None
+) -> ExperimentResult:
     ps = _partitions(fast)
     iterations = 5 if fast else 100
     result = ExperimentResult(
@@ -157,9 +193,12 @@ def run_srad(fast: bool = True) -> ExperimentResult:
     )
     by_p = _sweep(
         result,
-        lambda: SradApp(10000, 400, iterations=iterations),
+        lambda p: RunSpec.for_app(
+            SradApp, 10000, 400, places=p, iterations=iterations
+        ),
         ps,
         lambda r: r.elapsed,
+        _executor(executor, jobs),
     )
     interior = {p: v for p, v in by_p.items() if 1 < p < 56}
     result.add_check(
@@ -170,12 +209,13 @@ def run_srad(fast: bool = True) -> ExperimentResult:
     return result
 
 
-def run(fast: bool = True) -> list[ExperimentResult]:
+def run(fast: bool = True, jobs: int = 1) -> list[ExperimentResult]:
+    executor = _executor(None, jobs)
     return [
-        run_mm(fast),
-        run_cf(fast),
-        run_kmeans(fast),
-        run_hotspot(fast),
-        run_nn(fast),
-        run_srad(fast),
+        run_mm(fast, executor=executor),
+        run_cf(fast, executor=executor),
+        run_kmeans(fast, executor=executor),
+        run_hotspot(fast, executor=executor),
+        run_nn(fast, executor=executor),
+        run_srad(fast, executor=executor),
     ]

@@ -16,6 +16,7 @@ from repro.autotune import (
     run_search,
 )
 from repro.experiments.runner import ExperimentResult
+from repro.parallel import RunSpec, SweepExecutor, shared_cache
 
 
 def _mm_space(fast: bool) -> ConfigSpace:
@@ -28,15 +29,22 @@ def _mm_space(fast: bool) -> ConfigSpace:
     return ConfigSpace(p_values=p_values, t_values=t_values)
 
 
-def run(fast: bool = True) -> ExperimentResult:
+def run(fast: bool = True, jobs: int = 1) -> ExperimentResult:
     d = 3000 if fast else 6000
 
-    def objective(config: Config) -> float:
-        return MatMulApp(d, config.tiles).run(places=config.places).elapsed
+    def spec_fn(config: Config) -> RunSpec:
+        return RunSpec.for_app(
+            MatMulApp, d, config.tiles, places=config.places
+        )
 
+    # The pruned grid is a subset of the exhaustive one, so with the
+    # shared cache the second search is pure cache hits.
+    executor = SweepExecutor(jobs=jobs, cache=shared_cache())
     space = _mm_space(fast)
-    exhaustive = run_search(objective, space)
-    pruned = run_search(objective, paper_pruned_space(space))
+    exhaustive = run_search(space=space, spec_fn=spec_fn, executor=executor)
+    pruned = run_search(
+        space=paper_pruned_space(space), spec_fn=spec_fn, executor=executor
+    )
 
     result = ExperimentResult(
         experiment="heuristics",

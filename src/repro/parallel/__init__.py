@@ -1,0 +1,34 @@
+"""Parallel sweep execution and simulation-result caching.
+
+The evaluation path of the reproduction — figure sweeps (Figs. 8/9/10)
+and the Sec. V-C tuning searches — is a stream of independent,
+deterministic simulation runs.  This package makes that path cheap:
+
+* :class:`RunSpec` — a picklable description of one run;
+* :class:`SweepExecutor` / :func:`run_sweep` — fan specs over a process
+  pool with deterministic result ordering and serial fallback;
+* :class:`SimulationCache` / :func:`shared_cache` — content-addressed
+  memoization of run timings, keyed on the app configuration and the
+  device model's calibration fingerprint.
+"""
+
+from repro.parallel.cache import (
+    CacheStats,
+    DEFAULT_CACHE_DIR,
+    SimulationCache,
+    shared_cache,
+)
+from repro.parallel.executor import SweepExecutor, resolve_jobs, run_sweep
+from repro.parallel.runspec import RunSpec, execute_spec
+
+__all__ = [
+    "CacheStats",
+    "DEFAULT_CACHE_DIR",
+    "RunSpec",
+    "SimulationCache",
+    "SweepExecutor",
+    "execute_spec",
+    "resolve_jobs",
+    "run_sweep",
+    "shared_cache",
+]

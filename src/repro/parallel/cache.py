@@ -1,0 +1,205 @@
+"""Content-addressed memoization of simulation timings.
+
+The figure sweeps and the Sec. V-C tuning studies re-evaluate the same
+``(app, dataset, P, T, streams-per-place)`` points over and over —
+fig8's best-config search, fig9's partition sweep and the heuristics
+comparison all visit overlapping configurations.  The simulation is
+deterministic, so a run's timings are a pure function of the
+:meth:`~repro.parallel.runspec.RunSpec.cache_key` — which embeds the
+calibration fingerprint of the device model, making stale entries
+impossible to serve after a recalibration.
+
+Two layers:
+
+* an in-memory LRU (:class:`SimulationCache`), shared process-wide via
+  :func:`shared_cache` so successive experiments in one CLI invocation
+  reuse each other's runs;
+* an optional on-disk JSON store (one file per calibration fingerprint
+  under ``results/cache/``) so repeated CLI invocations and the
+  thousands-of-evaluations tuning workloads survive process restarts.
+
+Only the scalar timings are memoized (elapsed, gflops, geometry) —
+never timelines or outputs; specs with ``keep_timeline=True`` bypass
+the cache entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.apps.base import AppRun
+from repro.parallel.runspec import RunSpec
+
+#: Default location of the on-disk store, relative to the repo root.
+DEFAULT_CACHE_DIR = Path("results") / "cache"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`SimulationCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+def _record(run: AppRun) -> dict:
+    """The JSON-serializable subset of an AppRun that the cache stores."""
+    return {
+        "app": run.app,
+        "elapsed": run.elapsed,
+        "places": run.places,
+        "tiles": run.tiles,
+        "gflops": run.gflops,
+    }
+
+
+def _rebuild(record: dict) -> AppRun:
+    return AppRun(
+        app=record["app"],
+        elapsed=record["elapsed"],
+        places=record["places"],
+        tiles=record["tiles"],
+        gflops=record["gflops"],
+    )
+
+
+class SimulationCache:
+    """LRU-bounded ``cache_key -> timings`` map with an optional disk tier.
+
+    ``capacity`` bounds the in-memory layer only; the disk tier (enabled
+    by passing ``disk_dir``) is unbounded and write-through.  Disk files
+    are partitioned by calibration fingerprint — the last ``|``-segment
+    of every key — so recalibrating the model simply starts a new file.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        disk_dir: "str | os.PathLike | None" = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.stats = CacheStats()
+        self._memory: OrderedDict[str, dict] = OrderedDict()
+        #: Lazily-loaded disk files, keyed by fingerprint.
+        self._disk: dict[str, dict[str, dict]] = {}
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, spec: RunSpec) -> AppRun | None:
+        """The memoized run for ``spec``, or None on a miss."""
+        if spec.keep_timeline:
+            return None
+        key = spec.cache_key()
+        record = self._memory.get(key)
+        if record is not None:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return _rebuild(record)
+        if self.disk_dir is not None:
+            record = self._disk_load(key).get(key)
+            if record is not None:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._remember(key, record)
+                return _rebuild(record)
+        self.stats.misses += 1
+        return None
+
+    def put(self, spec: RunSpec, run: AppRun) -> None:
+        """Memoize ``run`` as the outcome of ``spec``."""
+        if spec.keep_timeline:
+            return
+        key = spec.cache_key()
+        record = _record(run)
+        self._remember(key, record)
+        self.stats.puts += 1
+        if self.disk_dir is not None:
+            shard = self._disk_load(key)
+            shard[key] = record
+            self._disk_store(key, shard)
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (disk files are left alone)."""
+        self._memory.clear()
+        self._disk.clear()
+
+    # -- internals ---------------------------------------------------------
+
+    def _remember(self, key: str, record: dict) -> None:
+        self._memory[key] = record
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    @staticmethod
+    def _fingerprint_of(key: str) -> str:
+        return key.rsplit("|", 1)[-1]
+
+    def _disk_path(self, fingerprint: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / f"simcache-{fingerprint}.json"
+
+    def _disk_load(self, key: str) -> dict[str, dict]:
+        fingerprint = self._fingerprint_of(key)
+        shard = self._disk.get(fingerprint)
+        if shard is None:
+            path = self._disk_path(fingerprint)
+            try:
+                shard = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                shard = {}
+            self._disk[fingerprint] = shard
+        return shard
+
+    def _disk_store(self, key: str, shard: dict[str, dict]) -> None:
+        fingerprint = self._fingerprint_of(key)
+        path = self._disk_path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic replace so a crashed run never leaves a torn JSON file.
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(shard, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+_shared: SimulationCache | None = None
+
+
+def shared_cache() -> SimulationCache:
+    """The process-wide cache the experiment drivers default to."""
+    global _shared
+    if _shared is None:
+        _shared = SimulationCache()
+    return _shared

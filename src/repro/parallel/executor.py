@@ -1,0 +1,197 @@
+"""Fan independent simulation runs out over a process pool.
+
+Every figure sweep and every exhaustive (P, T) search evaluates
+*independent* :class:`~repro.parallel.runspec.RunSpec`\\ s — the classic
+embarrassingly-parallel shape.  :class:`SweepExecutor` runs them over a
+``ProcessPoolExecutor`` while guaranteeing:
+
+* **deterministic ordering** — results come back in submission order no
+  matter which worker finishes first, so parallel sweeps are
+  bit-identical to serial ones;
+* **serial fallback** — ``jobs=1`` (the default), an unpicklable spec,
+  or a pool that fails to start all degrade to in-process execution
+  with the same results;
+* **cache integration** — hits are served before anything is submitted,
+  and misses are written back, so overlapping sweeps (fig8's config
+  search, fig9, the heuristics grid) pay for each configuration once;
+* **progress** — an optional ``progress(done, total, spec)`` callback
+  fires as each run completes (in completion order).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections.abc import Callable, Iterable
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.parallel.cache import SimulationCache
+from repro.parallel.runspec import RunSpec, execute_spec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.apps.base import AppRun
+
+#: ``progress(done, total, spec)`` — called after each completed run.
+ProgressFn = Callable[[int, int, RunSpec], None]
+
+
+def resolve_jobs(jobs: "int | None") -> int:
+    """Normalize a ``--jobs`` value: None/0 means "all cores"."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _picklable(spec: RunSpec) -> bool:
+    try:
+        pickle.dumps(spec)
+        return True
+    except Exception:
+        return False
+
+
+class SweepExecutor:
+    """Execute batches of :class:`RunSpec` with caching and parallelism."""
+
+    def __init__(
+        self,
+        jobs: "int | None" = 1,
+        cache: SimulationCache | None = None,
+        progress: ProgressFn | None = None,
+        max_inflight: int | None = None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        self.progress = progress
+        #: Bound on queued-but-unfinished submissions, so a 56x6-point
+        #: sweep does not pickle every spec up front.
+        self.max_inflight = max_inflight or 4 * self.jobs
+
+    # -- public API --------------------------------------------------------
+
+    def map(self, specs: Iterable[RunSpec]) -> "list[AppRun]":
+        """Run every spec, returning results in submission order."""
+        specs = list(specs)
+        total = len(specs)
+        results: "list[AppRun | None]" = [None] * total
+        done = 0
+
+        # Cache pass: serve hits, collect misses, and deduplicate
+        # repeated specs inside the batch (only the first occurrence is
+        # simulated; the rest resolve after it completes).
+        misses: list[int] = []
+        first_miss: dict[RunSpec, int] = {}
+        aliases: dict[int, int] = {}
+        for i, spec in enumerate(specs):
+            try:
+                representative = first_miss.get(spec)
+            except TypeError:  # unhashable ctor argument: never dedup
+                representative = None
+            if representative is not None:
+                aliases[i] = representative
+                continue
+            hit = self.cache.get(spec) if self.cache is not None else None
+            if hit is not None:
+                results[i] = hit
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total, spec)
+            else:
+                misses.append(i)
+                try:
+                    first_miss[spec] = i
+                except TypeError:
+                    pass
+
+        if misses:
+            if self.jobs > 1:
+                done = self._run_parallel(specs, misses, results, done)
+            else:
+                done = self._run_serial(specs, misses, results, done)
+
+        for i, representative in aliases.items():
+            # Served from the cache when one is configured (so hit/miss
+            # accounting reflects the dedup), else shared directly.
+            run = self.cache.get(specs[i]) if self.cache is not None else None
+            results[i] = run if run is not None else results[representative]
+            done += 1
+            if self.progress is not None:
+                self.progress(done, total, specs[i])
+
+        assert done == total
+        return results  # type: ignore[return-value]
+
+    def run_one(self, spec: RunSpec) -> "AppRun":
+        """Convenience: execute a single spec through the cache."""
+        return self.map([spec])[0]
+
+    # -- internals ---------------------------------------------------------
+
+    def _complete(self, spec: RunSpec, run: "AppRun") -> None:
+        if self.cache is not None:
+            self.cache.put(spec, run)
+
+    def _run_serial(self, specs, indices, results, done) -> int:
+        for i in indices:
+            run = specs[i].execute()
+            self._complete(specs[i], run)
+            results[i] = run
+            done += 1
+            if self.progress is not None:
+                self.progress(done, len(specs), specs[i])
+        return done
+
+    def _run_parallel(self, specs, indices, results, done) -> int:
+        parallelizable, local = [], []
+        for i in indices:
+            (parallelizable if _picklable(specs[i]) else local).append(i)
+
+        if parallelizable:
+            workers = min(self.jobs, len(parallelizable))
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    done = self._drain(pool, specs, parallelizable,
+                                       results, done)
+            except (OSError, PermissionError):
+                # Sandboxes without process-spawn rights: degrade to
+                # serial rather than failing the sweep.
+                unfinished = [
+                    i for i in parallelizable if results[i] is None
+                ]
+                done = self._run_serial(specs, unfinished, results, done)
+        if local:
+            done = self._run_serial(specs, local, results, done)
+        return done
+
+    def _drain(self, pool, specs, indices, results, done) -> int:
+        total = len(specs)
+        pending = list(indices)
+        inflight: dict = {}
+        while pending or inflight:
+            while pending and len(inflight) < self.max_inflight:
+                i = pending.pop(0)
+                inflight[pool.submit(execute_spec, specs[i])] = i
+            completed, _ = wait(inflight, return_when=FIRST_COMPLETED)
+            for future in completed:
+                i = inflight.pop(future)
+                run = future.result()
+                self._complete(specs[i], run)
+                results[i] = run
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total, specs[i])
+        return done
+
+
+def run_sweep(
+    specs: Iterable[RunSpec],
+    jobs: "int | None" = 1,
+    cache: SimulationCache | None = None,
+    progress: ProgressFn | None = None,
+) -> "list[AppRun]":
+    """One-shot helper: ``SweepExecutor(...).map(specs)``."""
+    return SweepExecutor(jobs=jobs, cache=cache, progress=progress).map(specs)

@@ -1,0 +1,131 @@
+"""Picklable description of one independent simulation run.
+
+Every sweep point of the figure experiments and every autotuning
+objective evaluation is "construct an app, call ``run()``, read the
+timings".  A :class:`RunSpec` captures that as plain data — the app
+class (picklable by reference), its constructor arguments, and the
+``run()`` parameters — so the run can be shipped to a worker process,
+memoized under a content-addressed key, or executed in place, all with
+identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.device.spec import DeviceSpec, PHI_31SP
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.apps.base import AppRun
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One ``app_cls(*app_args, **app_kwargs).run(...)`` invocation.
+
+    ``app_kwargs`` is stored as a sorted tuple of ``(key, value)`` pairs
+    so the spec is hashable and its cache key is order-independent.
+    ``keep_timeline`` retains the run's trace; such runs bypass the
+    result cache (a timeline is too heavy to memoize) and pay the full
+    pickling cost when shipped across processes.
+    """
+
+    app_cls: type
+    app_args: tuple = ()
+    app_kwargs: tuple = ()
+    places: int = 1
+    streams_per_place: int = 1
+    num_devices: int = 1
+    keep_timeline: bool = False
+
+    @classmethod
+    def for_app(
+        cls,
+        app_cls: type,
+        *app_args: Any,
+        places: int,
+        streams_per_place: int = 1,
+        num_devices: int = 1,
+        keep_timeline: bool = False,
+        **app_kwargs: Any,
+    ) -> "RunSpec":
+        """The ergonomic constructor: mirrors the direct-call spelling
+        ``app_cls(*app_args, **app_kwargs).run(places=...)``."""
+        return cls(
+            app_cls=app_cls,
+            app_args=tuple(app_args),
+            app_kwargs=tuple(sorted(app_kwargs.items())),
+            places=places,
+            streams_per_place=streams_per_place,
+            num_devices=num_devices,
+            keep_timeline=keep_timeline,
+        )
+
+    # -- execution ---------------------------------------------------------
+
+    def build_app(self) -> Any:
+        """Instantiate the application this spec describes."""
+        return self.app_cls(*self.app_args, **dict(self.app_kwargs))
+
+    def execute(self) -> "AppRun":
+        """Run the simulation described by this spec (in this process)."""
+        run = self.build_app().run(
+            places=self.places,
+            streams_per_place=self.streams_per_place,
+            num_devices=self.num_devices,
+        )
+        if not self.keep_timeline:
+            # Sweeps only consume the scalar timings; dropping the trace
+            # keeps worker->parent pickles and cache entries small.
+            run.timeline = None
+            run.outputs = {}
+        return run
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def device_spec(self) -> DeviceSpec:
+        """The device spec this run is simulated against."""
+        spec = dict(self.app_kwargs).get("spec", PHI_31SP)
+        if not isinstance(spec, DeviceSpec):
+            raise ConfigurationError(
+                f"spec kwarg must be a DeviceSpec, got {spec!r}"
+            )
+        return spec
+
+    def cache_key(self) -> str:
+        """Content-addressed identity of this run's *timings*.
+
+        Layout: ``app-class | constructor args | run geometry | model
+        fingerprint``.  The constructor arguments cover the dataset size,
+        tile count, iteration count, dtype and scale; the geometry covers
+        (P, streams-per-place, devices); the fingerprint covers every
+        calibrated model constant (see
+        :func:`repro.device.calibration.model_fingerprint`), so a
+        recalibration invalidates all prior entries.
+        """
+        from repro.device.calibration import model_fingerprint
+
+        app = f"{self.app_cls.__module__}.{self.app_cls.__qualname__}"
+        kwargs = tuple(
+            (k, v) for k, v in self.app_kwargs if k != "spec"
+        )
+        return "|".join(
+            (
+                app,
+                repr(self.app_args),
+                repr(kwargs),
+                f"P={self.places}",
+                f"S={self.streams_per_place}",
+                f"D={self.num_devices}",
+                model_fingerprint(self.device_spec),
+            )
+        )
+
+
+def execute_spec(spec: RunSpec) -> "AppRun":
+    """Module-level entry point for worker processes (must be picklable
+    by reference, hence not a method)."""
+    return spec.execute()

@@ -1,0 +1,149 @@
+"""Cache tests: accounting, LRU, disk tier, fingerprint invalidation."""
+
+import json
+
+from repro.apps import MatMulApp
+from repro.device.calibration import model_fingerprint
+from repro.device.spec import PHI_31SP, PHI_7120
+from repro.parallel import RunSpec, SimulationCache, SweepExecutor, shared_cache
+
+SPEC = RunSpec.for_app(MatMulApp, 600, 4, places=2)
+OTHER = RunSpec.for_app(MatMulApp, 600, 4, places=4)
+
+
+def _run_of(spec):
+    return spec.execute()
+
+
+class TestAccounting:
+    def test_miss_then_hit(self):
+        cache = SimulationCache()
+        assert cache.get(SPEC) is None
+        cache.put(SPEC, _run_of(SPEC))
+        hit = cache.get(SPEC)
+        assert hit is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.puts == 1
+
+    def test_hit_is_bit_identical(self):
+        cache = SimulationCache()
+        run = _run_of(SPEC)
+        cache.put(SPEC, run)
+        hit = cache.get(SPEC)
+        assert hit.elapsed == run.elapsed
+        assert hit.gflops == run.gflops
+        assert hit.places == run.places
+        assert hit.tiles == run.tiles
+        assert hit.app == run.app
+
+    def test_executor_accounts_hits_and_misses(self):
+        cache = SimulationCache()
+        ex = SweepExecutor(jobs=1, cache=cache)
+        ex.map([SPEC, OTHER, SPEC])  # third is served from the first
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 1
+        ex.map([SPEC, OTHER])
+        assert cache.stats.hits == 3
+
+    def test_keep_timeline_bypasses_cache(self):
+        cache = SimulationCache()
+        spec = RunSpec.for_app(
+            MatMulApp, 600, 4, places=2, keep_timeline=True
+        )
+        cache.put(spec, _run_of(SPEC))
+        assert cache.get(spec) is None
+        assert cache.stats.puts == 0
+        runs = SweepExecutor(jobs=1, cache=cache).map([spec])
+        assert runs[0].timeline is not None
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        cache = SimulationCache(capacity=2)
+        third = RunSpec.for_app(MatMulApp, 600, 16, places=2)
+        run = _run_of(SPEC)
+        cache.put(SPEC, run)
+        cache.put(OTHER, run)
+        assert cache.get(SPEC) is not None  # SPEC is now most recent
+        cache.put(third, run)  # evicts OTHER
+        assert cache.stats.evictions == 1
+        assert cache.get(OTHER) is None
+        assert cache.get(SPEC) is not None
+
+
+class TestDiskTier:
+    def test_roundtrip_across_instances(self, tmp_path):
+        first = SimulationCache(disk_dir=tmp_path)
+        run = _run_of(SPEC)
+        first.put(SPEC, run)
+        files = list(tmp_path.glob("simcache-*.json"))
+        assert len(files) == 1
+        # A fresh cache (cold memory) hits the disk tier.
+        second = SimulationCache(disk_dir=tmp_path)
+        hit = second.get(SPEC)
+        assert hit is not None
+        assert hit.elapsed == run.elapsed
+        assert second.stats.disk_hits == 1
+
+    def test_disk_file_keyed_by_fingerprint(self, tmp_path):
+        cache = SimulationCache(disk_dir=tmp_path)
+        cache.put(SPEC, _run_of(SPEC))
+        (path,) = tmp_path.glob("simcache-*.json")
+        assert model_fingerprint(PHI_31SP) in path.name
+        payload = json.loads(path.read_text())
+        (key,) = payload
+        assert key == SPEC.cache_key()
+
+    def test_corrupt_disk_file_is_ignored(self, tmp_path):
+        cache = SimulationCache(disk_dir=tmp_path)
+        cache.put(SPEC, _run_of(SPEC))
+        (path,) = tmp_path.glob("simcache-*.json")
+        path.write_text("{ not json")
+        fresh = SimulationCache(disk_dir=tmp_path)
+        assert fresh.get(SPEC) is None  # miss, not a crash
+        fresh.put(SPEC, _run_of(SPEC))  # and the file heals
+        assert SimulationCache(disk_dir=tmp_path).get(SPEC) is not None
+
+
+class TestCalibrationInvalidation:
+    def test_fingerprint_changes_with_model_constants(self):
+        recalibrated = PHI_31SP.with_overrides(
+            mem_bandwidth=PHI_31SP.mem_bandwidth * 1.5
+        )
+        assert model_fingerprint(PHI_31SP) != model_fingerprint(recalibrated)
+        assert model_fingerprint(PHI_31SP) != model_fingerprint(PHI_7120)
+
+    def test_fingerprint_stable_across_calls(self):
+        assert model_fingerprint(PHI_31SP) == model_fingerprint(PHI_31SP)
+
+    def test_recalibrated_spec_misses_cache(self):
+        cache = SimulationCache()
+        cache.put(SPEC, _run_of(SPEC))
+        recalibrated = RunSpec.for_app(
+            MatMulApp,
+            600,
+            4,
+            places=2,
+            spec=PHI_31SP.with_overrides(grain_half_ops=8000.0),
+        )
+        assert cache.get(SPEC) is not None
+        assert cache.get(recalibrated) is None
+
+    def test_recalibrated_disk_entries_do_not_collide(self, tmp_path):
+        cache = SimulationCache(disk_dir=tmp_path)
+        cache.put(SPEC, _run_of(SPEC))
+        recalibrated = RunSpec.for_app(
+            MatMulApp,
+            600,
+            4,
+            places=2,
+            spec=PHI_31SP.with_overrides(grain_half_ops=8000.0),
+        )
+        cache.put(recalibrated, recalibrated.execute())
+        assert len(list(tmp_path.glob("simcache-*.json"))) == 2
+
+
+class TestSharedCache:
+    def test_singleton(self):
+        assert shared_cache() is shared_cache()
