@@ -89,13 +89,44 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("info", help="device spec and calibration anchors")
     sub.add_parser("demo", help="run a streamed pipeline, show Gantt+report")
-    exp = sub.add_parser("experiments", help="regenerate paper figures")
+    exp = sub.add_parser(
+        "experiments",
+        help="regenerate paper figures",
+        epilog="Resilience flags (--retries/--checkpoint/--fault-plan) "
+        "are forwarded to repro.experiments; see docs/RELIABILITY.md.",
+    )
     exp.add_argument(
         "--jobs",
         type=int,
         default=None,
         metavar="N",
         help="worker processes for sweep-style figures (0 = all cores)",
+    )
+    exp.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry failed sweep points up to N times",
+    )
+    exp.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="checkpoint sweep progress to FILE and resume from it",
+    )
+    exp.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic faults (testing aid)",
+    )
+    exp.add_argument(
+        "--on-error",
+        choices=["raise", "record"],
+        default=None,
+        help="abort on an unrecoverable sweep point (raise) or render "
+        "it as a gap (record)",
     )
     exp.add_argument("rest", nargs=argparse.REMAINDER)
     args = parser.parse_args(argv)
@@ -107,8 +138,10 @@ def main(argv: list[str] | None = None) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
     rest = list(args.rest)
-    if args.jobs is not None:
-        rest = ["--jobs", str(args.jobs)] + rest
+    for flag in ("jobs", "retries", "checkpoint", "fault_plan", "on_error"):
+        value = getattr(args, flag)
+        if value is not None:
+            rest = [f"--{flag.replace('_', '-')}", str(value)] + rest
     return experiments_main(rest)
 
 

@@ -43,3 +43,22 @@ class PipelineError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was misconfigured."""
+
+
+class FaultInjectedError(ReproError):
+    """Marker base for errors raised by deliberate fault injection.
+
+    Every exception a :class:`repro.faults.FaultPlan` injects derives
+    from this *and* from the domain error the fault imitates (e.g. an
+    injected transfer fault is both a ``TransferError`` and a
+    ``FaultInjectedError``), so recovery code can treat injected and
+    organic failures identically while tests can tell them apart.
+    """
+
+
+class WorkerCrashError(ReproError):
+    """A sweep worker process died (or was made to die) mid-run."""
+
+
+class WorkerTimeoutError(ReproError):
+    """A sweep run exceeded its per-spec deadline (hung worker)."""

@@ -37,10 +37,76 @@ EXPERIMENTS = {
 }
 
 
+EPILOG = """\
+resilience options (see docs/RELIABILITY.md):
+  --jobs N        fan sweep points over N worker processes; parallel
+                  results are bit-identical to serial ones (0 = all
+                  cores, default 1)
+  --retries N     re-execute a failed sweep point up to N times before
+                  giving up (worker crashes and hangs are recovered,
+                  the pool is rebuilt)
+  --checkpoint F  persist completed sweep points to F; re-running the
+                  same command after an interrupt resumes where it
+                  left off, re-executing only the missing points
+  --fault-plan S  inject deterministic faults, e.g.
+                  'seed=7;worker.crash:at=3' or 'transfer.h2d:p=0.01'
+                  (for testing the recovery machinery)
+  --on-error record
+                  render failed points as gaps instead of aborting
+
+example:
+  python -m repro.experiments --jobs 8 --retries 2 \\
+      --checkpoint results/fig9.ckpt fig9
+"""
+
+
+def _build_executor(args):
+    """One shared executor when any resilience flag is in play.
+
+    With plain ``--jobs`` the per-figure executors are kept (their
+    behaviour predates the resilience layer and is unchanged); retries,
+    checkpoints and fault plans need a single executor whose stats and
+    checkpoint file span the whole invocation.
+    """
+    if (
+        args.retries is None
+        and args.checkpoint is None
+        and args.fault_plan is None
+        and args.on_error == "raise"
+    ):
+        return None
+    from repro.faults import FaultPlan
+    from repro.parallel import (
+        RetryPolicy,
+        SweepCheckpoint,
+        SweepExecutor,
+        shared_cache,
+    )
+
+    return SweepExecutor(
+        jobs=args.jobs,
+        cache=shared_cache(),
+        retry=(
+            RetryPolicy(max_retries=args.retries)
+            if args.retries is not None
+            else None
+        ),
+        checkpoint=(
+            SweepCheckpoint(args.checkpoint) if args.checkpoint else None
+        ),
+        fault_plan=(
+            FaultPlan.parse(args.fault_plan) if args.fault_plan else None
+        ),
+        on_error=args.on_error,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's figures on the simulated platform.",
+        epilog=EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "figures",
@@ -66,14 +132,47 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for sweep-style figures "
         "(0 = all cores; default: 1, serial)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry failed sweep points up to N times "
+        "(default: no retries, first failure aborts the sweep)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="checkpoint completed sweep points to FILE and resume "
+        "from it on the next run",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic faults, e.g. 'seed=7;worker.crash:at=3' "
+        "(exercises the recovery machinery)",
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=["raise", "record"],
+        default="raise",
+        help="what to do when a sweep point exhausts recovery: abort "
+        "(raise, default) or render it as a gap (record)",
+    )
     args = parser.parse_args(argv)
 
+    executor = _build_executor(args)
     names = args.figures or list(EXPERIMENTS)
     failed = 0
     for name in names:
         run_fn = EXPERIMENTS[name]
+        params = inspect.signature(run_fn).parameters
         kwargs: dict[str, object] = {"fast": not args.full}
-        if "jobs" in inspect.signature(run_fn).parameters:
+        if executor is not None and "executor" in params:
+            kwargs["executor"] = executor
+        elif "jobs" in params:
             kwargs["jobs"] = args.jobs
         start = time.perf_counter()
         outcome = run_fn(**kwargs)
@@ -85,6 +184,8 @@ def main(argv: list[str] | None = None) -> int:
             if not result.all_checks_pass:
                 failed += 1
         print(f"[{name} finished in {elapsed:.1f}s]\n")
+    if executor is not None:
+        print(f"[executor: {executor.stats.summary()}]")
     if failed:
         print(f"{failed} experiment panel(s) had failing checks")
         return 1

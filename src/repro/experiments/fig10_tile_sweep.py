@@ -200,8 +200,10 @@ def run_srad(
     return result
 
 
-def run(fast: bool = True, jobs: int = 1) -> list[ExperimentResult]:
-    executor = _executor(None, jobs)
+def run(
+    fast: bool = True, jobs: int = 1, executor=None
+) -> list[ExperimentResult]:
+    executor = _executor(executor, jobs)
     return [
         run_mm(fast, executor=executor),
         run_cf(fast, executor=executor),

@@ -24,7 +24,7 @@ from repro.apps import (
     SradApp,
 )
 from repro.experiments.runner import ExperimentResult
-from repro.parallel import RunSpec, SweepExecutor, shared_cache
+from repro.parallel import RunSpec, SweepExecutor, is_failed, shared_cache
 
 
 def _executor(executor, jobs) -> SweepExecutor:
@@ -38,6 +38,9 @@ def _batched_best(executor, base_specs, candidate_groups):
 
     Returns ``(base_runs, best_runs)`` where ``best_runs[i]`` is the
     fastest run of ``candidate_groups[i]`` (min simulated elapsed).
+    FailedRun placeholders (``on_error="record"`` under fault injection)
+    never win a group as long as one candidate survived — NaN elapsed
+    would otherwise poison the min().
     """
     flat = list(base_specs)
     offsets = []
@@ -46,10 +49,13 @@ def _batched_best(executor, base_specs, candidate_groups):
         flat.extend(group)
     runs = executor.map(flat)
     base_runs = runs[: len(base_specs)]
-    best_runs = [
-        min(runs[start : start + count], key=lambda run: run.elapsed)
-        for start, count in offsets
-    ]
+    best_runs = []
+    for start, count in offsets:
+        group = runs[start : start + count]
+        alive = [run for run in group if not is_failed(run)]
+        best_runs.append(
+            min(alive or group, key=lambda run: run.elapsed)
+        )
     return base_runs, best_runs
 
 
@@ -300,8 +306,10 @@ def run_srad(
     return result
 
 
-def run(fast: bool = True, jobs: int = 1) -> list[ExperimentResult]:
-    executor = _executor(None, jobs)
+def run(
+    fast: bool = True, jobs: int = 1, executor=None
+) -> list[ExperimentResult]:
+    executor = _executor(executor, jobs)
     return [
         run_mm(fast, executor=executor),
         run_cf(fast, executor=executor),

@@ -1,0 +1,45 @@
+"""Fault injection and the fault model (see ``docs/RELIABILITY.md``).
+
+Real hStreams deployments hit transfer errors, stream failures and
+partition exhaustion that a happy-path runtime never models.  This
+package injects those failures *deterministically*: a seeded
+:class:`FaultPlan` decides, via counter-based hashing, exactly which
+transfer, kernel, enqueue, partition operation, or sweep worker fails —
+so a failing sweep can be replayed bit-for-bit from its seed and the
+recovery machinery in :mod:`repro.parallel` can be tested against every
+failure mode the paper's long multi-configuration sweeps are exposed to.
+"""
+
+from repro.faults.plan import (
+    ALL_SITES,
+    FaultPlan,
+    FaultRule,
+    FaultSession,
+    InjectedKernelError,
+    InjectedPartitionError,
+    InjectedStreamError,
+    InjectedTransferError,
+    InjectedWorkerCrash,
+    InjectedWorkerTimeout,
+    RUNTIME_SITES,
+    WORKER_SITES,
+    active_session,
+    maybe_fail,
+)
+
+__all__ = [
+    "ALL_SITES",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSession",
+    "InjectedKernelError",
+    "InjectedPartitionError",
+    "InjectedStreamError",
+    "InjectedTransferError",
+    "InjectedWorkerCrash",
+    "InjectedWorkerTimeout",
+    "RUNTIME_SITES",
+    "WORKER_SITES",
+    "active_session",
+    "maybe_fail",
+]

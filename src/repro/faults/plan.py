@@ -1,0 +1,338 @@
+"""Deterministic, seedable fault injection for the runtime and executor.
+
+A :class:`FaultPlan` describes *where* and *when* failures strike: each
+:class:`FaultRule` names an injection **site** (a choke point the
+runtime or the sweep executor consults), a probability, and windowing
+conditions.  Draws are derived from SHA-256 over ``(seed, site,
+ordinal)`` — never from :mod:`random` state or string hashes — so the
+same plan replays the same faults in any process, on any platform,
+serial or parallel.
+
+Two families of sites:
+
+* **runtime sites** fire inside a simulated run, at the hStreams API
+  boundary.  :func:`maybe_fail` is called by the runtime at each site;
+  when a plan is :meth:`~FaultPlan.active` the call may raise the
+  matching injected error (see :data:`RUNTIME_SITES`).
+* **worker sites** (``worker.crash`` / ``worker.hang`` /
+  ``worker.unpicklable``) are drawn by the *parent* sweep executor per
+  ``(spec index, attempt)`` and acted out around — not inside — the
+  simulation (see :meth:`FaultPlan.worker_directive`).
+
+By default a rule only affects a spec's **first attempt**
+(``attempts=1``): retries run clean, which is what lets a
+:class:`~repro.parallel.RetryPolicy` prove a sweep recovers to
+bit-identical results.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+from dataclasses import dataclass, field, replace
+
+from repro.errors import (
+    ConfigurationError,
+    FaultInjectedError,
+    KernelError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+from repro.hstreams.errors import (
+    PartitionExhaustedError,
+    StreamFailedError,
+    TransferError,
+)
+
+
+class InjectedTransferError(TransferError, FaultInjectedError):
+    """Injected host<->device transfer failure."""
+
+
+class InjectedKernelError(KernelError, FaultInjectedError):
+    """Injected kernel-execution failure."""
+
+
+class InjectedStreamError(StreamFailedError, FaultInjectedError):
+    """Injected stream failure at enqueue time."""
+
+
+class InjectedPartitionError(PartitionExhaustedError, FaultInjectedError):
+    """Injected partition-creation / partition-bind failure."""
+
+
+class InjectedWorkerCrash(WorkerCrashError, FaultInjectedError):
+    """Serial-mode stand-in for a worker process dying."""
+
+
+class InjectedWorkerTimeout(WorkerTimeoutError, FaultInjectedError):
+    """Serial-mode stand-in for a hung worker."""
+
+
+#: Runtime injection sites -> the error class :func:`maybe_fail` raises.
+RUNTIME_SITES: dict[str, type[FaultInjectedError]] = {
+    "transfer.h2d": InjectedTransferError,
+    "transfer.d2h": InjectedTransferError,
+    "kernel": InjectedKernelError,
+    "stream.enqueue": InjectedStreamError,
+    "partition.reserve": InjectedPartitionError,
+    "place.bind": InjectedPartitionError,
+}
+
+#: Worker-level sites, acted out by the sweep executor.
+WORKER_SITES = ("worker.crash", "worker.hang", "worker.unpicklable")
+
+ALL_SITES = tuple(RUNTIME_SITES) + WORKER_SITES
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic failure pattern at one site.
+
+    ``after`` skips the first draws at the site; ``max_faults`` caps how
+    many times the rule fires (0 = unlimited); ``attempts`` limits the
+    rule to a spec's first N execution attempts (0 = every attempt), so
+    retries run clean by default.
+    """
+
+    site: str
+    probability: float = 1.0
+    after: int = 0
+    max_faults: int = 1
+    attempts: int = 1
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.site not in ALL_SITES:
+            raise ConfigurationError(
+                f"unknown fault site {self.site!r}; "
+                f"known: {', '.join(ALL_SITES)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.after < 0 or self.max_faults < 0 or self.attempts < 0:
+            raise ConfigurationError(
+                "after/max_faults/attempts must be >= 0"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus rules: a replayable schedule of injected failures."""
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = ()
+    #: How long an injected ``worker.hang`` sleeps before giving up on
+    #: its own (a finite bound so nothing hangs forever even when the
+    #: executor fails to reap it).
+    hang_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.hang_seconds <= 0:
+            raise ConfigurationError(
+                f"hang_seconds must be positive, got {self.hang_seconds}"
+            )
+
+    # -- construction --------------------------------------------------------
+
+    def with_rule(self, site: str, **kwargs) -> "FaultPlan":
+        """A copy of this plan with one more rule."""
+        return replace(
+            self, rules=self.rules + (FaultRule(site=site, **kwargs),)
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the CLI spelling of a plan.
+
+        ``;``-separated segments: ``seed=N`` and ``hang=SECONDS`` set
+        plan fields; every other segment is ``site[:key=value,...]``
+        with keys ``p`` (probability), ``after``, ``max``, ``attempts``,
+        and the shorthand ``at=N`` (= ``after=N,max=1,p=1``: fail
+        exactly the Nth draw).  Example::
+
+            seed=42;worker.crash:at=3;transfer.h2d:p=0.1,max=2
+        """
+        seed = 0
+        hang = 5.0
+        rules: list[FaultRule] = []
+        for segment in filter(None, (s.strip() for s in text.split(";"))):
+            head, _, tail = segment.partition(":")
+            if "=" in head and not tail:
+                key, _, value = head.partition("=")
+                if key == "seed":
+                    seed = int(value)
+                elif key == "hang":
+                    hang = float(value)
+                else:
+                    raise ConfigurationError(
+                        f"unknown plan field {key!r} in {segment!r}"
+                    )
+                continue
+            kwargs: dict[str, object] = {}
+            for pair in filter(None, (p.strip() for p in tail.split(","))):
+                key, eq, value = pair.partition("=")
+                if not eq:
+                    raise ConfigurationError(
+                        f"expected key=value in rule segment {segment!r}"
+                    )
+                if key in ("p", "prob", "probability"):
+                    kwargs["probability"] = float(value)
+                elif key == "after":
+                    kwargs["after"] = int(value)
+                elif key == "max":
+                    kwargs["max_faults"] = int(value)
+                elif key == "attempts":
+                    kwargs["attempts"] = int(value)
+                elif key == "at":
+                    kwargs.update(
+                        after=int(value), max_faults=1, probability=1.0
+                    )
+                else:
+                    raise ConfigurationError(
+                        f"unknown rule key {key!r} in {segment!r}"
+                    )
+            rules.append(FaultRule(site=head, **kwargs))
+        return cls(seed=seed, rules=tuple(rules), hang_seconds=hang)
+
+    def describe(self) -> str:
+        """A round-trippable one-line summary (the parse syntax)."""
+        parts = [f"seed={self.seed}"]
+        if self.hang_seconds != 5.0:
+            parts.append(f"hang={self.hang_seconds:g}")
+        for r in self.rules:
+            fields = []
+            if r.probability != 1.0:
+                fields.append(f"p={r.probability:g}")
+            if r.after:
+                fields.append(f"after={r.after}")
+            if r.max_faults != 1:
+                fields.append(f"max={r.max_faults}")
+            if r.attempts != 1:
+                fields.append(f"attempts={r.attempts}")
+            parts.append(r.site + (":" + ",".join(fields) if fields else ""))
+        return ";".join(parts)
+
+    # -- deterministic draws -------------------------------------------------
+
+    def uniform(self, site: str, ordinal: int) -> float:
+        """The [0, 1) draw for the Nth event at ``site`` — a pure
+        function of (seed, site, ordinal), identical in every process
+        (``PYTHONHASHSEED``-proof by construction)."""
+        digest = hashlib.sha256(
+            f"{self.seed}|{site}|{ordinal}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def _matches(self, rule: FaultRule, ordinal: int, attempt: int) -> bool:
+        if rule.attempts and attempt >= rule.attempts:
+            return False
+        if ordinal < rule.after:
+            return False
+        return self.uniform(rule.site, ordinal) < rule.probability
+
+    def worker_directive(self, index: int, attempt: int) -> str | None:
+        """Which worker fault (if any) to act out for a sweep spec.
+
+        Drawn statelessly per ``(index, attempt)`` — ``index`` is the
+        spec's position in the batch — so the outcome is independent of
+        completion order.  Returns ``"crash"``, ``"hang"``,
+        ``"unpicklable"``, or None.
+        """
+        for site in WORKER_SITES:
+            for rule in self.rules:
+                if rule.site != site:
+                    continue
+                if not self._matches(rule, index, attempt):
+                    continue
+                if rule.max_faults:
+                    fired_before = sum(
+                        1
+                        for j in range(rule.after, index)
+                        if self.uniform(site, j) < rule.probability
+                    )
+                    if fired_before >= rule.max_faults:
+                        continue
+                return site.split(".", 1)[1]
+        return None
+
+    # -- runtime activation --------------------------------------------------
+
+    def session(self, attempt: int = 0) -> "FaultSession":
+        """Fresh draw counters for one simulated run."""
+        return FaultSession(plan=self, attempt=attempt)
+
+    def active(self, attempt: int = 0):
+        """Context manager installing this plan for the current process.
+
+        While active, the runtime's :func:`maybe_fail` choke points
+        consult a fresh :class:`FaultSession`; the previous session (if
+        any) is restored on exit.
+        """
+        return _activate(self.session(attempt=attempt))
+
+
+@dataclass
+class FaultSession:
+    """Per-run draw/fire counters for the runtime sites of one plan."""
+
+    plan: FaultPlan
+    attempt: int = 0
+    _draws: dict[str, int] = field(default_factory=dict)
+    _fired: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(self._fired.values())
+
+    def check(self, site: str, detail: str = "") -> None:
+        """Draw at ``site``; raise the site's injected error if a rule
+        fires.  Called by the runtime via :func:`maybe_fail`."""
+        ordinal = self._draws.get(site, 0)
+        self._draws[site] = ordinal + 1
+        plan = self.plan
+        for rule in plan.rules:
+            if rule.site != site:
+                continue
+            if rule.max_faults and self._fired.get(site, 0) >= rule.max_faults:
+                continue
+            if not plan._matches(rule, ordinal, self.attempt):
+                continue
+            self._fired[site] = self._fired.get(site, 0) + 1
+            error = RUNTIME_SITES[site]
+            message = rule.message or (
+                f"injected fault at {site} (draw {ordinal}, "
+                f"seed {plan.seed}{', ' + detail if detail else ''})"
+            )
+            raise error(message)
+
+
+_ACTIVE: FaultSession | None = None
+
+
+def active_session() -> FaultSession | None:
+    """The session installed by :meth:`FaultPlan.active`, if any."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def _activate(session: FaultSession):
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = session
+    try:
+        yield session
+    finally:
+        _ACTIVE = previous
+
+
+def maybe_fail(site: str, detail: str = "") -> None:
+    """Runtime choke point: a no-op unless a fault plan is active.
+
+    The runtime calls this at each :data:`RUNTIME_SITES` boundary; the
+    cost with no active plan is one global read.
+    """
+    if _ACTIVE is not None:
+        _ACTIVE.check(site, detail)

@@ -19,6 +19,8 @@ from typing import TYPE_CHECKING, Any
 
 from repro.device.compute import KernelWork
 from repro.device.pcie import TransferDirection
+from repro.errors import FaultInjectedError
+from repro.faults import maybe_fail
 from repro.hstreams.buffer import Buffer
 from repro.hstreams.enums import ActionKind
 from repro.hstreams.errors import HstreamsError
@@ -116,12 +118,31 @@ class Action:
             yield env.timeout(overheads.cross_device_sync)
         yield env.timeout(overheads.dispatch)
 
-        if self.kind is ActionKind.H2D or self.kind is ActionKind.D2H:
-            yield from self._run_transfer()
-        elif self.kind is ActionKind.EXE:
-            yield from self._run_kernel()
-        else:  # MARKER: completes as soon as the FIFO reaches it.
-            self.started_at = self.finished_at = env.now
+        try:
+            if self.kind is ActionKind.H2D or self.kind is ActionKind.D2H:
+                yield from self._run_transfer()
+            elif self.kind is ActionKind.EXE:
+                yield from self._run_kernel()
+            else:  # MARKER: completes as soon as the FIFO reaches it.
+                self.started_at = self.finished_at = env.now
+        except FaultInjectedError:
+            # Leave a marker on the timeline before the error unwinds,
+            # so traces show where the injected failure struck.
+            ctx.trace.append(
+                TraceEvent(
+                    kind=ActionKind.FAULT,
+                    stream=self.stream.index,
+                    device=device.index,
+                    start=(
+                        self.started_at
+                        if self.started_at is not None
+                        else env.now
+                    ),
+                    end=env.now,
+                    label=f"fault:{self.label}",
+                )
+            )
+            raise
 
         ctx.trace.append(
             TraceEvent(
@@ -181,6 +202,7 @@ class Action:
         with place.lock.request() as req:
             yield req
             self.started_at = env.now
+            maybe_fail("kernel", self.label)
             duration = place.device.kernel_duration(self.work, place.partition)
             yield env.timeout(duration)
             if self.fn is not None:

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.faults import maybe_fail
 from repro.hstreams.errors import BufferStateError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -151,6 +152,7 @@ class Buffer:
 
     def copy_h2d(self, device_index: int, offset: int, count: int | None) -> None:
         """Copy an element range host -> device instance."""
+        maybe_fail("transfer.h2d", self.name)
         count = self._resolve_count(offset, count)
         if self.is_virtual or count == 0:
             return
@@ -161,6 +163,7 @@ class Buffer:
 
     def copy_d2h(self, device_index: int, offset: int, count: int | None) -> None:
         """Copy an element range device instance -> host."""
+        maybe_fail("transfer.d2h", self.name)
         count = self._resolve_count(offset, count)
         if self.is_virtual or count == 0:
             return

@@ -71,7 +71,7 @@ class StreamContext:
                     device=device,
                     partition_index=part_index,
                 )
-                domain.places.append(place)
+                domain.add_place(place)
                 self.places.append(place)
                 global_index += 1
             self.domains.append(domain)

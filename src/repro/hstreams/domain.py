@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.faults import maybe_fail
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.device.mic import MicDevice
     from repro.hstreams.place import Place
@@ -27,6 +29,15 @@ class Domain:
     @property
     def num_places(self) -> int:
         return len(self.places)
+
+    def add_place(self, place: "Place") -> None:
+        """Reserve one more partition of this domain's card.
+
+        The injection site models hStreams failing to carve another
+        partition out of the device (partition exhaustion).
+        """
+        maybe_fail("partition.reserve", f"domain {self.index}")
+        self.places.append(place)
 
     def __repr__(self) -> str:
         return f"<Domain {self.index} places={self.num_places}>"

@@ -17,6 +17,9 @@ class ActionKind(enum.Enum):
     #: Intra-stream marker event (completes when everything enqueued
     #: before it in the same stream has completed).
     MARKER = "marker"
+    #: An action that died to an injected fault (trace-only: the record
+    #: marks where the failure struck on the timeline).
+    FAULT = "fault"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

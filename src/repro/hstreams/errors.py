@@ -21,6 +21,18 @@ class InvalidDependencyError(HstreamsError):
     """A dependency references an action from a different context."""
 
 
+class TransferError(HstreamsError):
+    """A host<->device transfer failed mid-flight."""
+
+
+class StreamFailedError(HstreamsError):
+    """A stream refused an enqueue (runtime-side stream failure)."""
+
+
+class PartitionExhaustedError(HstreamsError):
+    """The runtime could not carve out / bind another core partition."""
+
+
 class DeadlockError(HstreamsError):
     """The simulation stalled with actions still pending.
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.faults import maybe_fail
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.device.mic import MicDevice
     from repro.device.topology import Partition
@@ -33,6 +35,7 @@ class Place:
 
     @property
     def lock(self) -> "Resource":
+        maybe_fail("place.bind", f"place {self.index}")
         return self.device.partition_lock(self.partition_index)
 
     @property

@@ -13,6 +13,7 @@ from collections.abc import Callable
 from typing import TYPE_CHECKING, Any
 
 from repro.device.compute import KernelWork
+from repro.faults import maybe_fail
 from repro.hstreams.action import Action
 from repro.hstreams.buffer import Buffer
 from repro.hstreams.enums import ActionKind, StreamState
@@ -53,6 +54,7 @@ class Stream:
     def _check_active(self) -> None:
         if self.state is not StreamState.ACTIVE:
             raise ContextStateError(f"stream {self.index} is closed")
+        maybe_fail("stream.enqueue", f"stream {self.index}")
 
     # -- enqueue API ---------------------------------------------------------
 

@@ -58,8 +58,9 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
 
-def _record(run: AppRun) -> dict:
-    """The JSON-serializable subset of an AppRun that the cache stores."""
+def encode_run(run: AppRun) -> dict:
+    """The JSON-serializable subset of an AppRun worth persisting —
+    shared by the cache's disk tier and sweep checkpoints."""
     return {
         "app": run.app,
         "elapsed": run.elapsed,
@@ -69,7 +70,8 @@ def _record(run: AppRun) -> dict:
     }
 
 
-def _rebuild(record: dict) -> AppRun:
+def decode_run(record: dict) -> AppRun:
+    """Inverse of :func:`encode_run`."""
     return AppRun(
         app=record["app"],
         elapsed=record["elapsed"],
@@ -116,14 +118,14 @@ class SimulationCache:
         if record is not None:
             self._memory.move_to_end(key)
             self.stats.hits += 1
-            return _rebuild(record)
+            return decode_run(record)
         if self.disk_dir is not None:
             record = self._disk_load(key).get(key)
             if record is not None:
                 self.stats.hits += 1
                 self.stats.disk_hits += 1
                 self._remember(key, record)
-                return _rebuild(record)
+                return decode_run(record)
         self.stats.misses += 1
         return None
 
@@ -132,7 +134,7 @@ class SimulationCache:
         if spec.keep_timeline:
             return
         key = spec.cache_key()
-        record = _record(run)
+        record = encode_run(run)
         self._remember(key, record)
         self.stats.puts += 1
         if self.disk_dir is not None:

@@ -15,19 +15,50 @@ embarrassingly-parallel shape.  :class:`SweepExecutor` runs them over a
   and misses are written back, so overlapping sweeps (fig8's config
   search, fig9, the heuristics grid) pay for each configuration once;
 * **progress** — an optional ``progress(done, total, spec)`` callback
-  fires as each run completes (in completion order).
+  fires as each run completes (in completion order);
+* **fault tolerance** — a failing spec never silently discards the rest
+  of the batch.  Without a :class:`~repro.parallel.RetryPolicy` the
+  failure raises :class:`~repro.parallel.SweepError` *carrying every
+  completed result*; with one, attempts are retried (bounded, with
+  backoff and per-spec deadlines), crashed worker processes are reaped
+  and the pool rebuilt, and — under ``on_error="record"`` — a spec that
+  exhausts recovery yields a NaN-metric
+  :class:`~repro.parallel.FailedRun` placeholder instead of aborting;
+* **checkpoint/resume** — an optional
+  :class:`~repro.parallel.SweepCheckpoint` persists completed points
+  under their cache-fingerprint keys, so an interrupted sweep restarts
+  where it left off (see ``docs/RELIABILITY.md``);
+* **fault injection** — a seeded :class:`~repro.faults.FaultPlan` can
+  deterministically crash/hang workers or fail runtime operations, for
+  testing exactly this machinery.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import time
+from collections import deque
 from collections.abc import Callable, Iterable
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING
 
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+from repro.faults import FaultPlan
+from repro.faults.plan import InjectedWorkerCrash, InjectedWorkerTimeout
 from repro.parallel.cache import SimulationCache
+from repro.parallel.checkpoint import SweepCheckpoint
+from repro.parallel.resilience import (
+    ExecutorStats,
+    FailedRun,
+    RetryPolicy,
+    SweepError,
+)
 from repro.parallel.runspec import RunSpec, execute_spec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -54,8 +85,48 @@ def _picklable(spec: RunSpec) -> bool:
         return False
 
 
+class _Unpicklable:
+    """Result wrapper whose pickling always fails (the injected
+    ``worker.unpicklable`` fault): the worker computes the run fine but
+    cannot ship it back, exercising the executor's result-path
+    recovery."""
+
+    def __init__(self, run: "AppRun") -> None:
+        self.run = run
+        self._poison = lambda: None  # locals never pickle
+
+
+def execute_spec_faulty(
+    spec: RunSpec,
+    plan: FaultPlan,
+    attempt: int,
+    directive: "str | None",
+) -> "AppRun":
+    """Worker entry point when a fault plan is in force.
+
+    ``directive`` was drawn by the parent (deterministically, from the
+    spec's batch index): ``crash`` hard-kills the worker process,
+    ``hang`` sleeps past any reasonable deadline, ``unpicklable``
+    poisons the result.  Runtime faults activate around the simulation
+    itself.
+    """
+    if directive == "crash":
+        os._exit(17)
+    if directive == "hang":
+        time.sleep(plan.hang_seconds)
+        raise WorkerTimeoutError(
+            f"injected hang outlived its {plan.hang_seconds}s bound"
+        )
+    with plan.active(attempt=attempt):
+        run = spec.execute()
+    if directive == "unpicklable":
+        return _Unpicklable(run)  # type: ignore[return-value]
+    return run
+
+
 class SweepExecutor:
-    """Execute batches of :class:`RunSpec` with caching and parallelism."""
+    """Execute batches of :class:`RunSpec` with caching, parallelism,
+    and (optionally) retries, checkpointing and fault injection."""
 
     def __init__(
         self,
@@ -63,6 +134,10 @@ class SweepExecutor:
         cache: SimulationCache | None = None,
         progress: ProgressFn | None = None,
         max_inflight: int | None = None,
+        retry: RetryPolicy | None = None,
+        checkpoint: SweepCheckpoint | None = None,
+        fault_plan: FaultPlan | None = None,
+        on_error: str = "raise",
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
@@ -70,11 +145,26 @@ class SweepExecutor:
         #: Bound on queued-but-unfinished submissions, so a 56x6-point
         #: sweep does not pickle every spec up front.
         self.max_inflight = max_inflight or 4 * self.jobs
+        self.retry = retry
+        self.checkpoint = checkpoint
+        self.fault_plan = fault_plan
+        if on_error not in ("raise", "record"):
+            raise ConfigurationError(
+                f"on_error must be 'raise' or 'record', got {on_error!r}"
+            )
+        self.on_error = on_error
+        self.stats = ExecutorStats()
 
     # -- public API --------------------------------------------------------
 
     def map(self, specs: Iterable[RunSpec]) -> "list[AppRun]":
-        """Run every spec, returning results in submission order."""
+        """Run every spec, returning results in submission order.
+
+        Failure semantics: see the module docstring (``retry`` /
+        ``on_error``).  When a :class:`SweepError` is raised, completed
+        results ride along on the exception and the checkpoint (if any)
+        has been flushed — nothing finished is lost.
+        """
         specs = list(specs)
         total = len(specs)
         results: "list[AppRun | None]" = [None] * total
@@ -96,6 +186,7 @@ class SweepExecutor:
                 continue
             hit = self.cache.get(spec) if self.cache is not None else None
             if hit is not None:
+                self.stats.cache_hits += 1
                 results[i] = hit
                 done += 1
                 if self.progress is not None:
@@ -107,11 +198,33 @@ class SweepExecutor:
                 except TypeError:
                     pass
 
-        if misses:
-            if self.jobs > 1:
-                done = self._run_parallel(specs, misses, results, done)
-            else:
-                done = self._run_serial(specs, misses, results, done)
+        # Checkpoint pass: a resumed sweep serves every point the
+        # interrupted run already finished, re-executing only the rest.
+        if self.checkpoint is not None and misses:
+            remaining: list[int] = []
+            for i in misses:
+                run = self.checkpoint.lookup(specs[i])
+                if run is None:
+                    remaining.append(i)
+                    continue
+                self.stats.checkpoint_hits += 1
+                if self.cache is not None:
+                    self.cache.put(specs[i], run)
+                results[i] = run
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total, specs[i])
+            misses = remaining
+
+        try:
+            if misses:
+                if self.jobs > 1:
+                    done = self._run_parallel(specs, misses, results, done)
+                else:
+                    done = self._run_serial(specs, misses, results, done)
+        finally:
+            if self.checkpoint is not None:
+                self.checkpoint.flush()
 
         for i, representative in aliases.items():
             # Served from the cache when one is configured (so hit/miss
@@ -129,62 +242,339 @@ class SweepExecutor:
         """Convenience: execute a single spec through the cache."""
         return self.map([spec])[0]
 
-    # -- internals ---------------------------------------------------------
+    # -- shared internals --------------------------------------------------
 
     def _complete(self, spec: RunSpec, run: "AppRun") -> None:
         if self.cache is not None:
             self.cache.put(spec, run)
+        if self.checkpoint is not None:
+            self.checkpoint.record(spec, run)
+
+    def _classify(self, exc: BaseException) -> None:
+        if isinstance(exc, WorkerTimeoutError):
+            self.stats.timeouts += 1
+        elif isinstance(exc, WorkerCrashError):
+            self.stats.worker_crashes += 1
+
+    def _should_retry(self, exc: BaseException, attempt: int) -> bool:
+        return (
+            self.retry is not None
+            and attempt < self.retry.max_retries
+            and self.retry.retryable(exc)
+        )
+
+    def _attempt_ok(self, specs, results, i, run, done) -> int:
+        self.stats.attempts += 1
+        self.stats.executed += 1
+        self._complete(specs[i], run)
+        results[i] = run
+        done += 1
+        if self.progress is not None:
+            self.progress(done, len(specs), specs[i])
+        return done
+
+    def _exhausted(self, specs, results, i, exc, attempts, done) -> int:
+        """A spec ran out of recovery: record a placeholder or abort
+        (carrying every completed result on the exception)."""
+        self.stats.failures += 1
+        if self.on_error == "record":
+            spec = specs[i]
+            results[i] = FailedRun(
+                app=getattr(spec.app_cls, "name", spec.app_cls.__name__),
+                places=spec.places,
+                tiles=0,
+                error=str(exc),
+                error_type=type(exc).__name__,
+                attempts=attempts,
+            )
+            done += 1
+            if self.progress is not None:
+                self.progress(done, len(specs), spec)
+            return done
+        raise SweepError(
+            f"spec {i} failed after {attempts} attempt(s): {exc} "
+            f"[{sum(1 for r in results if r is not None)}/{len(specs)} "
+            f"completed results preserved on this error]",
+            results=list(results),
+            spec=specs[i],
+        ) from exc
+
+    # -- serial path -------------------------------------------------------
+
+    def _execute_inline(self, spec: RunSpec, i: int, attempt: int):
+        """One in-process attempt, honouring the fault plan.
+
+        Worker faults degrade to synchronous stand-ins here: a "crash"
+        raises :class:`WorkerCrashError` (this process must survive),
+        a "hang" raises :class:`WorkerTimeoutError` immediately (serial
+        execution cannot be preempted), and "unpicklable" is a no-op
+        (nothing crosses a process boundary).
+        """
+        plan = self.fault_plan
+        if plan is None:
+            return spec.execute()
+        directive = plan.worker_directive(i, attempt)
+        if directive == "crash":
+            raise InjectedWorkerCrash(
+                f"injected worker crash for spec {i} (serial mode)"
+            )
+        if directive == "hang":
+            raise InjectedWorkerTimeout(
+                f"injected worker hang for spec {i} (serial mode)"
+            )
+        with plan.active(attempt=attempt):
+            return spec.execute()
 
     def _run_serial(self, specs, indices, results, done) -> int:
         for i in indices:
-            run = specs[i].execute()
-            self._complete(specs[i], run)
-            results[i] = run
-            done += 1
-            if self.progress is not None:
-                self.progress(done, len(specs), specs[i])
+            done = self._serial_one(specs, i, results, done)
         return done
+
+    def _serial_one(self, specs, i, results, done) -> int:
+        attempt = 0
+        while True:
+            try:
+                run = self._execute_inline(specs[i], i, attempt)
+            except Exception as exc:
+                self.stats.attempts += 1
+                self._classify(exc)
+                if self._should_retry(exc, attempt):
+                    self.stats.retries += 1
+                    delay = self.retry.delay(attempt)
+                    if delay > 0:
+                        time.sleep(delay)
+                    attempt += 1
+                    continue
+                return self._exhausted(
+                    specs, results, i, exc, attempt + 1, done
+                )
+            return self._attempt_ok(specs, results, i, run, done)
+
+    # -- parallel path -----------------------------------------------------
 
     def _run_parallel(self, specs, indices, results, done) -> int:
         parallelizable, local = [], []
         for i in indices:
             (parallelizable if _picklable(specs[i]) else local).append(i)
-
         if parallelizable:
-            workers = min(self.jobs, len(parallelizable))
-            try:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    done = self._drain(pool, specs, parallelizable,
-                                       results, done)
-            except (OSError, PermissionError):
-                # Sandboxes without process-spawn rights: degrade to
-                # serial rather than failing the sweep.
-                unfinished = [
-                    i for i in parallelizable if results[i] is None
-                ]
-                done = self._run_serial(specs, unfinished, results, done)
+            done = self._drain(specs, parallelizable, results, done)
         if local:
             done = self._run_serial(specs, local, results, done)
         return done
 
-    def _drain(self, pool, specs, indices, results, done) -> int:
-        total = len(specs)
-        pending = list(indices)
+    def _submit(self, pool, spec, i, attempt):
+        plan = self.fault_plan
+        if plan is not None:
+            directive = plan.worker_directive(i, attempt)
+            return pool.submit(
+                execute_spec_faulty, spec, plan, attempt, directive
+            )
+        return pool.submit(execute_spec, spec)
+
+    def _charged_for_crash(self, i: int, attempt: int) -> bool:
+        """Whether a pool break should cost this inflight spec an
+        attempt.  With a fault plan only the spec *directed* to crash
+        is charged (innocents are requeued for free); a real crash has
+        no known culprit, so every inflight spec is charged — the
+        conservative reading."""
+        plan = self.fault_plan
+        if plan is None:
+            return True
+        return plan.worker_directive(i, attempt) == "crash"
+
+    def _attempt_failed(
+        self, specs, results, pending, i, attempt, exc, done
+    ) -> int:
+        self.stats.attempts += 1
+        self._classify(exc)
+        if self._should_retry(exc, attempt):
+            self.stats.retries += 1
+            eligible = time.monotonic() + self.retry.delay(attempt)
+            pending.append((i, attempt + 1, eligible))
+            return done
+        return self._exhausted(specs, results, i, exc, attempt + 1, done)
+
+    def _poll_timeout(self, inflight, pending, now):
+        """How long to wait for completions: the nearest per-spec
+        deadline or backoff-eligibility instant, else forever."""
+        candidates = []
+        if self.retry is not None and self.retry.timeout is not None:
+            candidates.extend(
+                t0 + self.retry.timeout - now
+                for (_, _, t0) in inflight.values()
+            )
+        candidates.extend(e - now for (_, _, e) in pending if e > now)
+        if not candidates:
+            return None
+        return max(0.01, min(candidates))
+
+    def _drain(self, specs, indices, results, done) -> int:
+        workers = min(self.jobs, len(indices))
+        #: (spec index, attempt, eligible-at) — eligible-at implements
+        #: retry backoff without blocking other completions.
+        pending: deque = deque((i, 0, 0.0) for i in indices)
         inflight: dict = {}
-        while pending or inflight:
-            while pending and len(inflight) < self.max_inflight:
-                i = pending.pop(0)
-                inflight[pool.submit(execute_spec, specs[i])] = i
-            completed, _ = wait(inflight, return_when=FIRST_COMPLETED)
-            for future in completed:
-                i = inflight.pop(future)
-                run = future.result()
-                self._complete(specs[i], run)
-                results[i] = run
-                done += 1
-                if self.progress is not None:
-                    self.progress(done, total, specs[i])
+        pool = None
+
+        def close_pool(kill: bool = False) -> None:
+            nonlocal pool
+            if pool is None:
+                return
+            if kill:
+                # Hung/dead workers never finish their task: terminate
+                # the processes so shutdown cannot block on them.
+                for proc in list(getattr(pool, "_processes", {}).values()):
+                    try:
+                        proc.terminate()
+                    except Exception:
+                        pass
+            try:
+                pool.shutdown(wait=not kill, cancel_futures=True)
+            except Exception:
+                pass
+            pool = None
+
+        try:
+            while pending or inflight:
+                now = time.monotonic()
+                deferred = []
+                broken_on_submit = False
+                while pending and len(inflight) < self.max_inflight:
+                    i, attempt, eligible = pending.popleft()
+                    if eligible > now:
+                        deferred.append((i, attempt, eligible))
+                        continue
+                    if pool is None:
+                        try:
+                            pool = ProcessPoolExecutor(max_workers=workers)
+                        except (OSError, PermissionError):
+                            # Sandboxes without process-spawn rights:
+                            # degrade to serial rather than failing.
+                            pending.extendleft(
+                                reversed(deferred + [(i, attempt, eligible)])
+                            )
+                            order = [idx for idx, _, _ in pending]
+                            pending.clear()
+                            return self._run_serial(
+                                specs, order, results, done
+                            )
+                    try:
+                        future = self._submit(pool, specs[i], i, attempt)
+                    except (BrokenProcessPool, RuntimeError, OSError):
+                        deferred.append((i, attempt, eligible))
+                        broken_on_submit = True
+                        break
+                    inflight[future] = (i, attempt, now)
+                pending.extend(deferred)
+
+                if broken_on_submit:
+                    done = self._handle_pool_break(
+                        specs, results, pending, inflight, done
+                    )
+                    close_pool(kill=True)
+                    continue
+
+                if not inflight:
+                    if pending:
+                        soonest = min(e for (_, _, e) in pending)
+                        time.sleep(max(0.0, soonest - time.monotonic()))
+                    continue
+
+                completed, _ = wait(
+                    set(inflight),
+                    timeout=self._poll_timeout(inflight, pending, now),
+                    return_when=FIRST_COMPLETED,
+                )
+
+                if not completed:
+                    done, reaped = self._reap_timeouts(
+                        specs, results, pending, inflight, done
+                    )
+                    if reaped:
+                        close_pool(kill=True)
+                    continue
+
+                broken = False
+                for future in completed:
+                    i, attempt, t0 = inflight.pop(future)
+                    try:
+                        run = future.result()
+                    except BrokenProcessPool as exc:
+                        broken = True
+                        if self._charged_for_crash(i, attempt):
+                            done = self._attempt_failed(
+                                specs, results, pending, i, attempt,
+                                WorkerCrashError(
+                                    f"worker died executing spec {i}: {exc}"
+                                ),
+                                done,
+                            )
+                        else:
+                            pending.append((i, attempt, 0.0))
+                    except Exception as exc:
+                        done = self._attempt_failed(
+                            specs, results, pending, i, attempt, exc, done
+                        )
+                    else:
+                        done = self._attempt_ok(specs, results, i, run, done)
+                if broken:
+                    done = self._handle_pool_break(
+                        specs, results, pending, inflight, done
+                    )
+                    close_pool(kill=True)
+        finally:
+            close_pool(kill=True)
         return done
+
+    def _handle_pool_break(
+        self, specs, results, pending, inflight, done
+    ) -> int:
+        """A worker died and took the pool with it: charge the culprit
+        (or, with no fault plan, every inflight spec) and requeue the
+        rest uncharged.  The caller rebuilds the pool."""
+        for future, (i, attempt, t0) in list(inflight.items()):
+            del inflight[future]
+            if self._charged_for_crash(i, attempt):
+                done = self._attempt_failed(
+                    specs, results, pending, i, attempt,
+                    WorkerCrashError(
+                        f"worker pool broke while spec {i} was inflight"
+                    ),
+                    done,
+                )
+            else:
+                pending.append((i, attempt, 0.0))
+        return done
+
+    def _reap_timeouts(
+        self, specs, results, pending, inflight, done
+    ) -> "tuple[int, bool]":
+        """Abandon attempts that blew their deadline.  A hung worker
+        still occupies its process, so the caller kills and rebuilds
+        the pool; other inflight specs are requeued uncharged."""
+        if self.retry is None or self.retry.timeout is None:
+            return done, False
+        now = time.monotonic()
+        expired = [
+            (future, entry)
+            for future, entry in inflight.items()
+            if now - entry[2] > self.retry.timeout
+        ]
+        if not expired:
+            return done, False
+        for future, (i, attempt, t0) in expired:
+            del inflight[future]
+            done = self._attempt_failed(
+                specs, results, pending, i, attempt,
+                WorkerTimeoutError(
+                    f"spec {i} exceeded its {self.retry.timeout}s deadline"
+                ),
+                done,
+            )
+        for future, (i, attempt, t0) in list(inflight.items()):
+            del inflight[future]
+            pending.append((i, attempt, 0.0))
+        return done, True
 
 
 def run_sweep(
@@ -192,6 +582,18 @@ def run_sweep(
     jobs: "int | None" = 1,
     cache: SimulationCache | None = None,
     progress: ProgressFn | None = None,
+    retry: RetryPolicy | None = None,
+    checkpoint: SweepCheckpoint | None = None,
+    fault_plan: FaultPlan | None = None,
+    on_error: str = "raise",
 ) -> "list[AppRun]":
     """One-shot helper: ``SweepExecutor(...).map(specs)``."""
-    return SweepExecutor(jobs=jobs, cache=cache, progress=progress).map(specs)
+    return SweepExecutor(
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        retry=retry,
+        checkpoint=checkpoint,
+        fault_plan=fault_plan,
+        on_error=on_error,
+    ).map(specs)

@@ -1,0 +1,153 @@
+"""Recovery machinery for sweeps: retries, failure records, stats.
+
+The failure-handling contract of :class:`~repro.parallel.SweepExecutor`
+(see ``docs/RELIABILITY.md``):
+
+* with no :class:`RetryPolicy`, the first failing spec raises
+  :class:`SweepError` — which still carries every completed result, so a
+  56-point sweep never throws away 55 good points;
+* with a policy, failing specs are re-executed (bounded retries,
+  exponential backoff, optional per-attempt deadline); the simulation is
+  deterministic, so a retried run is bit-identical to a never-failed
+  one;
+* with ``on_error="record"``, a spec that exhausts its retries yields a
+  :class:`FailedRun` placeholder whose metrics are NaN — experiments
+  render gaps instead of dying.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, ReproError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and per-spec deadline.
+
+    ``backoff`` is the delay before the first retry;  retry *n* waits
+    ``backoff * backoff_factor**n`` seconds.  ``timeout`` bounds one
+    execution attempt in wall-clock seconds (enforced on the parallel
+    path, where a hung worker can be reaped; the serial path cannot
+    preempt a running simulation).  ``retry_on`` restricts which
+    exception types are worth re-executing.
+    """
+
+    max_retries: int = 2
+    backoff: float = 0.0
+    backoff_factor: float = 2.0
+    timeout: float | None = None
+    retry_on: tuple[type[BaseException], ...] = (Exception,)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff < 0 or self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                "backoff must be >= 0 and backoff_factor >= 1"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(
+                f"timeout must be positive, got {self.timeout}"
+            )
+
+    def delay(self, retry_index: int) -> float:
+        """Seconds to wait before the given retry (0-based)."""
+        return self.backoff * self.backoff_factor**retry_index
+
+    def retryable(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.retry_on)
+
+
+@dataclass
+class FailedRun:
+    """Placeholder result for a spec that exhausted its recovery.
+
+    Mirrors the metric surface of :class:`~repro.apps.base.AppRun` with
+    NaN values, so sweep code that reads ``run.elapsed`` /
+    ``run.gflops`` propagates a gap instead of crashing.
+    """
+
+    app: str
+    places: int
+    tiles: int
+    error: str
+    error_type: str
+    attempts: int
+    elapsed: float = float("nan")
+    gflops: float = float("nan")
+    timeline: None = None
+    outputs: dict = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"<FailedRun {self.app} P={self.places} "
+            f"{self.error_type} after {self.attempts} attempt(s)>"
+        )
+
+
+def is_failed(run: object) -> bool:
+    """True for :class:`FailedRun` placeholders (NaN-metric gaps)."""
+    return isinstance(run, FailedRun)
+
+
+def value_or_nan(value: object) -> float:
+    """Coerce a metric to float, mapping None to NaN."""
+    return float(value) if value is not None else math.nan
+
+
+class SweepError(ReproError):
+    """A sweep aborted, but its completed results are not lost.
+
+    ``results`` is the submission-ordered result list with ``None`` at
+    every point that had not completed; ``spec`` is the spec whose
+    failure aborted the sweep.  The original exception is chained as
+    ``__cause__``.
+    """
+
+    def __init__(self, message: str, results: list, spec=None) -> None:
+        super().__init__(message)
+        self.results = results
+        self.spec = spec
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.results if r is not None)
+
+
+@dataclass
+class ExecutorStats:
+    """Per-executor accounting (cumulative over ``map`` calls)."""
+
+    #: Specs served straight from the simulation cache.
+    cache_hits: int = 0
+    #: Specs served from a sweep checkpoint (resume path).
+    checkpoint_hits: int = 0
+    #: Execution attempts launched (includes retries).
+    attempts: int = 0
+    #: Attempts that produced a result.
+    executed: int = 0
+    #: Re-executions triggered by the retry policy.
+    retries: int = 0
+    #: Specs that exhausted recovery.
+    failures: int = 0
+    #: Worker-process deaths observed (injected or real).
+    worker_crashes: int = 0
+    #: Attempts abandoned at the per-spec deadline.
+    timeouts: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"executed={self.executed} cache_hits={self.cache_hits} "
+            f"checkpoint_hits={self.checkpoint_hits} "
+            f"retries={self.retries} failures={self.failures} "
+            f"crashes={self.worker_crashes} timeouts={self.timeouts}"
+        )

@@ -19,6 +19,7 @@ _GLYPHS = {
     ActionKind.D2H: "<",
     ActionKind.EXE: "#",
     ActionKind.MARKER: "|",
+    ActionKind.FAULT: "!",
 }
 
 
@@ -31,7 +32,8 @@ def render_gantt(
 
     ``lane_by`` is ``"stream"`` (one row per stream) or ``"kind"`` (one
     row per action class — handy for eyeballing transfer/compute
-    overlap).  Legend: ``>`` H2D, ``<`` D2H, ``#`` kernel, ``|`` marker.
+    overlap).  Legend: ``>`` H2D, ``<`` D2H, ``#`` kernel, ``|`` marker,
+    ``!`` injected fault.
     """
     if width < 10:
         raise ReproError(f"width must be >= 10, got {width}")
@@ -70,7 +72,7 @@ def render_gantt(
         f"{' ' * label_width}  {fmt_time(0.0)}"
         f"{' ' * (width - 16)}{fmt_time(span)}"
     )
-    legend = ">: H2D  <: D2H  #: kernel  |: marker"
+    legend = ">: H2D  <: D2H  #: kernel  |: marker  !: fault"
     return "\n".join(lines + [footer, legend])
 
 

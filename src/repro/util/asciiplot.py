@@ -39,7 +39,16 @@ def ascii_plot(
     if len(series) > len(_SERIES_GLYPHS):
         raise ValueError(f"at most {len(_SERIES_GLYPHS)} series supported")
 
-    values = [v for vs in series.values() for v in vs]
+    # Non-finite values (the NaN metrics of FailedRun placeholders)
+    # render as gaps rather than poisoning the axis scaling.
+    values = [
+        v
+        for vs in series.values()
+        for v in vs
+        if isinstance(v, (int, float)) and math.isfinite(v)
+    ]
+    if not values:
+        return "(no finite data points)"
     if log_y and any(v <= 0 for v in values):
         raise ValueError("log scale requires positive values")
     transform = (lambda v: math.log10(v)) if log_y else (lambda v: v)
@@ -50,6 +59,8 @@ def ascii_plot(
     grid = [[" "] * width for _ in range(height)]
     for (label, vs), glyph in zip(series.items(), _SERIES_GLYPHS):
         for i, v in enumerate(vs):
+            if not (isinstance(v, (int, float)) and math.isfinite(v)):
+                continue
             col = int(i / max(n - 1, 1) * (width - 1))
             row = height - 1 - int(
                 (transform(v) - lo) / span * (height - 1)

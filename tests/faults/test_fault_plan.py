@@ -1,0 +1,166 @@
+"""FaultPlan semantics: parsing, determinism, windowing, activation."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    ALL_SITES,
+    FaultPlan,
+    FaultRule,
+    InjectedTransferError,
+    active_session,
+    maybe_fail,
+)
+
+
+class TestParse:
+    def test_round_trip_through_describe(self):
+        plan = FaultPlan.parse(
+            "seed=42;hang=2.5;worker.crash:at=3;"
+            "transfer.h2d:p=0.1,max=2,attempts=0"
+        )
+        assert plan.seed == 42
+        assert plan.hang_seconds == 2.5
+        assert FaultPlan.parse(plan.describe()) == plan
+
+    def test_at_shorthand(self):
+        (rule,) = FaultPlan.parse("kernel:at=5").rules
+        assert rule.after == 5
+        assert rule.max_faults == 1
+        assert rule.probability == 1.0
+
+    def test_bare_site(self):
+        (rule,) = FaultPlan.parse("transfer.d2h").rules
+        assert rule.site == "transfer.d2h"
+        assert rule == FaultRule(site="transfer.d2h")
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault site"):
+            FaultPlan.parse("transfer.sideways:p=1")
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown plan field"):
+            FaultPlan.parse("sneed=1")
+        with pytest.raises(ConfigurationError, match="unknown rule key"):
+            FaultPlan.parse("kernel:chance=0.5")
+
+    def test_rule_validation(self):
+        with pytest.raises(ConfigurationError, match="probability"):
+            FaultRule(site="kernel", probability=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultRule(site="kernel", after=-1)
+        with pytest.raises(ConfigurationError, match="hang_seconds"):
+            FaultPlan(hang_seconds=0.0)
+
+
+class TestDeterminism:
+    def test_uniform_is_pure(self):
+        a = FaultPlan(seed=7)
+        b = FaultPlan(seed=7)
+        for site in ALL_SITES:
+            for n in range(8):
+                assert a.uniform(site, n) == b.uniform(site, n)
+                assert 0.0 <= a.uniform(site, n) < 1.0
+
+    def test_seed_changes_draws(self):
+        draws = {
+            FaultPlan(seed=s).uniform("kernel", 0) for s in range(16)
+        }
+        assert len(draws) == 16
+
+    def test_draws_survive_hash_randomization(self):
+        # str hashing is PYTHONHASHSEED-salted; the plan's draws must
+        # not be, or parallel workers would disagree with the parent.
+        code = (
+            "from repro.faults import FaultPlan;"
+            "print(repr(FaultPlan(seed=3).uniform('worker.crash', 5)))"
+        )
+        outs = {
+            subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env={"PYTHONHASHSEED": seed, "PYTHONPATH": "src"},
+                check=True,
+            ).stdout
+            for seed in ("0", "12345")
+        }
+        assert len(outs) == 1
+        assert outs == {repr(FaultPlan(seed=3).uniform("worker.crash", 5)) + "\n"}
+
+
+class TestWorkerDirective:
+    def test_at_fires_exactly_once(self):
+        plan = FaultPlan.parse("worker.crash:at=2")
+        directives = [plan.worker_directive(i, 0) for i in range(6)]
+        assert directives == [None, None, "crash", None, None, None]
+
+    def test_retries_run_clean_by_default(self):
+        plan = FaultPlan.parse("worker.hang:at=1")
+        assert plan.worker_directive(1, 0) == "hang"
+        assert plan.worker_directive(1, 1) is None
+
+    def test_attempts_zero_means_every_attempt(self):
+        plan = FaultPlan.parse("worker.crash:at=0,attempts=0")
+        assert plan.worker_directive(0, 0) == "crash"
+        assert plan.worker_directive(0, 5) == "crash"
+
+    def test_max_faults_caps_probabilistic_rule(self):
+        plan = FaultPlan.parse("seed=9;worker.crash:p=1,max=2,after=0")
+        fired = [
+            i for i in range(10) if plan.worker_directive(i, 0) == "crash"
+        ]
+        assert fired == [0, 1]
+
+    def test_probability_zero_never_fires(self):
+        plan = FaultPlan.parse("worker.unpicklable:p=0,max=0")
+        assert all(
+            plan.worker_directive(i, 0) is None for i in range(32)
+        )
+
+    def test_order_independent(self):
+        plan = FaultPlan.parse("seed=5;worker.crash:p=0.5,max=0,attempts=0")
+        forward = [plan.worker_directive(i, 0) for i in range(16)]
+        backward = [
+            plan.worker_directive(i, 0) for i in reversed(range(16))
+        ]
+        assert forward == list(reversed(backward))
+
+
+class TestSessionActivation:
+    def test_inactive_is_noop(self):
+        assert active_session() is None
+        maybe_fail("transfer.h2d")  # must not raise
+
+    def test_session_counts_and_caps(self):
+        plan = FaultPlan.parse("transfer.h2d:at=0")
+        session = plan.session()
+        with pytest.raises(InjectedTransferError):
+            session.check("transfer.h2d")
+        assert session.faults_injected == 1
+        session.check("transfer.h2d")  # max_faults=1: second draw clean
+
+    def test_active_restores_previous(self):
+        plan = FaultPlan(seed=1)
+        with plan.active() as outer:
+            assert active_session() is outer
+            with plan.active(attempt=1) as inner:
+                assert active_session() is inner
+            assert active_session() is outer
+        assert active_session() is None
+
+    def test_attempt_gating_in_session(self):
+        plan = FaultPlan.parse("kernel:at=0")
+        with plan.active(attempt=1):
+            maybe_fail("kernel")  # retries run clean by default
+
+    def test_custom_message(self):
+        plan = FaultPlan(seed=0).with_rule(
+            "transfer.h2d", message="flaky PCIe lane"
+        )
+        with plan.active():
+            with pytest.raises(InjectedTransferError, match="flaky PCIe"):
+                maybe_fail("transfer.h2d")

@@ -1,0 +1,131 @@
+"""Runtime fault sites: each hStreams boundary fails on cue, the trace
+records where the failure struck, and a clean run is unaffected."""
+
+import numpy as np
+import pytest
+
+from repro import KernelWork, StreamContext
+from repro.apps import MatMulApp
+from repro.faults import (
+    FaultPlan,
+    InjectedKernelError,
+    InjectedPartitionError,
+    InjectedStreamError,
+    InjectedTransferError,
+)
+from repro.hstreams.enums import ActionKind
+from repro.trace import render_gantt, to_chrome_trace
+
+
+def _pipeline():
+    """A tiny two-stream h2d -> kernel -> d2h pipeline; returns the
+    context so the trace survives an injected failure."""
+    ctx = StreamContext(places=2)
+    n = 1 << 12
+    data = ctx.buffer(np.ones(n, dtype=np.float32))
+    out = ctx.buffer(np.zeros(n, dtype=np.float32))
+    chunk = n // 2
+    for i in range(2):
+        stream = ctx.stream(i)
+        lo = i * chunk
+        stream.h2d(data, offset=lo, count=chunk)
+        out.instantiate(stream.place.device)
+
+        def fn(lo=lo, d=stream.place.device.index):
+            out.instance(d)[lo : lo + chunk] = (
+                data.instance(d)[lo : lo + chunk] * 2
+            )
+
+        stream.invoke(
+            KernelWork(
+                name=f"scale{i}",
+                flops=4.0 * chunk,
+                bytes_touched=8.0 * chunk,
+                thread_rate=0.2e9,
+            ),
+            fn=fn,
+        )
+        stream.d2h(out, offset=lo, count=chunk)
+    return ctx, out
+
+
+class TestRuntimeSites:
+    def test_h2d_transfer_fault(self):
+        ctx, _ = _pipeline()
+        with FaultPlan.parse("transfer.h2d:at=0").active():
+            with pytest.raises(InjectedTransferError, match="transfer.h2d"):
+                ctx.sync_all()
+
+    def test_d2h_transfer_fault(self):
+        ctx, _ = _pipeline()
+        with FaultPlan.parse("transfer.d2h:at=1").active():
+            with pytest.raises(InjectedTransferError, match="draw 1"):
+                ctx.sync_all()
+
+    def test_kernel_fault(self):
+        ctx, _ = _pipeline()
+        with FaultPlan.parse("kernel:at=0").active():
+            with pytest.raises(InjectedKernelError):
+                ctx.sync_all()
+
+    def test_enqueue_fault_fires_at_submission_time(self):
+        ctx = StreamContext(places=2)
+        data = ctx.buffer(np.ones(64, dtype=np.float32))
+        with FaultPlan.parse("stream.enqueue:at=0").active():
+            with pytest.raises(InjectedStreamError):
+                ctx.stream(0).h2d(data)
+
+    def test_partition_reserve_fault(self):
+        with FaultPlan.parse("partition.reserve:at=2").active():
+            with pytest.raises(InjectedPartitionError):
+                StreamContext(places=4)
+
+    def test_place_bind_fault(self):
+        ctx, _ = _pipeline()
+        with FaultPlan.parse("place.bind:at=0").active():
+            with pytest.raises(InjectedPartitionError):
+                ctx.sync_all()
+
+    def test_app_level_injection(self):
+        with FaultPlan.parse("transfer.h2d:at=3").active():
+            with pytest.raises(InjectedTransferError):
+                MatMulApp(600, 4).run(places=2)
+
+
+class TestFaultTraceEvents:
+    def _failed_trace(self):
+        ctx, _ = _pipeline()
+        with FaultPlan.parse("kernel:at=1").active():
+            with pytest.raises(InjectedKernelError):
+                ctx.sync_all()
+        return ctx.trace
+
+    def test_fault_event_recorded(self):
+        trace = self._failed_trace()
+        faults = [e for e in trace if e.kind is ActionKind.FAULT]
+        assert len(faults) == 1
+        assert faults[0].label.startswith("fault:")
+
+    def test_chrome_export_carries_fault_category(self):
+        records = to_chrome_trace(self._failed_trace())
+        assert any(r["cat"] == "fault" for r in records)
+
+    def test_gantt_renders_fault_glyph(self):
+        chart = render_gantt(self._failed_trace())
+        assert "!" in chart
+
+
+class TestCleanRunsUnaffected:
+    def test_probability_zero_plan_changes_nothing(self):
+        baseline = MatMulApp(600, 4).run(places=2)
+        plan = FaultPlan.parse("transfer.h2d:p=0,max=0;kernel:p=0,max=0")
+        with plan.active():
+            injected = MatMulApp(600, 4).run(places=2)
+        assert injected.elapsed == baseline.elapsed
+        assert injected.gflops == baseline.gflops
+
+    def test_pipeline_completes_without_plan(self):
+        ctx, out = _pipeline()
+        ctx.sync_all()
+        assert np.all(out.host == 2.0)
+        assert not [e for e in ctx.trace if e.kind is ActionKind.FAULT]

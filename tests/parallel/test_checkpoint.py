@@ -1,0 +1,164 @@
+"""Checkpoint/resume: round-trips, buffering, torn files, fig9 resume.
+
+The acceptance bar (ISSUE): a fig9 sweep interrupted at ~50% and
+restarted from its checkpoint re-executes only the remaining points,
+verified via the executor's hit/executed counters.
+"""
+
+import json
+
+import pytest
+
+from repro.apps import MatMulApp, NNApp
+from repro.errors import ConfigurationError
+from repro.experiments import fig9_partition_sweep
+from repro.faults import FaultPlan
+from repro.parallel import (
+    CHECKPOINT_VERSION,
+    RetryPolicy,
+    RunSpec,
+    SimulationCache,
+    SweepCheckpoint,
+    SweepError,
+    SweepExecutor,
+)
+
+SPECS = [
+    RunSpec.for_app(MatMulApp, 600, 4, places=1),
+    RunSpec.for_app(MatMulApp, 600, 4, places=2),
+    RunSpec.for_app(NNApp, 4096, 4, places=4),
+]
+
+
+def _baseline():
+    return [r.elapsed for r in SweepExecutor(jobs=1).map(SPECS)]
+
+
+class TestRoundTrip:
+    def test_resume_reexecutes_only_missing_points(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        first = SweepExecutor(jobs=1, checkpoint=SweepCheckpoint(path))
+        first.map(SPECS[:2])
+        assert first.stats.executed == 2
+
+        resumed = SweepExecutor(jobs=1, checkpoint=SweepCheckpoint(path))
+        runs = resumed.map(SPECS)
+        assert resumed.stats.checkpoint_hits == 2
+        assert resumed.stats.executed == 1
+        assert [r.elapsed for r in runs] == _baseline()
+
+    def test_checkpointed_points_feed_the_cache(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        SweepExecutor(jobs=1, checkpoint=SweepCheckpoint(path)).map(SPECS)
+        cache = SimulationCache()
+        executor = SweepExecutor(
+            jobs=1, cache=cache, checkpoint=SweepCheckpoint(path)
+        )
+        executor.map(SPECS)
+        assert executor.stats.checkpoint_hits == 3
+        assert cache.stats.puts == 3
+
+    def test_fingerprint_keys_are_stable(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        checkpoint = SweepCheckpoint(path)
+        run = SPECS[0].execute()
+        checkpoint.record(SPECS[0], run)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == CHECKPOINT_VERSION
+        assert list(payload["runs"]) == [SPECS[0].cache_key()]
+
+
+class TestBuffering:
+    def test_every_n_batches_writes(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        checkpoint = SweepCheckpoint(path, every=3)
+        run = SPECS[0].execute()
+        checkpoint.record(SPECS[0], run)
+        checkpoint.record(SPECS[1], run)
+        assert not path.exists()
+        checkpoint.record(SPECS[2], run)
+        assert path.exists()
+        assert len(json.loads(path.read_text())["runs"]) == 3
+
+    def test_flush_is_noop_when_clean(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        SweepCheckpoint(path).flush()
+        assert not path.exists()
+
+    def test_every_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SweepCheckpoint(tmp_path / "x", every=0)
+
+    def test_flushed_even_when_sweep_aborts(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        plan = FaultPlan.parse("worker.crash:at=1")
+        executor = SweepExecutor(
+            jobs=1,
+            checkpoint=SweepCheckpoint(path, every=100),
+            fault_plan=plan,
+        )
+        with pytest.raises(SweepError):
+            executor.map(SPECS)
+        assert len(json.loads(path.read_text())["runs"]) == 1
+
+
+class TestEdgeCases:
+    def test_keep_timeline_specs_never_checkpointed(self, tmp_path):
+        spec = RunSpec.for_app(
+            MatMulApp, 600, 4, places=2, keep_timeline=True
+        )
+        checkpoint = SweepCheckpoint(tmp_path / "sweep.ckpt")
+        checkpoint.record(spec, spec.execute())
+        checkpoint.flush()
+        assert len(checkpoint) == 0
+        assert checkpoint.lookup(spec) is None
+
+    def test_corrupt_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        path.write_text("{not json!")
+        executor = SweepExecutor(jobs=1, checkpoint=SweepCheckpoint(path))
+        runs = executor.map(SPECS)
+        assert executor.stats.checkpoint_hits == 0
+        assert [r.elapsed for r in runs] == _baseline()
+        assert len(json.loads(path.read_text())["runs"]) == 3
+
+    def test_wrong_version_ignored(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        path.write_text(json.dumps({"version": 999, "runs": {"k": {}}}))
+        assert len(SweepCheckpoint(path)) == 0
+
+
+class TestFig9Resume:
+    def test_interrupted_sweep_resumes_from_checkpoint(self, tmp_path):
+        path = tmp_path / "fig9.ckpt"
+        partitions = fig9_partition_sweep.FAST_PARTITIONS
+        specs = [
+            RunSpec.for_app(MatMulApp, 6000, 144, places=p)
+            for p in partitions
+        ]
+        half = len(specs) // 2
+
+        # "interrupt" at ~50%: only the first half ever ran
+        first = SweepExecutor(
+            jobs=2, checkpoint=SweepCheckpoint(path, every=2)
+        )
+        first.map(specs[:half])
+        assert first.stats.executed == half
+
+        # the resumed full sweep re-executes only the remainder...
+        resumed = SweepExecutor(
+            jobs=2,
+            cache=SimulationCache(),
+            retry=RetryPolicy(max_retries=2),
+            checkpoint=SweepCheckpoint(path, every=2),
+        )
+        result = fig9_partition_sweep.run_mm(fast=True, executor=resumed)
+        assert resumed.stats.checkpoint_hits == half
+        assert resumed.stats.executed == len(specs) - half
+
+        # ...and the figure is indistinguishable from a clean run
+        clean = fig9_partition_sweep.run_mm(fast=True)
+        assert result.series_by_label(
+            result.y_label
+        ) == clean.series_by_label(clean.y_label)
+        assert result.all_checks_pass

@@ -1,0 +1,212 @@
+"""Recovery machinery: retries, worker faults, partial results, gaps.
+
+The acceptance bar (ISSUE): a fig9 sweep with an injected worker crash
+and ``RetryPolicy(max_retries=2)`` completes with results bit-identical
+to a fault-free serial run.
+"""
+
+import math
+import time
+
+import pytest
+
+from repro.apps import MatMulApp, NNApp
+from repro.errors import ConfigurationError
+from repro.experiments import fig9_partition_sweep
+from repro.faults import FaultPlan
+from repro.parallel import (
+    FailedRun,
+    RetryPolicy,
+    RunSpec,
+    SimulationCache,
+    SweepError,
+    SweepExecutor,
+    is_failed,
+    value_or_nan,
+)
+
+SPECS = [
+    RunSpec.for_app(MatMulApp, 600, 4, places=1),
+    RunSpec.for_app(MatMulApp, 600, 4, places=2),
+    RunSpec.for_app(NNApp, 4096, 4, places=4),
+]
+
+
+def _baseline():
+    return [r.elapsed for r in SweepExecutor(jobs=1).map(SPECS)]
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff=-0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout=0)
+
+    def test_delay_grows_exponentially(self):
+        policy = RetryPolicy(backoff=0.1, backoff_factor=3.0)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.9)
+
+    def test_retry_on_filters(self):
+        policy = RetryPolicy(retry_on=(OSError,))
+        assert policy.retryable(OSError())
+        assert not policy.retryable(ValueError())
+
+
+class TestFailedRun:
+    def test_nan_metric_surface(self):
+        failed = FailedRun(
+            app="mm", places=4, tiles=16,
+            error="boom", error_type="RuntimeError", attempts=3,
+        )
+        assert failed.failed
+        assert is_failed(failed)
+        assert math.isnan(failed.elapsed) and math.isnan(failed.gflops)
+        assert not is_failed(object())
+        assert math.isnan(value_or_nan(None))
+        assert value_or_nan(2) == 2.0
+
+
+class TestPartialResults:
+    """Satellite fix: a failing spec no longer discards completed runs."""
+
+    def test_sweep_error_carries_completed_results(self):
+        plan = FaultPlan.parse("worker.crash:at=1")
+        executor = SweepExecutor(jobs=1, fault_plan=plan)
+        with pytest.raises(SweepError) as excinfo:
+            executor.map(SPECS)
+        err = excinfo.value
+        assert err.completed == 1
+        assert err.results[0].elapsed == _baseline()[0]
+        assert err.results[1] is None
+        assert err.spec == SPECS[1]
+        assert err.__cause__ is not None
+
+    def test_parallel_failure_preserves_results_too(self):
+        plan = FaultPlan.parse("kernel:at=0")
+        executor = SweepExecutor(jobs=2, fault_plan=plan)
+        with pytest.raises(SweepError) as excinfo:
+            executor.map(SPECS)
+        # every spec draws kernel ordinal 0: all fail, none retried,
+        # but the error still carries the (empty) result list.
+        assert excinfo.value.results == [None, None, None]
+
+
+class TestSerialRecovery:
+    def test_retry_then_succeed_bit_identical(self):
+        plan = FaultPlan.parse("seed=3;worker.crash:at=1")
+        executor = SweepExecutor(
+            jobs=1, retry=RetryPolicy(max_retries=2), fault_plan=plan
+        )
+        runs = executor.map(SPECS)
+        assert [r.elapsed for r in runs] == _baseline()
+        assert executor.stats.retries == 1
+        assert executor.stats.worker_crashes == 1
+        assert executor.stats.failures == 0
+
+    def test_runtime_fault_retry(self):
+        plan = FaultPlan.parse("transfer.h2d:at=0")
+        executor = SweepExecutor(
+            jobs=1, retry=RetryPolicy(max_retries=1), fault_plan=plan
+        )
+        runs = executor.map(SPECS)
+        assert [r.elapsed for r in runs] == _baseline()
+        # every spec's first attempt drew ordinal 0 at transfer.h2d
+        assert executor.stats.retries == 3
+
+    def test_on_error_record_yields_gap(self):
+        plan = FaultPlan.parse("worker.crash:at=1,attempts=0")
+        executor = SweepExecutor(
+            jobs=1,
+            retry=RetryPolicy(max_retries=1),
+            fault_plan=plan,
+            on_error="record",
+        )
+        runs = executor.map(SPECS)
+        assert is_failed(runs[1])
+        assert runs[1].attempts == 2
+        assert math.isnan(runs[1].elapsed)
+        assert [runs[0].elapsed, runs[2].elapsed] == [
+            _baseline()[0], _baseline()[2],
+        ]
+        assert executor.stats.failures == 1
+
+    def test_backoff_sleeps_between_attempts(self):
+        plan = FaultPlan.parse("worker.crash:at=0")
+        executor = SweepExecutor(
+            jobs=1,
+            retry=RetryPolicy(max_retries=1, backoff=0.05),
+            fault_plan=plan,
+        )
+        start = time.monotonic()
+        executor.map(SPECS[:1])
+        assert time.monotonic() - start >= 0.05
+
+    def test_on_error_validation(self):
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(on_error="explode")
+
+
+class TestParallelRecovery:
+    def test_real_worker_crash_recovered(self):
+        # the worker process actually dies (os._exit) and the pool is
+        # rebuilt; innocents are requeued uncharged.
+        plan = FaultPlan.parse("seed=3;worker.crash:at=1")
+        executor = SweepExecutor(
+            jobs=2, retry=RetryPolicy(max_retries=2), fault_plan=plan
+        )
+        runs = executor.map(SPECS)
+        assert [r.elapsed for r in runs] == _baseline()
+        assert executor.stats.worker_crashes == 1
+        assert executor.stats.failures == 0
+
+    def test_unpicklable_result_retried(self):
+        plan = FaultPlan.parse("worker.unpicklable:at=0")
+        executor = SweepExecutor(
+            jobs=2, retry=RetryPolicy(max_retries=2), fault_plan=plan
+        )
+        runs = executor.map(SPECS)
+        assert [r.elapsed for r in runs] == _baseline()
+        assert executor.stats.retries == 1
+
+    def test_hung_worker_reaped_at_deadline(self):
+        plan = FaultPlan.parse("seed=3;hang=4;worker.hang:at=2")
+        executor = SweepExecutor(
+            jobs=2,
+            retry=RetryPolicy(max_retries=2, timeout=0.75),
+            fault_plan=plan,
+        )
+        start = time.monotonic()
+        runs = executor.map(SPECS)
+        elapsed = time.monotonic() - start
+        assert [r.elapsed for r in runs] == _baseline()
+        assert executor.stats.timeouts == 1
+        assert elapsed < 4.0  # reaped at the 0.75s deadline, not the 4s sleep
+
+    def test_crash_without_retry_raises_with_partials(self):
+        plan = FaultPlan.parse("seed=3;worker.crash:at=2")
+        executor = SweepExecutor(jobs=2, fault_plan=plan)
+        with pytest.raises(SweepError):
+            executor.map(SPECS)
+
+
+class TestFig9Acceptance:
+    def test_crashed_sweep_recovers_bit_identical(self):
+        clean = fig9_partition_sweep.run_mm(fast=True)
+        plan = FaultPlan.parse("seed=11;worker.crash:at=4")
+        executor = SweepExecutor(
+            jobs=2,
+            cache=SimulationCache(),
+            retry=RetryPolicy(max_retries=2),
+            fault_plan=plan,
+        )
+        injected = fig9_partition_sweep.run_mm(fast=True, executor=executor)
+        assert injected.series_by_label(
+            injected.y_label
+        ) == clean.series_by_label(clean.y_label)
+        assert injected.all_checks_pass
+        assert executor.stats.worker_crashes == 1
+        assert executor.stats.failures == 0
