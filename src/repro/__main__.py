@@ -47,40 +47,49 @@ def cmd_demo() -> int:
     import numpy as np
 
     from repro import KernelWork, StreamContext
+    from repro.metrics import scoped_registry
     from repro.trace import render_gantt, run_report
 
-    ctx = StreamContext(places=4)
-    n = 1 << 22
-    data = ctx.buffer(np.ones(n, dtype=np.float32))
-    out = ctx.buffer(np.zeros(n, dtype=np.float32))
-    chunk = n // 4
-    for i in range(4):
-        stream = ctx.stream(i)
-        lo = i * chunk
-        stream.h2d(data, offset=lo, count=chunk)
-        out.instantiate(stream.place.device)
+    with scoped_registry() as registry:
+        ctx = StreamContext(places=4)
+        n = 1 << 22
+        data = ctx.buffer(np.ones(n, dtype=np.float32))
+        out = ctx.buffer(np.zeros(n, dtype=np.float32))
+        chunk = n // 4
+        for i in range(4):
+            stream = ctx.stream(i)
+            lo = i * chunk
+            stream.h2d(data, offset=lo, count=chunk)
+            out.instantiate(stream.place.device)
 
-        def fn(lo=lo, d=stream.place.device.index):
-            out.instance(d)[lo : lo + chunk] = (
-                data.instance(d)[lo : lo + chunk] * 2
+            def fn(lo=lo, d=stream.place.device.index):
+                out.instance(d)[lo : lo + chunk] = (
+                    data.instance(d)[lo : lo + chunk] * 2
+                )
+
+            stream.invoke(
+                KernelWork(
+                    name=f"scale{i}",
+                    flops=4.0 * chunk,
+                    bytes_touched=8.0 * chunk,
+                    thread_rate=0.2e9,
+                ),
+                fn=fn,
             )
+            stream.d2h(out, offset=lo, count=chunk)
+        ctx.sync_all()
+        assert np.all(out.host == 2.0)
 
-        stream.invoke(
-            KernelWork(
-                name=f"scale{i}",
-                flops=4.0 * chunk,
-                bytes_touched=8.0 * chunk,
-                thread_rate=0.2e9,
-            ),
-            fn=fn,
-        )
-        stream.d2h(out, offset=lo, count=chunk)
-    ctx.sync_all()
-    assert np.all(out.host == 2.0)
-
-    print(render_gantt(ctx.trace))
-    print()
-    print(run_report(ctx.trace).to_table())
+        print(render_gantt(ctx.trace))
+        print()
+        print(run_report(ctx.trace).to_table())
+        ctx.record_metrics()
+        block = registry.snapshot().format_block(prefix="hstreams.")
+        if block:
+            print()
+            print("metrics:")
+            for line in block.splitlines():
+                print(f"  {line}")
     return 0
 
 
@@ -128,6 +137,30 @@ def main(argv: list[str] | None = None) -> int:
         help="abort on an unrecoverable sweep point (raise) or render "
         "it as a gap (record)",
     )
+    exp.add_argument(
+        "--app",
+        default=None,
+        metavar="NAME",
+        help="restrict per-app figures to one panel (mm, cf, kmeans, "
+        "hotspot, nn, srad)",
+    )
+    exp.add_argument(
+        "--results-dir",
+        default=None,
+        metavar="DIR",
+        help="directory the run manifest is written under",
+    )
+    exp.add_argument(
+        "--run-name",
+        default=None,
+        metavar="NAME",
+        help="manifest subdirectory name",
+    )
+    exp.add_argument(
+        "--profile",
+        action="store_true",
+        help="embed cProfile's hot functions in the run manifest",
+    )
     exp.add_argument("rest", nargs=argparse.REMAINDER)
     args = parser.parse_args(argv)
 
@@ -138,10 +171,15 @@ def main(argv: list[str] | None = None) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
     rest = list(args.rest)
-    for flag in ("jobs", "retries", "checkpoint", "fault_plan", "on_error"):
+    for flag in (
+        "jobs", "retries", "checkpoint", "fault_plan", "on_error",
+        "app", "results_dir", "run_name",
+    ):
         value = getattr(args, flag)
         if value is not None:
             rest = [f"--{flag.replace('_', '-')}", str(value)] + rest
+    if args.profile:
+        rest = ["--profile"] + rest
     return experiments_main(rest)
 
 

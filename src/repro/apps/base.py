@@ -11,6 +11,7 @@ from repro.device.platform import HeteroPlatform
 from repro.device.spec import DeviceSpec, PHI_31SP
 from repro.errors import ConfigurationError
 from repro.hstreams.context import StreamContext
+from repro.metrics.instrument import observe_app_run
 from repro.trace import Timeline
 from repro.trace.stats import Summary, summarize
 
@@ -31,6 +32,11 @@ class AppRun:
     outputs: dict[str, Any] = field(default_factory=dict)
     #: Timeline over the run's trace.
     timeline: Timeline | None = None
+    #: Metrics recorded while this run executed (attached by
+    #: :meth:`repro.parallel.runspec.RunSpec.execute`; ``None`` for runs
+    #: restored from the simulation cache or a sweep checkpoint, so
+    #: restored runs never re-merge into the parent registry).
+    metrics: "Any | None" = None
 
     def __post_init__(self) -> None:
         if self.elapsed <= 0:
@@ -122,6 +128,8 @@ class StreamedApp(abc.ABC):
         outputs = self._execute(ctx)
         ctx.sync_all()
         elapsed = ctx.now - start
+        ctx.record_metrics()
+        observe_app_run(self.name, elapsed)
         flops = self.total_flops()
         return AppRun(
             app=self.name,

@@ -4,6 +4,14 @@ Usage::
 
     python -m repro.experiments                 # all figures, fast mode
     python -m repro.experiments --full fig9     # one figure, full geometry
+    python -m repro.experiments fig9 --app mm --jobs 2   # one panel
+
+Every invocation records its measurements into a scoped metrics
+registry and writes a schema-versioned run manifest
+(``results/<run>/manifest.json`` + the raw ``metrics.json``) — the
+artefact the ``tests/findings`` golden-shape suite re-asserts the
+paper's findings from.  ``--profile`` additionally embeds cProfile's
+top-N hot functions.  See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -19,6 +27,12 @@ from repro.experiments import fig10_tile_sweep, fig11_multimic
 from repro.experiments import energy, future_overlap, heuristics_search
 from repro.experiments import microprobes, protocol, streams_per_place
 from repro.experiments.runner import ExperimentResult
+from repro.metrics import (
+    RunManifest,
+    git_describe,
+    profile_capture,
+    scoped_registry,
+)
 
 EXPERIMENTS = {
     "fig5": fig5_transfers.run,
@@ -161,35 +175,122 @@ def main(argv: list[str] | None = None) -> int:
         help="what to do when a sweep point exhausts recovery: abort "
         "(raise, default) or render it as a gap (record)",
     )
+    parser.add_argument(
+        "--app",
+        action="append",
+        default=None,
+        metavar="NAME",
+        dest="apps",
+        help="restrict per-app figures (fig8/fig9/fig10) to one panel "
+        "(mm, cf, kmeans, hotspot, nn, srad); repeatable",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default="results",
+        metavar="DIR",
+        help="directory the run manifest is written under "
+        "(default: results)",
+    )
+    parser.add_argument(
+        "--run-name",
+        default=None,
+        metavar="NAME",
+        help="manifest subdirectory name (default: the figure names, "
+        "joined with '-')",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the whole invocation with cProfile and embed the "
+        "top hot functions in the manifest",
+    )
     args = parser.parse_args(argv)
 
-    executor = _build_executor(args)
     names = args.figures or list(EXPERIMENTS)
-    failed = 0
-    for name in names:
-        run_fn = EXPERIMENTS[name]
-        params = inspect.signature(run_fn).parameters
-        kwargs: dict[str, object] = {"fast": not args.full}
-        if executor is not None and "executor" in params:
-            kwargs["executor"] = executor
-        elif "jobs" in params:
-            kwargs["jobs"] = args.jobs
-        start = time.perf_counter()
-        outcome = run_fn(**kwargs)
-        elapsed = time.perf_counter() - start
-        results = outcome if isinstance(outcome, list) else [outcome]
-        for result in results:
-            print(result.report(plot=args.plot))
-            print()
-            if not result.all_checks_pass:
-                failed += 1
-        print(f"[{name} finished in {elapsed:.1f}s]\n")
-    if executor is not None:
-        print(f"[executor: {executor.stats.summary()}]")
+    with scoped_registry() as registry:
+        executor = _build_executor(args)
+        failed = 0
+        experiments: list[dict] = []
+        with profile_capture(enabled=args.profile) as profiled:
+            for name in names:
+                run_fn = EXPERIMENTS[name]
+                params = inspect.signature(run_fn).parameters
+                kwargs: dict[str, object] = {"fast": not args.full}
+                if executor is not None and "executor" in params:
+                    kwargs["executor"] = executor
+                elif "jobs" in params:
+                    kwargs["jobs"] = args.jobs
+                if args.apps and "apps" in params:
+                    kwargs["apps"] = args.apps
+                start = time.perf_counter()
+                outcome = run_fn(**kwargs)
+                elapsed = time.perf_counter() - start
+                results = (
+                    outcome if isinstance(outcome, list) else [outcome]
+                )
+                registry.histogram("experiment.figure_seconds").observe(
+                    elapsed
+                )
+                for result in results:
+                    result.record_metrics(registry)
+                    experiments.append(
+                        {
+                            "experiment": result.experiment,
+                            "title": result.title,
+                            "checks_passed": sum(
+                                1 for c in result.checks if c.passed
+                            ),
+                            "checks_failed": sum(
+                                1 for c in result.checks if not c.passed
+                            ),
+                        }
+                    )
+                    print(result.report(plot=args.plot))
+                    print()
+                    if not result.all_checks_pass:
+                        failed += 1
+                print(f"[{name} finished in {elapsed:.1f}s]\n")
+        if executor is not None:
+            print(f"[executor: {executor.stats.summary()}]")
+        manifest_path = _write_manifest(
+            args, names, registry, experiments, profiled.get("profile")
+        )
+        print(f"[manifest: {manifest_path}]")
     if failed:
         print(f"{failed} experiment panel(s) had failing checks")
         return 1
     return 0
+
+
+def _write_manifest(args, names, registry, experiments, profile):
+    """Assemble and write this invocation's run manifest."""
+    from repro.device.calibration import model_fingerprint
+    from repro.device.spec import PHI_31SP
+
+    seed = None
+    if args.fault_plan:
+        from repro.faults import FaultPlan
+
+        seed = FaultPlan.parse(args.fault_plan).seed
+    run_name = args.run_name or "-".join(names)
+    if args.apps:
+        run_name += "-" + "-".join(args.apps)
+    manifest = RunManifest(
+        name=run_name,
+        figures=list(names),
+        fast=not args.full,
+        jobs=args.jobs,
+        config_fingerprint=model_fingerprint(PHI_31SP),
+        metrics=registry.snapshot(),
+        seed=seed,
+        argv=list(sys.argv[1:]),
+        experiments=experiments,
+        profile=profile,
+        git_describe=git_describe(),
+    )
+    import os
+
+    return manifest.write(os.path.join(args.results_dir, run_name))
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.apps import CholeskyApp
 from repro.experiments.runner import ExperimentResult
+from repro.metrics import get_registry
 
 
 def run(fast: bool = True) -> ExperimentResult:
@@ -22,11 +23,15 @@ def run(fast: bool = True) -> ExperimentResult:
         x=[f"{d}^2" for d in datasets],
         y_label="GFLOPS",
     )
+    direct_runs = get_registry().counter(
+        "experiment.direct_runs", experiment="fig11"
+    )
     one, two, projected = [], [], []
     for d in datasets:
         app = CholeskyApp(d, tiles)
         run_one = app.run(places=4, num_devices=1)
         run_two = app.run(places=8, num_devices=2)
+        direct_runs.inc(2)
         one.append(run_one.gflops)
         two.append(run_two.gflops)
         projected.append(2 * run_one.gflops)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.apps.hbench import HBench, TransferPattern
 from repro.experiments.runner import ExperimentResult
+from repro.metrics import get_registry
 from repro.util.units import MS
 
 
@@ -16,6 +17,9 @@ def run(fast: bool = True) -> ExperimentResult:
     hb = HBench()
     total = 16
     xs = list(range(0, total + 1, 2 if fast else 1))
+    probes = get_registry().counter(
+        "experiment.probe_evaluations", experiment="fig5"
+    )
     result = ExperimentResult(
         experiment="fig5",
         title="Data transfer time over transferred blocks (1 MB blocks)",
@@ -28,6 +32,7 @@ def run(fast: bool = True) -> ExperimentResult:
         times = [
             hb.transfer_time(*pattern.blocks(x, total)) / MS for x in xs
         ]
+        probes.inc(len(times))
         curves[pattern] = times
         result.add_series(pattern.value, times)
 

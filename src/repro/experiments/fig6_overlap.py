@@ -11,12 +11,16 @@ from __future__ import annotations
 
 from repro.apps.hbench import HBench
 from repro.experiments.runner import ExperimentResult
+from repro.metrics import get_registry
 from repro.util.units import MS
 
 
 def run(fast: bool = True) -> ExperimentResult:
     hb = HBench()
     xs = list(range(20, 61, 10 if fast else 5))
+    get_registry().counter(
+        "experiment.probe_evaluations", experiment="fig6"
+    ).inc(5 * len(xs))
     result = ExperimentResult(
         experiment="fig6",
         title="Overlap of data transfers and computation (16 MB arrays)",

@@ -11,12 +11,16 @@ from __future__ import annotations
 
 from repro.apps.hbench import HBench
 from repro.experiments.runner import ExperimentResult
+from repro.metrics import get_registry
 from repro.util.units import MS
 
 
 def run(fast: bool = True) -> ExperimentResult:
     hb = HBench()
     partitions = [1, 2, 4, 8, 16, 32, 64, 128]
+    get_registry().counter(
+        "experiment.probe_evaluations", experiment="fig7"
+    ).inc(len(partitions) + 1)
     iterations = 100
     result = ExperimentResult(
         experiment="fig7",

@@ -23,6 +23,7 @@ from repro.apps import (
     NNApp,
     SradApp,
 )
+from repro.errors import ExperimentError
 from repro.experiments.runner import ExperimentResult
 from repro.parallel import RunSpec, SweepExecutor, is_failed, shared_cache
 
@@ -306,15 +307,26 @@ def run_srad(
     return result
 
 
+#: Panel name -> driver, in the figure's panel order.
+PANELS = {
+    "mm": run_mm,
+    "cf": run_cf,
+    "kmeans": run_kmeans,
+    "hotspot": run_hotspot,
+    "nn": run_nn,
+    "srad": run_srad,
+}
+
+
 def run(
-    fast: bool = True, jobs: int = 1, executor=None
+    fast: bool = True, jobs: int = 1, executor=None, apps=None
 ) -> list[ExperimentResult]:
+    """All panels, or — with ``apps`` — a subset by panel name."""
     executor = _executor(executor, jobs)
-    return [
-        run_mm(fast, executor=executor),
-        run_cf(fast, executor=executor),
-        run_kmeans(fast, executor=executor),
-        run_hotspot(fast, executor=executor),
-        run_nn(fast, executor=executor),
-        run_srad(fast, executor=executor),
-    ]
+    names = list(PANELS) if apps is None else list(apps)
+    unknown = [a for a in names if a not in PANELS]
+    if unknown:
+        raise ExperimentError(
+            f"unknown app panel(s) {unknown}; known: {sorted(PANELS)}"
+        )
+    return [PANELS[name](fast, executor=executor) for name in names]

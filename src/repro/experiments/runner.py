@@ -58,6 +58,34 @@ class ExperimentResult:
     def all_checks_pass(self) -> bool:
         return all(c.passed for c in self.checks)
 
+    def record_metrics(self, registry) -> None:
+        """Publish this result's data points into ``registry``.
+
+        Every (series, x) value becomes a gauge
+        ``experiment.value{experiment=..., series=..., x=...}`` and the
+        check tallies become counters — which makes a run manifest's
+        metrics snapshot alone sufficient to rebuild each figure's
+        series (``MetricsSnapshot.series``), the contract the
+        ``tests/findings`` golden-shape suite relies on.
+        """
+        for s in self.series:
+            for x, value in zip(self.x, s.values):
+                if value is None:
+                    continue
+                registry.gauge(
+                    "experiment.value",
+                    experiment=self.experiment,
+                    series=s.label,
+                    x=x,
+                ).set(value)
+        for check in self.checks:
+            name = (
+                "experiment.checks_passed"
+                if check.passed
+                else "experiment.checks_failed"
+            )
+            registry.counter(name, experiment=self.experiment).inc()
+
     def to_table(self) -> str:
         headers = [self.x_label] + [s.label for s in self.series]
         rows = [

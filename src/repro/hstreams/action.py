@@ -24,6 +24,11 @@ from repro.faults import maybe_fail
 from repro.hstreams.buffer import Buffer
 from repro.hstreams.enums import ActionKind
 from repro.hstreams.errors import HstreamsError
+from repro.metrics.instrument import (
+    observe_action,
+    observe_enqueue,
+    observe_fault,
+)
 from repro.trace.events import TraceEvent
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -82,6 +87,7 @@ class Action:
         predecessor = stream._last_done
         stream._last_done = self.done
         stream._actions.append(self)
+        observe_enqueue(kind.value)
         self._process = env.process(self._run(predecessor))
 
     def __repr__(self) -> str:
@@ -128,6 +134,7 @@ class Action:
         except FaultInjectedError:
             # Leave a marker on the timeline before the error unwinds,
             # so traces show where the injected failure struck.
+            observe_fault(self.kind.value)
             ctx.trace.append(
                 TraceEvent(
                     kind=ActionKind.FAULT,
@@ -144,14 +151,16 @@ class Action:
             )
             raise
 
+        started = self.started_at if self.started_at is not None else env.now
+        nbytes = self._transfer_bytes() if self.buffer is not None else 0
         ctx.trace.append(
             TraceEvent(
                 kind=self.kind,
                 stream=self.stream.index,
                 device=device.index,
-                start=self.started_at if self.started_at is not None else env.now,
+                start=started,
                 end=env.now,
-                nbytes=self._transfer_bytes() if self.buffer is not None else 0,
+                nbytes=nbytes,
                 label=self.label,
                 threads=(
                     self.stream.place.nthreads
@@ -160,6 +169,7 @@ class Action:
                 ),
             )
         )
+        observe_action(self.kind.value, env.now - started, nbytes)
         self.finished_at = env.now
         self.done.succeed(self)
 

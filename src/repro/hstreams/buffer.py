@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.faults import maybe_fail
 from repro.hstreams.errors import BufferStateError
+from repro.metrics.instrument import observe_buffer_instantiation
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.device.mic import MicDevice
@@ -118,6 +119,7 @@ class Buffer:
             return
         device.memory.allocate(self.nbytes)
         self._reserved[device.index] = device
+        observe_buffer_instantiation(self.nbytes)
         if not self.is_virtual:
             self._instances[device.index] = np.zeros(self.shape, self.dtype)
 

@@ -20,8 +20,13 @@ from repro.hstreams.buffer import Buffer
 from repro.hstreams.domain import Domain
 from repro.hstreams.place import Place
 from repro.hstreams.stream import Stream
-from repro.hstreams.enums import StreamState
+from repro.hstreams.enums import ActionKind, StreamState
 from repro.hstreams.errors import ContextStateError, DeadlockError
+from repro.metrics.instrument import (
+    observe_overlap,
+    observe_sync,
+    record_environment,
+)
 from repro.trace.events import TraceEvent
 
 
@@ -46,6 +51,7 @@ class StreamContext:
         self.streams_per_place = streams_per_place
         self._seq = 0
         self._finalized = False
+        self._metrics_recorded = False
         #: Completed-action trace (appended by actions as they finish).
         self.trace: list[TraceEvent] = []
 
@@ -198,6 +204,7 @@ class StreamContext:
                 "simulation stalled with pending actions — dependency "
                 f"cycle? stuck: {', '.join(stuck) or '(none recorded)'}"
             ) from None
+        observe_sync("context")
         return self.env.now
 
     def run_until_idle(self) -> float:
@@ -212,6 +219,31 @@ class StreamContext:
         for stream in self.streams:
             stream.state = StreamState.CLOSED
         self._finalized = True
+        self.record_metrics()
+
+    def record_metrics(self) -> None:
+        """Publish this context's engine totals and overlap fraction.
+
+        Idempotent — :meth:`fini` calls it automatically, but apps that
+        keep a context alive across phases may call it early; only the
+        first call records.  The overlap fraction is the share of
+        transfer busy time hidden under concurrent kernel execution —
+        the quantity multiple streams exist to maximise (Fig. 4).
+        """
+        if self._metrics_recorded:
+            return
+        self._metrics_recorded = True
+        record_environment(self.env)
+        from repro.trace.timeline import Timeline
+
+        timeline = Timeline(self.trace)
+        transfer_busy = timeline.filter(
+            kinds=(ActionKind.H2D, ActionKind.D2H)
+        ).busy_time()
+        if transfer_busy > 0:
+            observe_overlap(
+                timeline.transfer_compute_overlap() / transfer_busy
+            )
 
     def _check_live(self) -> None:
         if self._finalized:

@@ -18,6 +18,7 @@ from repro.hstreams.action import Action
 from repro.hstreams.buffer import Buffer
 from repro.hstreams.enums import ActionKind, StreamState
 from repro.hstreams.errors import ContextStateError
+from repro.metrics.instrument import observe_sync
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim import Event
@@ -133,4 +134,5 @@ class Stream:
         """
         env = self.ctx.env
         env.run(until=self.barrier())
+        observe_sync("stream")
         return env.now

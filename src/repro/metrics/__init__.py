@@ -1,0 +1,80 @@
+"""Observability: metrics registry, run manifests, profiling hooks.
+
+The third pillar of the reproduction, alongside the parallel executor
+(PR 1) and the resilience layer (PR 2): *structured measurement*.  The
+simulation engine, the hStreams runtime boundary, and the sweep executor
+all report into a process-local :class:`MetricsRegistry`; worker
+processes ship :class:`MetricsSnapshot`\\ s back with their results; and
+every experiment entry point writes a schema-versioned
+:class:`RunManifest` (``results/<run>/manifest.json``) that the
+``tests/findings`` golden-shape suite re-asserts the paper's F1–F10
+findings from.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.metrics.instrument import (
+    DEPTH_BUCKETS,
+    RATIO_BUCKETS,
+    observe_action,
+    observe_app_run,
+    observe_buffer_instantiation,
+    observe_enqueue,
+    observe_fault,
+    observe_overlap,
+    observe_sync,
+    record_environment,
+)
+from repro.metrics.manifest import (
+    MANIFEST_SCHEMA,
+    MANIFEST_VERSION,
+    ManifestError,
+    RunManifest,
+    git_describe,
+    load_manifest,
+    validate_manifest,
+)
+from repro.metrics.profiling import profile_capture
+from repro.metrics.registry import (
+    Counter,
+    DEFAULT_TIME_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    MetricsSnapshot,
+    SNAPSHOT_VERSION,
+    get_registry,
+    scoped_registry,
+    set_registry,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "DEPTH_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_SCHEMA",
+    "MANIFEST_VERSION",
+    "ManifestError",
+    "MetricsError",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "RATIO_BUCKETS",
+    "RunManifest",
+    "SNAPSHOT_VERSION",
+    "get_registry",
+    "git_describe",
+    "load_manifest",
+    "observe_action",
+    "observe_app_run",
+    "observe_buffer_instantiation",
+    "observe_enqueue",
+    "observe_fault",
+    "observe_overlap",
+    "observe_sync",
+    "profile_capture",
+    "record_environment",
+    "scoped_registry",
+    "set_registry",
+    "validate_manifest",
+]

@@ -1,0 +1,69 @@
+"""Lightweight profiling hook: cProfile top-N into a manifest section.
+
+``--profile`` on the experiment CLIs wraps the whole figure loop in
+:func:`profile_capture`; the resulting dict (top-N hot functions by
+cumulative time) lands in the run manifest's ``profile`` section, so a
+slow sweep leaves a durable record of *where* the time went without
+anyone having to reproduce it under a profiler.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+
+@contextmanager
+def profile_capture(
+    enabled: bool = True, top_n: int = 20
+) -> Iterator[dict]:
+    """Profile the enclosed block; the yielded dict gains a ``profile``
+    key on exit (untouched when ``enabled`` is false).
+
+    The payload is JSON-ready::
+
+        {"top_n": 20, "total_calls": ..., "total_seconds": ...,
+         "hot": [{"function": "file:line(name)", "calls": ...,
+                  "self_seconds": ..., "cumulative_seconds": ...}, ...]}
+    """
+    holder: dict = {}
+    if not enabled:
+        yield holder
+        return
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield holder
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        holder["profile"] = _stats_to_dict(stats, top_n)
+
+
+def _stats_to_dict(stats: "object", top_n: int) -> dict:
+    """Flatten a ``pstats.Stats`` into the manifest's profile payload."""
+    entries = []
+    # stats.stats maps (file, line, name) -> (cc, nc, tottime, cumtime, callers)
+    for (filename, line, name), (cc, nc, tottime, cumtime, _callers) in (
+        stats.stats.items()  # type: ignore[attr-defined]
+    ):
+        entries.append(
+            {
+                "function": f"{filename}:{line}({name})",
+                "calls": nc,
+                "self_seconds": round(tottime, 6),
+                "cumulative_seconds": round(cumtime, 6),
+            }
+        )
+    entries.sort(key=lambda e: e["cumulative_seconds"], reverse=True)
+    return {
+        "top_n": top_n,
+        "total_calls": sum(e["calls"] for e in entries),
+        "total_seconds": round(
+            getattr(stats, "total_tt", 0.0), 6  # type: ignore[arg-type]
+        ),
+        "hot": entries[:top_n],
+    }

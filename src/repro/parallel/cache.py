@@ -71,7 +71,14 @@ def encode_run(run: AppRun) -> dict:
 
 
 def decode_run(record: dict) -> AppRun:
-    """Inverse of :func:`encode_run`."""
+    """Inverse of :func:`encode_run`.
+
+    The decoded run deliberately carries ``metrics=None``: a restored
+    run (cache hit or checkpoint resume) was already merged into its
+    producer's registry when it first executed, so serving it again
+    must not re-contribute metrics or executed-run counts (the executor
+    merges only in its newly-executed path).
+    """
     return AppRun(
         app=record["app"],
         elapsed=record["elapsed"],

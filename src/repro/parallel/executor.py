@@ -51,6 +51,7 @@ from repro.errors import (
 )
 from repro.faults import FaultPlan
 from repro.faults.plan import InjectedWorkerCrash, InjectedWorkerTimeout
+from repro.metrics.registry import get_registry
 from repro.parallel.cache import SimulationCache
 from repro.parallel.checkpoint import SweepCheckpoint
 from repro.parallel.resilience import (
@@ -187,6 +188,7 @@ class SweepExecutor:
             hit = self.cache.get(spec) if self.cache is not None else None
             if hit is not None:
                 self.stats.cache_hits += 1
+                get_registry().counter("executor.cache_hits").inc()
                 results[i] = hit
                 done += 1
                 if self.progress is not None:
@@ -208,6 +210,7 @@ class SweepExecutor:
                     remaining.append(i)
                     continue
                 self.stats.checkpoint_hits += 1
+                get_registry().counter("executor.checkpoint_resumed").inc()
                 if self.cache is not None:
                     self.cache.put(specs[i], run)
                 results[i] = run
@@ -253,8 +256,10 @@ class SweepExecutor:
     def _classify(self, exc: BaseException) -> None:
         if isinstance(exc, WorkerTimeoutError):
             self.stats.timeouts += 1
+            get_registry().counter("executor.timeouts").inc()
         elif isinstance(exc, WorkerCrashError):
             self.stats.worker_crashes += 1
+            get_registry().counter("executor.worker_crashes").inc()
 
     def _should_retry(self, exc: BaseException, attempt: int) -> bool:
         return (
@@ -263,9 +268,22 @@ class SweepExecutor:
             and self.retry.retryable(exc)
         )
 
-    def _attempt_ok(self, specs, results, i, run, done) -> int:
+    def _attempt_ok(self, specs, results, i, run, done, elapsed=None) -> int:
         self.stats.attempts += 1
         self.stats.executed += 1
+        # The *only* place worker metrics enter the parent registry:
+        # cache hits and checkpoint resumes carry ``metrics=None`` (see
+        # repro.parallel.cache.decode_run), so a resumed sweep never
+        # double-counts a restored point.  Worker snapshots hold only
+        # counters and histograms, whose merge is commutative, so the
+        # parallel completion order cannot change the merged totals.
+        registry = get_registry()
+        registry.counter("executor.runs_executed").inc()
+        if elapsed is not None:
+            registry.histogram("executor.run_seconds").observe(elapsed)
+        metrics = getattr(run, "metrics", None)
+        if metrics is not None:
+            registry.merge_snapshot(metrics)
         self._complete(specs[i], run)
         results[i] = run
         done += 1
@@ -277,6 +295,7 @@ class SweepExecutor:
         """A spec ran out of recovery: record a placeholder or abort
         (carrying every completed result on the exception)."""
         self.stats.failures += 1
+        get_registry().counter("executor.failures").inc()
         if self.on_error == "record":
             spec = specs[i]
             results[i] = FailedRun(
@@ -333,6 +352,7 @@ class SweepExecutor:
     def _serial_one(self, specs, i, results, done) -> int:
         attempt = 0
         while True:
+            t0 = time.perf_counter()
             try:
                 run = self._execute_inline(specs[i], i, attempt)
             except Exception as exc:
@@ -340,6 +360,7 @@ class SweepExecutor:
                 self._classify(exc)
                 if self._should_retry(exc, attempt):
                     self.stats.retries += 1
+                    get_registry().counter("executor.retries").inc()
                     delay = self.retry.delay(attempt)
                     if delay > 0:
                         time.sleep(delay)
@@ -348,7 +369,10 @@ class SweepExecutor:
                 return self._exhausted(
                     specs, results, i, exc, attempt + 1, done
                 )
-            return self._attempt_ok(specs, results, i, run, done)
+            return self._attempt_ok(
+                specs, results, i, run, done,
+                elapsed=time.perf_counter() - t0,
+            )
 
     # -- parallel path -----------------------------------------------------
 
@@ -389,6 +413,7 @@ class SweepExecutor:
         self._classify(exc)
         if self._should_retry(exc, attempt):
             self.stats.retries += 1
+            get_registry().counter("executor.retries").inc()
             eligible = time.monotonic() + self.retry.delay(attempt)
             pending.append((i, attempt + 1, eligible))
             return done
@@ -516,7 +541,10 @@ class SweepExecutor:
                             specs, results, pending, i, attempt, exc, done
                         )
                     else:
-                        done = self._attempt_ok(specs, results, i, run, done)
+                        done = self._attempt_ok(
+                            specs, results, i, run, done,
+                            elapsed=time.monotonic() - t0,
+                        )
                 if broken:
                     done = self._handle_pool_break(
                         specs, results, pending, inflight, done

@@ -70,12 +70,24 @@ class RunSpec:
         return self.app_cls(*self.app_args, **dict(self.app_kwargs))
 
     def execute(self) -> "AppRun":
-        """Run the simulation described by this spec (in this process)."""
-        run = self.build_app().run(
-            places=self.places,
-            streams_per_place=self.streams_per_place,
-            num_devices=self.num_devices,
-        )
+        """Run the simulation described by this spec (in this process).
+
+        The run executes under a fresh scoped metrics registry; the
+        resulting :class:`~repro.metrics.registry.MetricsSnapshot` is
+        attached to ``run.metrics``, so a worker process ships its
+        measurements back with the result and the parent executor merges
+        them exactly once (only for newly-executed runs — never cache or
+        checkpoint restores).
+        """
+        from repro.metrics.registry import scoped_registry
+
+        with scoped_registry() as registry:
+            run = self.build_app().run(
+                places=self.places,
+                streams_per_place=self.streams_per_place,
+                num_devices=self.num_devices,
+            )
+            run.metrics = registry.snapshot()
         if not self.keep_timeline:
             # Sweeps only consume the scalar timings; dropping the trace
             # keeps worker->parent pickles and cache entries small.

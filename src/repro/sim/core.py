@@ -165,6 +165,8 @@ class Timeout(Event):
             env._queue, (env._now + delay, NORMAL, env._eid, self)
         )
         env._eid += 1
+        if len(env._queue) > env.max_queue_depth:
+            env.max_queue_depth = len(env._queue)
 
 
 class Environment:
@@ -176,6 +178,13 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self.active_process: "Process | None" = None
+        # Engine totals, published to the metrics registry at the end of
+        # a run (see repro.metrics.instrument.record_environment).  Kept
+        # as plain ints so the hot loop pays one attribute increment,
+        # never a lock or a dict lookup.
+        self.events_processed = 0
+        self.processes_started = 0
+        self.max_queue_depth = 0
 
     def __repr__(self) -> str:
         return f"<Environment now={self._now:.9f} pending={len(self._queue)}>"
@@ -224,6 +233,8 @@ class Environment:
             self._queue, (self._now + delay, priority, self._eid, event)
         )
         self._eid += 1
+        if len(self._queue) > self.max_queue_depth:
+            self.max_queue_depth = len(self._queue)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
@@ -238,6 +249,7 @@ class Environment:
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("event scheduled in the past")
         self._now = when
+        self.events_processed += 1
 
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None
@@ -287,11 +299,16 @@ class Environment:
         queue = self._queue
         heappop = heapq.heappop
         bounded = stop_at != float("inf")
+        # Dispatch count is accumulated in a local and folded into the
+        # engine total in the finally block, so the metrics cost per
+        # event is one local integer add.
+        processed = 0
         try:
             if bounded:
                 while queue and queue[0][0] <= stop_at:
                     when, _, _, event = heappop(queue)
                     self._now = when
+                    processed += 1
                     callbacks = event.callbacks
                     event.callbacks = None
                     for callback in callbacks:  # type: ignore[union-attr]
@@ -304,6 +321,7 @@ class Environment:
                 while queue:
                     when, _, _, event = heappop(queue)
                     self._now = when
+                    processed += 1
                     callbacks = event.callbacks
                     event.callbacks = None
                     for callback in callbacks:  # type: ignore[union-attr]
@@ -316,6 +334,8 @@ class Environment:
                 event.defused()
                 _reraise(event.value)
             return event.value
+        finally:
+            self.events_processed += processed
 
         if isinstance(until, Event) and not until.processed:
             raise SimulationError(

@@ -38,6 +38,7 @@ class Process(Event):
                 f"process() expects a generator, got {generator!r}"
             )
         super().__init__(env)
+        env.processes_started += 1
         self._generator = generator
         #: The event this process is currently waiting on (None when the
         #: process is scheduled to resume or has finished).

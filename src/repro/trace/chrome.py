@@ -38,13 +38,21 @@ def to_chrome_trace(events: Sequence[TraceEvent]) -> list[dict]:
 
 
 def write_chrome_trace(
-    events: Sequence[TraceEvent], path: str | Path
+    events: Sequence[TraceEvent], path: str | Path, metrics=None
 ) -> Path:
-    """Write ``events`` as a Chrome-tracing JSON file; returns the path."""
+    """Write ``events`` as a Chrome-tracing JSON file; returns the path.
+
+    ``metrics`` (an optional
+    :class:`~repro.metrics.registry.MetricsSnapshot`) is embedded under
+    the format's ``otherData`` section, so the exported trace carries
+    the run's counters alongside its timeline.
+    """
     path = Path(path)
     payload = {
         "traceEvents": to_chrome_trace(events),
         "displayTimeUnit": "ms",
     }
+    if metrics is not None:
+        payload["otherData"] = {"metrics": metrics.to_dict()}
     path.write_text(json.dumps(payload, indent=1))
     return path

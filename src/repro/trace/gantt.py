@@ -27,6 +27,7 @@ def render_gantt(
     events: Sequence[TraceEvent],
     width: int = 72,
     lane_by: str = "stream",
+    metrics=None,
 ) -> str:
     """Render ``events`` as an ASCII Gantt chart.
 
@@ -34,6 +35,11 @@ def render_gantt(
     row per action class — handy for eyeballing transfer/compute
     overlap).  Legend: ``>`` H2D, ``<`` D2H, ``#`` kernel, ``|`` marker,
     ``!`` injected fault.
+
+    ``metrics`` (an optional
+    :class:`~repro.metrics.registry.MetricsSnapshot`) appends the run's
+    ``hstreams.*`` metric lines below the legend, so a saved chart
+    carries its quantitative summary.
     """
     if width < 10:
         raise ReproError(f"width must be >= 10, got {width}")
@@ -73,7 +79,13 @@ def render_gantt(
         f"{' ' * (width - 16)}{fmt_time(span)}"
     )
     legend = ">: H2D  <: D2H  #: kernel  |: marker  !: fault"
-    return "\n".join(lines + [footer, legend])
+    tail = [footer, legend]
+    if metrics is not None:
+        block = metrics.format_block(prefix="hstreams.")
+        if block:
+            tail.append("-- metrics " + "-" * max(0, width - 11))
+            tail.extend(block.splitlines())
+    return "\n".join(lines + tail)
 
 
 def _lane_sort_key(label: str) -> tuple:

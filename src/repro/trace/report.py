@@ -43,7 +43,13 @@ class RunReport:
             return 0.0
         return self.transfer_busy / self.makespan
 
-    def to_table(self) -> str:
+    def to_table(self, metrics=None) -> str:
+        """Render as an ASCII table.
+
+        ``metrics`` (an optional
+        :class:`~repro.metrics.registry.MetricsSnapshot`) appends the
+        run's recorded metric lines below the table.
+        """
         rows = [
             ("makespan", fmt_time(self.makespan)),
             ("kernel busy (union)", fmt_time(self.kernel_busy)),
@@ -57,9 +63,16 @@ class RunReport:
             (f"stream {sid} kernel busy", fmt_time(busy))
             for sid, busy in sorted(self.stream_busy.items())
         ]
-        return ascii_table(
+        table = ascii_table(
             ["quantity", "value"], rows + per_stream, title="run report"
         )
+        if metrics is not None:
+            block = metrics.format_block()
+            if block:
+                table += "\nmetrics:\n" + "\n".join(
+                    f"  {line}" for line in block.splitlines()
+                )
+        return table
 
 
 def run_report(events: Sequence[TraceEvent]) -> RunReport:

@@ -1,0 +1,108 @@
+"""Fixtures for the paper-findings golden-shape suite.
+
+Each figure runs once per session in fast mode under a scoped registry;
+the tests then assert the paper's findings F1–F10 (DESIGN.md §1) from
+the recorded ``experiment.value`` gauges alone — the same data a run
+manifest carries.  That indirection is the point: if the metrics stop
+being sufficient to reconstruct a figure, the suite fails even when the
+underlying simulation is still correct.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig5_transfers,
+    fig6_overlap,
+    fig7_partitions,
+    fig8_apps,
+    fig9_partition_sweep,
+    fig10_tile_sweep,
+    fig11_multimic,
+)
+from repro.metrics import load_manifest, scoped_registry
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "finding(id): tags a test with the paper finding (F1-F10) it "
+        "re-asserts",
+    )
+
+
+def figure_snapshot(run_fn, **kwargs):
+    """Run one figure driver and return the metrics it recorded."""
+    with scoped_registry() as registry:
+        outcome = run_fn(fast=True, **kwargs)
+        results = outcome if isinstance(outcome, list) else [outcome]
+        for result in results:
+            result.record_metrics(registry)
+        return registry.snapshot()
+
+
+def series(snapshot, experiment, label):
+    """One figure series as an ``x -> value`` dict (from gauges)."""
+    out = snapshot.series(
+        "experiment.value", "x", experiment=experiment, series=label
+    )
+    assert out, f"no {label!r} series recorded for {experiment}"
+    return out
+
+
+@pytest.fixture(scope="session")
+def fig5(request):
+    return figure_snapshot(fig5_transfers.run)
+
+
+@pytest.fixture(scope="session")
+def fig6(request):
+    return figure_snapshot(fig6_overlap.run)
+
+
+@pytest.fixture(scope="session")
+def fig7(request):
+    return figure_snapshot(fig7_partitions.run)
+
+
+@pytest.fixture(scope="session")
+def fig8(request):
+    return figure_snapshot(fig8_apps.run)
+
+
+@pytest.fixture(scope="session")
+def fig9(request):
+    return figure_snapshot(fig9_partition_sweep.run)
+
+
+@pytest.fixture(scope="session")
+def fig10(request):
+    return figure_snapshot(fig10_tile_sweep.run)
+
+
+@pytest.fixture(scope="session")
+def fig11(request):
+    return figure_snapshot(fig11_multimic.run)
+
+
+@pytest.fixture(scope="session")
+def fig9_mm_manifest(tmp_path_factory):
+    """The acceptance-criterion invocation, loaded back from disk.
+
+    Runs the documented command line end to end —
+    ``python -m repro.experiments fig9 --app mm --jobs 2`` — against a
+    temporary results directory and returns the manifest it wrote.
+    """
+    from repro.experiments.__main__ import main
+    from repro.parallel import shared_cache
+
+    # a real CLI invocation starts with a cold cache; earlier tests in
+    # this process may have primed the shared one, which would turn
+    # executed points into cache hits and change the counters
+    shared_cache().clear()
+    results_dir = tmp_path_factory.mktemp("results")
+    code = main(
+        ["fig9", "--app", "mm", "--jobs", "2",
+         "--results-dir", str(results_dir)]
+    )
+    assert code == 0
+    return load_manifest(results_dir / "fig9-mm")

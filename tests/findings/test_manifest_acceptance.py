@@ -1,0 +1,45 @@
+"""The acceptance criterion, end to end.
+
+``python -m repro.experiments fig9 --app mm --jobs 2`` must write a
+schema-valid ``manifest.json`` whose metrics alone are sufficient for
+the F5 golden-shape assert — no access to the in-process results, only
+what landed on disk.
+"""
+
+import pytest
+
+from repro.metrics import validate_manifest
+
+
+class TestFig9MmManifest:
+    def test_manifest_is_schema_valid(self, fig9_mm_manifest):
+        assert validate_manifest(fig9_mm_manifest.to_dict()) == []
+        assert fig9_mm_manifest.name == "fig9-mm"
+        assert fig9_mm_manifest.figures == ["fig9"]
+        assert fig9_mm_manifest.jobs == 2
+        assert fig9_mm_manifest.fast is True
+
+    def test_manifest_records_the_sweep(self, fig9_mm_manifest):
+        metrics = fig9_mm_manifest.metrics
+        # 13 fast-mode partition points, all executed (no cache between
+        # sessions), each a full simulated MM run
+        assert metrics.counter_value("executor.runs_executed") == 13
+        assert metrics.counter_value("app.runs", app="mm") == 13
+        assert metrics.counter_value("sim.events_processed") > 0
+        assert (
+            metrics.histogram_stats("executor.run_seconds")["count"] == 13
+        )
+        assert fig9_mm_manifest.experiments[0]["experiment"] == "fig9a"
+        assert fig9_mm_manifest.experiments[0]["checks_failed"] == 0
+
+    @pytest.mark.finding("F5")
+    def test_f5_from_manifest_metrics_alone(self, fig9_mm_manifest):
+        """F5 (divisor-of-56 fast points) re-asserted from disk."""
+        by_p = fig9_mm_manifest.metrics.series(
+            "experiment.value", "x",
+            experiment="fig9a", series="GFLOPS",
+        )
+        assert len(by_p) == 13
+        assert by_p[4] > by_p[3]
+        assert by_p[14] > by_p[13]
+        assert by_p[14] > by_p[16]

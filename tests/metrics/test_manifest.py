@@ -1,0 +1,183 @@
+"""Manifest write/load round-trips, schema validation, profiling hook."""
+
+import json
+
+import pytest
+
+from repro.metrics import (
+    MANIFEST_SCHEMA,
+    MANIFEST_VERSION,
+    ManifestError,
+    MetricsRegistry,
+    RunManifest,
+    git_describe,
+    load_manifest,
+    profile_capture,
+    validate_manifest,
+)
+
+
+def _manifest(**overrides):
+    registry = MetricsRegistry()
+    registry.counter("executor.runs_executed").inc(3)
+    registry.gauge(
+        "experiment.value", experiment="fig9a", series="GFLOPS", x=4
+    ).set(123.0)
+    defaults = dict(
+        name="fig9-mm",
+        figures=["fig9"],
+        fast=True,
+        jobs=2,
+        config_fingerprint="phi-31sp:abc123",
+        metrics=registry.snapshot(),
+        seed=7,
+        argv=["fig9", "--app", "mm"],
+        experiments=[
+            {
+                "experiment": "fig9a",
+                "title": "t",
+                "checks_passed": 2,
+                "checks_failed": 0,
+            }
+        ],
+        git_describe="deadbeef",
+    )
+    defaults.update(overrides)
+    return RunManifest(**defaults)
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        manifest = _manifest()
+        path = manifest.write(tmp_path / "run")
+        assert path == tmp_path / "run" / "manifest.json"
+        loaded = load_manifest(path)
+        assert loaded.name == "fig9-mm"
+        assert loaded.figures == ["fig9"]
+        assert loaded.jobs == 2
+        assert loaded.seed == 7
+        assert loaded.config_fingerprint == "phi-31sp:abc123"
+        assert loaded.metrics == manifest.metrics
+        assert loaded.experiments == manifest.experiments
+        assert loaded.metrics.gauge_value(
+            "experiment.value", experiment="fig9a", series="GFLOPS", x=4
+        ) == 123.0
+
+    def test_load_accepts_directory(self, tmp_path):
+        _manifest().write(tmp_path / "run")
+        assert load_manifest(tmp_path / "run").name == "fig9-mm"
+
+    def test_metrics_json_written_alongside(self, tmp_path):
+        manifest = _manifest()
+        manifest.write(tmp_path / "run")
+        raw = json.loads((tmp_path / "run" / "metrics.json").read_text())
+        assert raw == manifest.metrics.to_dict()
+
+    def test_write_is_atomic_no_temp_left_behind(self, tmp_path):
+        directory = tmp_path / "run"
+        _manifest().write(directory)
+        _manifest().write(directory)  # overwrite in place
+        names = {p.name for p in directory.iterdir()}
+        assert names == {"manifest.json", "metrics.json"}
+
+
+class TestValidation:
+    def test_valid_payload_has_no_errors(self):
+        assert validate_manifest(_manifest().to_dict()) == []
+
+    def test_non_dict_rejected(self):
+        assert validate_manifest([]) == ["manifest must be a JSON object"]
+
+    @pytest.mark.parametrize(
+        "mutate, needle",
+        [
+            (lambda p: p.__setitem__("schema", "other"), "schema must be"),
+            (
+                lambda p: p.__setitem__(
+                    "schema_version", MANIFEST_VERSION + 1
+                ),
+                "schema_version",
+            ),
+            (lambda p: p.pop("run"), "missing 'run' section"),
+            (lambda p: p["run"].pop("figures"), "run.figures"),
+            (lambda p: p["run"].__setitem__("fast", "yes"), "run.fast"),
+            (lambda p: p.pop("config"), "config.fingerprint"),
+            (
+                lambda p: p["config"].__setitem__("seed", "seven"),
+                "config.seed",
+            ),
+            (lambda p: p.pop("git"), "missing 'git' section"),
+            (lambda p: p.pop("metrics"), "missing 'metrics' section"),
+            (
+                lambda p: p["metrics"].pop("counters"),
+                "metrics.counters",
+            ),
+            (
+                lambda p: p.__setitem__("experiments", "nope"),
+                "'experiments' must be a list",
+            ),
+            (
+                lambda p: p.__setitem__("profile", 3),
+                "'profile' must be an object or null",
+            ),
+        ],
+    )
+    def test_broken_payloads_name_the_problem(self, mutate, needle):
+        payload = _manifest().to_dict()
+        mutate(payload)
+        errors = validate_manifest(payload)
+        assert any(needle in e for e in errors), errors
+
+    def test_from_dict_raises_on_invalid(self):
+        payload = _manifest().to_dict()
+        payload.pop("metrics")
+        with pytest.raises(ManifestError):
+            RunManifest.from_dict(payload)
+
+    def test_load_rejects_garbage_file(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text("{broken")
+        with pytest.raises(ManifestError):
+            load_manifest(path)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ManifestError):
+            load_manifest(tmp_path / "nope" / "manifest.json")
+
+    def test_schema_constants(self):
+        payload = _manifest().to_dict()
+        assert payload["schema"] == MANIFEST_SCHEMA == "repro.run-manifest"
+        assert payload["schema_version"] == MANIFEST_VERSION == 1
+
+
+class TestGitDescribe:
+    def test_in_repo_returns_something(self):
+        # the test suite runs from a git checkout
+        described = git_describe()
+        assert described is None or isinstance(described, str)
+
+    def test_outside_repo_returns_none(self, tmp_path):
+        assert git_describe(cwd=tmp_path) is None
+
+
+class TestProfileCapture:
+    def test_disabled_leaves_holder_empty(self):
+        with profile_capture(enabled=False) as holder:
+            sum(range(100))
+        assert holder == {}
+
+    def test_enabled_captures_hot_functions(self, tmp_path):
+        with profile_capture(enabled=True, top_n=5) as holder:
+            sorted(range(1000), key=lambda x: -x)
+        profile = holder["profile"]
+        assert profile["top_n"] == 5
+        assert len(profile["hot"]) <= 5
+        assert profile["total_calls"] > 0
+        for entry in profile["hot"]:
+            assert set(entry) == {
+                "function", "calls", "self_seconds", "cumulative_seconds"
+            }
+        # payload is JSON-ready and accepted by the manifest schema
+        manifest = _manifest(profile=profile)
+        loaded = load_manifest(manifest.write(tmp_path).parent)
+        assert loaded.profile == profile

@@ -1,0 +1,128 @@
+"""Property tests for metric merge semantics (Hypothesis).
+
+The parallel executor merges worker snapshots in completion order, which
+is nondeterministic.  The properties below are what make that safe:
+histogram merge is associative and commutative, counters only grow, and
+a snapshot survives the JSON wire format byte-exactly.
+
+Observations are drawn from integer-valued floats so sums compare
+exactly (no float-addition reordering error) — the associativity claim
+is about the data structure, not IEEE 754.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import MetricsRegistry, MetricsSnapshot
+
+BUCKETS = (1.0, 8.0, 64.0, 512.0)
+
+# Integer-valued floats: exact under addition in any order (well below
+# 2**53), so merged sums can be compared with == rather than approx.
+observations = st.lists(
+    st.integers(min_value=0, max_value=10_000).map(float), max_size=30
+)
+
+counter_maps = st.dictionaries(
+    st.sampled_from(["a", "b", "c"]),
+    st.integers(min_value=0, max_value=1_000),
+    max_size=3,
+)
+
+
+def _histogram_snapshot(values):
+    registry = MetricsRegistry()
+    histogram = registry.histogram("h", buckets=BUCKETS)
+    for value in values:
+        histogram.observe(value)
+    return registry.snapshot()
+
+
+def _counter_snapshot(increments):
+    registry = MetricsRegistry()
+    for name, amount in increments.items():
+        registry.counter("c", key=name).inc(amount)
+    return registry.snapshot()
+
+
+def _histogram_entry(snapshot):
+    return snapshot.histogram_stats("h")
+
+
+class TestHistogramMerge:
+    @settings(max_examples=60)
+    @given(observations, observations)
+    def test_commutative(self, xs, ys):
+        a, b = _histogram_snapshot(xs), _histogram_snapshot(ys)
+        assert _histogram_entry(a.merge(b)) == _histogram_entry(b.merge(a))
+
+    @settings(max_examples=60)
+    @given(observations, observations, observations)
+    def test_associative(self, xs, ys, zs):
+        a, b, c = (
+            _histogram_snapshot(v) for v in (xs, ys, zs)
+        )
+        assert _histogram_entry(a.merge(b).merge(c)) == _histogram_entry(
+            a.merge(b.merge(c))
+        )
+
+    @settings(max_examples=60)
+    @given(observations, observations)
+    def test_merge_equals_single_registry(self, xs, ys):
+        """Merging two workers' halves == observing everything in one."""
+        merged = _histogram_snapshot(xs).merge(_histogram_snapshot(ys))
+        combined = _histogram_snapshot(xs + ys)
+        assert _histogram_entry(merged) == _histogram_entry(combined)
+
+
+class TestCounterMonotone:
+    @settings(max_examples=60)
+    @given(counter_maps, st.lists(counter_maps, max_size=5))
+    def test_counters_never_decrease_under_merges(self, base, deltas):
+        registry = MetricsRegistry()
+        for name, amount in base.items():
+            registry.counter("c", key=name).inc(amount)
+        seen = {}
+        for delta in deltas:
+            registry.merge_snapshot(_counter_snapshot(delta))
+            snapshot = registry.snapshot()
+            for name in ("a", "b", "c"):
+                value = snapshot.counter_value("c", key=name)
+                assert value >= seen.get(name, 0)
+                seen[name] = value
+
+    @settings(max_examples=60)
+    @given(counter_maps, counter_maps)
+    def test_merge_is_exact_addition(self, first, second):
+        merged = _counter_snapshot(first).merge(_counter_snapshot(second))
+        for name in ("a", "b", "c"):
+            assert merged.counter_value("c", key=name) == first.get(
+                name, 0
+            ) + second.get(name, 0)
+
+
+class TestSnapshotRoundTrip:
+    @settings(max_examples=60)
+    @given(
+        counter_maps,
+        observations,
+        st.one_of(
+            st.none(), st.integers(min_value=-1000, max_value=1000)
+        ),
+    )
+    def test_json_round_trip_is_exact(self, counters, values, gauge):
+        registry = MetricsRegistry()
+        for name, amount in counters.items():
+            registry.counter("c", key=name).inc(amount)
+        histogram = registry.histogram("h", buckets=BUCKETS)
+        for value in values:
+            histogram.observe(value)
+        if gauge is not None:
+            registry.gauge("g", series="s").set(float(gauge))
+        snapshot = registry.snapshot()
+        restored = MetricsSnapshot.from_json(snapshot.to_json())
+        assert restored == snapshot
+        # and the restored snapshot still merges like the original
+        assert _histogram_entry(
+            restored.merge(snapshot)
+        ) == _histogram_entry(snapshot.merge(snapshot))

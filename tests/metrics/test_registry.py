@@ -1,0 +1,256 @@
+"""Unit tests for the metrics registry, snapshots, and merging."""
+
+import pickle
+
+import pytest
+
+from repro.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    MetricsError,
+    MetricsRegistry,
+    MetricsSnapshot,
+    SNAPSHOT_VERSION,
+    get_registry,
+    scoped_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(MetricsError):
+            counter.inc(-1)
+
+    def test_labelled_counters_are_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter("c", kind="a").inc()
+        registry.counter("c", kind="b").inc(2)
+        assert registry.counter("c", kind="a").value == 1
+        assert registry.counter("c", kind="b").value == 2
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", x=1, y=2)
+        b = registry.counter("c", y=2, x=1)
+        assert a is b
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("g")
+        assert gauge.value is None
+        gauge.set(1.0)
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+
+
+class TestHistogram:
+    def test_bucketing_and_summary(self):
+        histogram = MetricsRegistry().histogram(
+            "h", buckets=(1.0, 10.0)
+        )
+        for v in (0.5, 5.0, 50.0):
+            histogram.observe(v)
+        assert histogram.counts == [1, 1, 1]
+        assert histogram.count == 3
+        assert histogram.sum == 55.5
+        assert histogram.min == 0.5
+        assert histogram.max == 50.0
+        assert histogram.mean == pytest.approx(18.5)
+
+    def test_boundary_lands_in_lower_bucket(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(1.0)
+        assert histogram.counts == [1, 0, 0]
+
+    def test_rejects_nan(self):
+        histogram = MetricsRegistry().histogram("h")
+        with pytest.raises(MetricsError):
+            histogram.observe(float("nan"))
+
+    def test_rejects_unsorted_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            registry.histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(MetricsError):
+            registry.histogram("h2", buckets=(1.0, 1.0))
+
+    def test_bucket_mismatch_on_reregistration(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(MetricsError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+
+class TestRegistry:
+    def test_same_identity_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_cross_kind_name_reuse_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(MetricsError):
+            registry.gauge("name")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().counter("")
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.clear()
+        assert len(registry) == 0
+        # after clear, the name is free for another kind
+        registry.gauge("c")
+
+
+class TestSnapshot:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("c", kind="x").inc(5)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        return registry
+
+    def test_snapshot_is_picklable_and_immutable_copy(self):
+        registry = self._populated()
+        snapshot = registry.snapshot()
+        registry.counter("c", kind="x").inc(100)
+        assert snapshot.counter_value("c", kind="x") == 5
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone == snapshot
+
+    def test_json_round_trip(self):
+        snapshot = self._populated().snapshot()
+        assert MetricsSnapshot.from_json(snapshot.to_json()) == snapshot
+
+    def test_snapshot_ordering_is_deterministic(self):
+        a = MetricsRegistry()
+        a.counter("z").inc()
+        a.counter("a").inc()
+        b = MetricsRegistry()
+        b.counter("a").inc()
+        b.counter("z").inc()
+        assert a.snapshot() == b.snapshot()
+
+    def test_version_guard(self):
+        with pytest.raises(MetricsError):
+            MetricsSnapshot({"version": SNAPSHOT_VERSION + 1})
+
+    def test_lookup_helpers(self):
+        snapshot = self._populated().snapshot()
+        assert snapshot.counter_value("missing") == 0
+        assert snapshot.gauge_value("missing") is None
+        assert snapshot.histogram_stats("missing") is None
+        stats = snapshot.histogram_stats("h")
+        assert stats["count"] == 1
+
+    def test_series_accessor(self):
+        registry = MetricsRegistry()
+        for x, v in ((1, 10.0), (2, 20.0), (4, 40.0)):
+            registry.gauge(
+                "experiment.value", experiment="fig9a",
+                series="GFLOPS", x=x,
+            ).set(v)
+        registry.gauge(
+            "experiment.value", experiment="fig9b",
+            series="GFLOPS", x=1,
+        ).set(99.0)
+        snapshot = registry.snapshot()
+        series = snapshot.series(
+            "experiment.value", "x",
+            experiment="fig9a", series="GFLOPS",
+        )
+        assert series == {1: 10.0, 2: 20.0, 4: 40.0}
+
+    def test_format_block_filters_by_prefix(self):
+        snapshot = self._populated().snapshot()
+        block = snapshot.format_block(prefix="c")
+        assert "c{kind=x}: 5" in block
+        assert "g" not in block.splitlines()
+
+
+class TestMerge:
+    def test_counters_add_and_gauges_overwrite(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(2)
+        a.gauge("g").set(1.0)
+        b = MetricsRegistry()
+        b.merge_snapshot(a.snapshot())
+        b.merge_snapshot(a.snapshot())
+        assert b.counter("c").value == 4
+        assert b.gauge("g").value == 1.0
+
+    def test_unset_gauges_do_not_clobber(self):
+        a = MetricsRegistry()
+        a.gauge("g").set(7.0)
+        b = MetricsRegistry()
+        b.gauge("g")  # registered but never set
+        a.merge_snapshot(b.snapshot())
+        assert a.gauge("g").value == 7.0
+
+    def test_histograms_merge_bucketwise(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        b.histogram("h", buckets=(1.0, 2.0)).observe(9.0)
+        a.merge_snapshot(b.snapshot())
+        histogram = a.histogram("h", buckets=(1.0, 2.0))
+        assert histogram.counts == [1, 1, 1]
+        assert histogram.count == 3
+        assert histogram.min == 0.5
+        assert histogram.max == 9.0
+
+    def test_bucket_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(MetricsError):
+            a.merge_snapshot(b.snapshot())
+
+    def test_snapshot_merge_returns_new_snapshot(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(1)
+        merged = a.snapshot().merge(a.snapshot())
+        assert merged.counter_value("c") == 2
+        assert a.snapshot().counter_value("c") == 1
+
+
+class TestActiveRegistry:
+    def test_scoped_registry_installs_and_restores(self):
+        outer = get_registry()
+        with scoped_registry() as inner:
+            assert get_registry() is inner
+            assert inner is not outer
+        assert get_registry() is outer
+
+    def test_scoped_registry_restores_on_error(self):
+        outer = get_registry()
+        with pytest.raises(RuntimeError):
+            with scoped_registry():
+                raise RuntimeError("boom")
+        assert get_registry() is outer
+
+    def test_set_registry_returns_previous(self):
+        previous = get_registry()
+        mine = MetricsRegistry()
+        assert set_registry(mine) is previous
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(previous)
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_TIME_BUCKETS) == sorted(DEFAULT_TIME_BUCKETS)

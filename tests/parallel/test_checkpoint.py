@@ -128,6 +128,60 @@ class TestEdgeCases:
         assert len(SweepCheckpoint(path)) == 0
 
 
+class TestResumeMetrics:
+    """Regression: checkpoint-restored runs must not re-contribute
+    metrics or executed-run counts (they were already counted by the
+    interrupted invocation that first executed them)."""
+
+    def test_resumed_runs_do_not_double_count_metrics(self, tmp_path):
+        from repro.metrics import scoped_registry
+
+        path = tmp_path / "sweep.ckpt"
+        with scoped_registry() as registry:
+            first = SweepExecutor(
+                jobs=1, checkpoint=SweepCheckpoint(path)
+            )
+            first.map(SPECS[:2])
+            snapshot = registry.snapshot()
+        assert snapshot.counter_value("executor.runs_executed") == 2
+        assert snapshot.counter_value("app.runs", app="mm") == 2
+
+        with scoped_registry() as registry:
+            resumed = SweepExecutor(
+                jobs=1, checkpoint=SweepCheckpoint(path)
+            )
+            runs = resumed.map(SPECS)
+            snapshot = registry.snapshot()
+        # executor-level stats line: 2 resumed, 1 newly executed
+        assert resumed.stats.checkpoint_hits == 2
+        assert resumed.stats.executed == 1
+        # registry agrees — the restored points appear only as resumes
+        assert snapshot.counter_value("executor.checkpoint_resumed") == 2
+        assert snapshot.counter_value("executor.runs_executed") == 1
+        # app.runs reflects only the new execution (spec 3 is NN);
+        # the two restored MM points contribute nothing
+        assert snapshot.counter_value("app.runs", app="mm") == 0
+        assert snapshot.counter_value("app.runs", app="nn") == 1
+        # restored runs carry no snapshot for the executor to merge
+        assert runs[0].metrics is None
+        assert runs[1].metrics is None
+        assert runs[2].metrics is not None
+
+    def test_cache_hits_carry_no_metrics(self):
+        from repro.metrics import scoped_registry
+
+        cache = SimulationCache()
+        with scoped_registry() as registry:
+            executor = SweepExecutor(jobs=1, cache=cache)
+            executor.map(SPECS[:1])
+            executor.map(SPECS[:1])
+            snapshot = registry.snapshot()
+        assert executor.stats.cache_hits == 1
+        assert snapshot.counter_value("executor.cache_hits") == 1
+        assert snapshot.counter_value("executor.runs_executed") == 1
+        assert snapshot.counter_value("app.runs", app="mm") == 1
+
+
 class TestFig9Resume:
     def test_interrupted_sweep_resumes_from_checkpoint(self, tmp_path):
         path = tmp_path / "fig9.ckpt"
