@@ -1,0 +1,53 @@
+"""Evaluation-engine comparison benches (fig9-mm full grid).
+
+Times the full 56-point MM partition sweep (D=6000, T=144 — the fig9a
+full geometry) under each evaluation engine.  Each sweep gets a fresh
+cache, so the hybrid number includes its calibration simulations — the
+honest cost of a cold hybrid run.
+
+The committed ``BENCH_model.json`` baseline is the repo's durable
+record of the hybrid engine's wall-clock advantage over the pure DES
+sweep (the >= 5x bar documented in ``docs/PERF.md``);
+``scripts/bench_compare.py --suite model`` guards it against
+regression.
+"""
+
+from repro.apps import MatMulApp
+from repro.parallel import RunSpec, SimulationCache, SweepExecutor
+
+FULL_GRID = list(range(1, 57))
+
+
+def _specs():
+    return [
+        RunSpec.for_app(MatMulApp, 6000, 144, places=p) for p in FULL_GRID
+    ]
+
+
+def _sweep(engine):
+    executor = SweepExecutor(cache=SimulationCache(), engine=engine)
+    runs = executor.map(_specs())
+    assert len(runs) == len(FULL_GRID)
+    assert all(run.elapsed > 0 for run in runs)
+    return runs
+
+
+def test_fig9_mm_full_sim(benchmark):
+    """Baseline: every point through the discrete-event simulation."""
+    benchmark.pedantic(
+        lambda: _sweep("sim"), rounds=1, iterations=1, warmup_rounds=0
+    )
+
+
+def test_fig9_mm_full_hybrid(benchmark):
+    """Certified model + calibration sims; the headline speedup."""
+    benchmark.pedantic(
+        lambda: _sweep("hybrid"), rounds=3, iterations=1, warmup_rounds=0
+    )
+
+
+def test_fig9_mm_full_model(benchmark):
+    """Pure analytic evaluation (no certification)."""
+    benchmark.pedantic(
+        lambda: _sweep("model"), rounds=5, iterations=1, warmup_rounds=0
+    )

@@ -1,20 +1,29 @@
 #!/usr/bin/env python
-"""Engine-throughput regression gate.
+"""Benchmark-throughput regression gate.
 
-Runs ``benchmarks/bench_engine.py`` under pytest-benchmark with
+Runs one benchmark suite under pytest-benchmark with
 ``--benchmark-autosave``, then compares the fresh save against the
-previous one (or against the checked-in ``BENCH_engine.json`` baseline
-when no previous save exists) and fails when any benchmark's mean time
-regresses by more than the threshold.
+previous one (or against the checked-in baseline when no previous save
+exists) and fails when any benchmark's mean time regresses by more
+than the threshold.
+
+Suites (``--suite``):
+
+* ``engine`` (default) — ``benchmarks/bench_engine.py`` against
+  ``BENCH_engine.json`` (DES core throughput canaries);
+* ``model`` — ``benchmarks/bench_model.py`` against
+  ``BENCH_model.json`` (sim vs model vs hybrid over the fig9-mm full
+  grid; the committed baseline records the hybrid speedup).
 
 Usage::
 
-    python scripts/bench_compare.py                 # run + compare
-    python scripts/bench_compare.py --threshold 10  # stricter gate
-    python scripts/bench_compare.py --rebaseline    # refresh BENCH_engine.json
+    python scripts/bench_compare.py                  # run + compare
+    python scripts/bench_compare.py --fail-above 10  # stricter gate
+    python scripts/bench_compare.py --suite model    # engine comparison
+    python scripts/bench_compare.py --rebaseline     # refresh baseline
 
-The first ever run records its results as ``BENCH_engine.json`` in the
-repo root so the gate works out of the box on a fresh clone.
+The first ever run records its results as the suite's baseline file in
+the repo root so the gate works out of the box on a fresh clone.
 """
 
 from __future__ import annotations
@@ -27,18 +36,23 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BASELINE = REPO_ROOT / "BENCH_engine.json"
 STORAGE = REPO_ROOT / ".benchmarks"
 
+#: Suite name -> (benchmark file, committed baseline).
+SUITES = {
+    "engine": ("bench_engine.py", "BENCH_engine.json"),
+    "model": ("bench_model.py", "BENCH_model.json"),
+}
 
-def run_bench() -> Path:
-    """Run the engine benches with autosave; return the new save file."""
+
+def run_bench(bench_file: str) -> Path:
+    """Run one bench suite with autosave; return the new save file."""
     before = set(STORAGE.rglob("*.json")) if STORAGE.exists() else set()
     cmd = [
         sys.executable,
         "-m",
         "pytest",
-        str(REPO_ROOT / "benchmarks" / "bench_engine.py"),
+        str(REPO_ROOT / "benchmarks" / bench_file),
         "--benchmark-only",
         "--benchmark-autosave",
         f"--benchmark-storage={STORAGE}",
@@ -115,24 +129,36 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--threshold",
+        "--fail-above",
+        dest="threshold",
         type=float,
         default=20.0,
-        help="maximum tolerated mean-time increase in percent (default 20)",
+        metavar="PCT",
+        help="fail when any benchmark's mean time regresses by more "
+        "than PCT percent (default 20)",
+    )
+    parser.add_argument(
+        "--suite",
+        choices=sorted(SUITES),
+        default="engine",
+        help="which benchmark suite to run (default: engine)",
     )
     parser.add_argument(
         "--rebaseline",
         action="store_true",
-        help="overwrite BENCH_engine.json with this run's results",
+        help="overwrite the suite's committed baseline with this run",
     )
     args = parser.parse_args()
 
-    current = run_bench()
-    if args.rebaseline or not BASELINE.exists():
-        shutil.copyfile(current, BASELINE)
-        print(f"baseline recorded: {BASELINE}")
+    bench_file, baseline_name = SUITES[args.suite]
+    baseline = REPO_ROOT / baseline_name
+    current = run_bench(bench_file)
+    if args.rebaseline or not baseline.exists():
+        shutil.copyfile(current, baseline)
+        print(f"baseline recorded: {baseline}")
         if not args.rebaseline:
             return 0
-    reference = previous_save(current) or BASELINE
+    reference = previous_save(current) or baseline
     return compare(reference, current, args.threshold)
 
 

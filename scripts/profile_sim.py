@@ -5,6 +5,7 @@ Usage::
 
     python scripts/profile_sim.py [--sort cumulative|tottime] [--top N]
     python scripts/profile_sim.py --workload fig9mm [--jobs 4]
+    python scripts/profile_sim.py --workload fig9mm --engine hybrid
 
 Workloads:
 
@@ -15,6 +16,9 @@ Workloads:
   hotspots, then times the same sweep end-to-end three ways — serial,
   parallel (``--jobs``), and cache-warm — so before/after numbers for
   engine or executor changes are reproducible with one command.
+  ``--engine model|hybrid`` profiles the analytic evaluation path
+  instead of the DES (see ``repro.engine``), and the timing pass then
+  reports the selected engine next to the pure-sim baseline.
 """
 
 from __future__ import annotations
@@ -52,16 +56,31 @@ def profile_fig9mm(args: argparse.Namespace) -> None:
     #    so the hotspot list always comes from the in-process path).
     profiler = cProfile.Profile()
     profiler.enable()
-    serial_runs = SweepExecutor(jobs=1).map(specs)
+    serial_runs = SweepExecutor(
+        jobs=1, cache=SimulationCache(), engine=args.engine
+    ).map(specs)
     profiler.disable()
-    print(f"fig9 MM sweep: {len(specs)} simulations, best "
+    print(f"fig9 MM sweep ({args.engine}): {len(specs)} points, best "
           f"{max(run.gflops for run in serial_runs):.1f} GFLOPS\n")
     pstats.Stats(profiler).sort_stats(args.sort).print_stats(args.top)
 
-    # 2. End-to-end wall-clock: serial vs parallel vs cache-warm.
+    # 2. End-to-end wall-clock: sim baseline vs the selected engine,
+    #    plus parallel and cache-warm variants of the engine path.
     t0 = time.perf_counter()
-    SweepExecutor(jobs=1).map(specs)
+    sim_runs = SweepExecutor(jobs=1).map(specs)
     serial_time = time.perf_counter() - t0
+
+    engine_time = None
+    if args.engine != "sim":
+        t0 = time.perf_counter()
+        engine_runs = SweepExecutor(
+            jobs=1, cache=SimulationCache(), engine=args.engine
+        ).map(specs)
+        engine_time = time.perf_counter() - t0
+        worst = max(
+            abs(e.elapsed - s.elapsed) / s.elapsed
+            for e, s in zip(engine_runs, sim_runs)
+        )
 
     cache = SimulationCache()
     t0 = time.perf_counter()
@@ -73,14 +92,20 @@ def profile_fig9mm(args: argparse.Namespace) -> None:
     warm_time = time.perf_counter() - t0
 
     assert [r.gflops for r in parallel_runs] == [
-        r.gflops for r in serial_runs
+        r.gflops for r in sim_runs
     ], "parallel sweep diverged from serial"
-    assert [r.gflops for r in warm_runs] == [r.gflops for r in serial_runs]
+    assert [r.gflops for r in warm_runs] == [r.gflops for r in sim_runs]
 
     print("end-to-end wall-clock, full fig9 MM sweep (P=1..56):")
-    print(f"  serial   (jobs=1):          {serial_time:8.2f} s")
+    print(f"  serial   (jobs=1, sim):     {serial_time:8.2f} s")
+    if engine_time is not None:
+        print(
+            f"  {args.engine:8s} (jobs=1):          {engine_time:8.2f} s  "
+            f"({serial_time / engine_time:.2f}x, worst rel err "
+            f"{worst:.2%} vs sim)"
+        )
     print(
-        f"  parallel (jobs={args.jobs}):          {parallel_time:8.2f} s  "
+        f"  parallel (jobs={args.jobs}, sim):     {parallel_time:8.2f} s  "
         f"({serial_time / parallel_time:.2f}x)"
     )
     print(
@@ -104,6 +129,12 @@ def main() -> None:
         type=int,
         default=0,
         help="worker processes for the fig9mm timing pass (0 = all cores)",
+    )
+    parser.add_argument(
+        "--engine",
+        default="sim",
+        choices=["sim", "model", "hybrid"],
+        help="evaluation engine for the fig9mm workload (default: sim)",
     )
     args = parser.parse_args()
     if args.top is None:

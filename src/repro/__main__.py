@@ -138,6 +138,14 @@ def main(argv: list[str] | None = None) -> int:
         "it as a gap (record)",
     )
     exp.add_argument(
+        "--engine",
+        choices=["sim", "model", "hybrid"],
+        default=None,
+        help="evaluation engine: discrete-event simulation (sim), "
+        "analytic model (model), or certified model with simulation "
+        "fallback (hybrid)",
+    )
+    exp.add_argument(
         "--app",
         default=None,
         metavar="NAME",
@@ -173,7 +181,7 @@ def main(argv: list[str] | None = None) -> int:
     rest = list(args.rest)
     for flag in (
         "jobs", "retries", "checkpoint", "fault_plan", "on_error",
-        "app", "results_dir", "run_name",
+        "engine", "app", "results_dir", "run_name",
     ):
         value = getattr(args, flag)
         if value is not None:

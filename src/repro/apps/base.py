@@ -37,6 +37,10 @@ class AppRun:
     #: restored from the simulation cache or a sweep checkpoint, so
     #: restored runs never re-merge into the parent registry).
     metrics: "Any | None" = None
+    #: Which evaluation backend produced the timings: ``"sim"`` for the
+    #: discrete-event simulation, ``"model"`` for the analytic engine
+    #: (see :mod:`repro.engine`).
+    engine: str = "sim"
 
     def __post_init__(self) -> None:
         if self.elapsed <= 0:

@@ -44,6 +44,8 @@ def run_search(
     spec_fn: "Callable[[Config], RunSpec] | None" = None,
     executor: "SweepExecutor | None" = None,
     metric: Callable[[Any], float] | None = None,
+    engine: "str | None" = None,
+    verify_top_k: int = 3,
 ) -> SearchOutcome:
     """Evaluate every configuration of ``space``.
 
@@ -56,6 +58,16 @@ def run_search(
       :class:`~repro.apps.base.AppRun` to the objective value (default:
       simulated elapsed seconds).
 
+    In spec-based mode, ``engine="model"`` or ``"hybrid"`` prunes the
+    search: the whole space is *ranked* by the analytic model (see
+    :mod:`repro.engine`) and only the ``verify_top_k`` best-ranked
+    configurations are simulated, so ``evaluations`` counts simulator
+    runs and :meth:`SearchOutcome.reduction_vs` against an exhaustive
+    search reflects the pruning.  The returned best is always taken from
+    the *simulated* candidates.  A space the model cannot rank falls
+    back to the exhaustive simulation under ``"hybrid"`` and raises
+    :class:`~repro.errors.ModelUnsupportedError` under ``"model"``.
+
     Both modes record ``history`` in the space's iteration order, so a
     parallel search is bit-identical to the serial one.
     """
@@ -64,13 +76,22 @@ def run_search(
     configs = list(space)
     if not configs:
         raise ConfigurationError("configuration space is empty")
+    if engine not in (None, "sim", "model", "hybrid"):
+        raise ConfigurationError(
+            f"unknown search engine {engine!r}; expected sim, model or hybrid"
+        )
 
     if spec_fn is not None:
         from repro.parallel import SweepExecutor
 
         ex = executor if executor is not None else SweepExecutor(jobs=1)
-        runs = ex.map([spec_fn(config) for config in configs])
         measure = metric if metric is not None else (lambda run: run.elapsed)
+        specs = [spec_fn(config) for config in configs]
+        if engine in ("model", "hybrid"):
+            return _pruned_search(
+                configs, specs, ex, measure, engine, verify_top_k
+            )
+        runs = ex.map(specs)
         times = [measure(run) for run in runs]
     elif objective is not None:
         times = [objective(config) for config in configs]
@@ -85,5 +106,52 @@ def run_search(
         best=best,
         best_time=best_time,
         evaluations=len(history),
+        history=history,
+    )
+
+
+def _pruned_search(
+    configs, specs, ex, measure, engine, verify_top_k
+) -> SearchOutcome:
+    """Model-ranked search: predict everything, simulate only the
+    ``verify_top_k`` most promising configurations."""
+    from repro.errors import ModelUnsupportedError
+
+    if verify_top_k < 1:
+        raise ConfigurationError(
+            f"verify_top_k must be >= 1, got {verify_top_k}"
+        )
+    try:
+        predicted = [measure(spec.predict()) for spec in specs]
+    except ModelUnsupportedError:
+        if engine == "model":
+            raise
+        # hybrid: the model cannot rank this space, so fall back to the
+        # exhaustive simulation — correctness over pruning.
+        runs = ex.map(specs)
+        times = [measure(run) for run in runs]
+        history = list(zip(configs, times))
+        best, best_time = min(history, key=lambda item: item[1])
+        return SearchOutcome(
+            best=best,
+            best_time=best_time,
+            evaluations=len(history),
+            history=history,
+        )
+
+    k = min(verify_top_k, len(specs))
+    ranked = sorted(range(len(specs)), key=lambda i: predicted[i])
+    top = sorted(ranked[:k])  # simulate in space order: deterministic
+    runs = ex.map([specs[i] for i in top])
+    simulated = dict(zip(top, (measure(run) for run in runs)))
+    history = [
+        (configs[i], simulated.get(i, predicted[i]))
+        for i in range(len(configs))
+    ]
+    best_i = min(top, key=lambda i: simulated[i])
+    return SearchOutcome(
+        best=configs[best_i],
+        best_time=simulated[best_i],
+        evaluations=len(top),
         history=history,
     )

@@ -1,0 +1,37 @@
+"""Pluggable evaluation engines: DES, vectorized analytic model, hybrid.
+
+The public surface (see ``docs/API.md``):
+
+* :data:`~repro.engine.engines.ENGINE_NAMES` / :func:`resolve_engine` —
+  the ``engine=`` knob accepted by
+  :class:`~repro.parallel.executor.SweepExecutor`, the figure drivers
+  and both CLIs;
+* :class:`ModelEngine` / :class:`HybridEngine` — the non-default
+  backends (``hybrid`` certifies the model per spec family against a
+  simulated calibration subset, within :data:`DEFAULT_TOLERANCE`);
+* :func:`~repro.engine.profiles.predict_run` — one-spec analytic
+  evaluation, raising :class:`~repro.errors.ModelUnsupportedError`
+  outside the fast path;
+* :mod:`repro.engine.analytic` — the vectorized cost-model replicas the
+  predictors are built from.
+"""
+
+from repro.engine.engines import (
+    DEFAULT_CALIBRATION_POINTS,
+    DEFAULT_TOLERANCE,
+    ENGINE_NAMES,
+    HybridEngine,
+    ModelEngine,
+    resolve_engine,
+)
+from repro.engine.profiles import predict_run
+
+__all__ = [
+    "ENGINE_NAMES",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_CALIBRATION_POINTS",
+    "ModelEngine",
+    "HybridEngine",
+    "resolve_engine",
+    "predict_run",
+]

@@ -1,0 +1,218 @@
+"""The pluggable evaluation engines behind ``SweepExecutor``.
+
+Three ways to evaluate a batch of :class:`~repro.parallel.runspec.RunSpec`:
+
+* ``sim`` — the discrete-event simulation (the executor's native path:
+  process pool, cache, retries, fault injection).  Selecting it attaches
+  no engine object at all.
+* ``model`` — :func:`repro.engine.profiles.predict_run` for every spec.
+  Strict: a spec outside the analytic fast path raises
+  :class:`~repro.errors.ModelUnsupportedError`.
+* ``hybrid`` — the model everywhere it can be *certified*: specs are
+  grouped into families (app class × run geometry × device-model
+  fingerprint), a small spread of calibration points per family is
+  simulated through the executor's normal cached path, and the family
+  uses the model only if the worst calibration error is within
+  tolerance; otherwise every point falls back to the DES.
+
+Engines record ``engine.*`` metrics into the active registry (see
+``docs/OBSERVABILITY.md``); the default ``sim`` path records none, so
+existing metric sets are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ModelUnsupportedError
+from repro.metrics.registry import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.executor import SweepExecutor
+    from repro.parallel.runspec import RunSpec
+
+#: Engine names accepted everywhere an ``engine=`` knob exists.
+ENGINE_NAMES: tuple[str, ...] = ("sim", "model", "hybrid")
+
+#: Max relative error vs the DES for a family to use the model.
+DEFAULT_TOLERANCE = 0.05
+
+#: Calibration points simulated per family before certification.
+DEFAULT_CALIBRATION_POINTS = 3
+
+
+def _family_key(spec: "RunSpec") -> tuple:
+    """Specs whose timings come from the same model surface.
+
+    One certification decision covers a family: same app class, same
+    stream geometry class, same device-model fingerprint.  A fig9-style
+    partition sweep is one family; a fig8 dataset sweep is too.
+    """
+    from repro.device.calibration import model_fingerprint
+
+    return (
+        spec.app_cls,
+        spec.streams_per_place,
+        spec.num_devices,
+        model_fingerprint(spec.device_spec),
+    )
+
+
+def _family_label(spec: "RunSpec") -> str:
+    return (
+        f"{spec.app_cls.__name__.lower()}"
+        f"-d{spec.num_devices}-s{spec.streams_per_place}"
+    )
+
+
+class ModelEngine:
+    """Evaluate every spec analytically; refuse anything unsupported."""
+
+    name = "model"
+
+    def map(self, executor: "SweepExecutor", specs: list) -> list:
+        from repro.engine.profiles import predict_run
+
+        results = [predict_run(spec) for spec in specs]
+        if results:
+            get_registry().counter("engine.points", backend="model").inc(
+                len(results)
+            )
+        return results
+
+
+class HybridEngine:
+    """Model where certified against the DES, simulation elsewhere.
+
+    Certification is per family (:func:`_family_key`): up to
+    ``calibration_points`` spread specs are executed through the
+    executor's normal simulation path — parallel, cached, so repeated
+    sweeps re-certify for free — and the family's predictions are kept
+    only if every calibration point's relative error is within
+    ``tolerance``.  Calibration points always report their simulated
+    result (never a prediction), so a certified sweep contains no
+    unverified numbers at the calibration sites.
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        tolerance: float = DEFAULT_TOLERANCE,
+        calibration_points: int = DEFAULT_CALIBRATION_POINTS,
+    ) -> None:
+        if tolerance <= 0:
+            raise ConfigurationError(
+                f"tolerance must be positive, got {tolerance}"
+            )
+        if calibration_points < 1:
+            raise ConfigurationError(
+                f"calibration_points must be >= 1, got {calibration_points}"
+            )
+        self.tolerance = tolerance
+        self.calibration_points = calibration_points
+
+    def map(self, executor: "SweepExecutor", specs: list) -> list:
+        from repro.engine.profiles import predict_run
+
+        registry = get_registry()
+        n = len(specs)
+        families: dict[tuple, list[int]] = {}
+        for i, spec in enumerate(specs):
+            families.setdefault(_family_key(spec), []).append(i)
+
+        predictions: dict[int, object] = {}
+        calibration: dict[tuple, list[int]] = {}
+        sim_indices: list[int] = []
+        for key, members in families.items():
+            try:
+                for i in members:
+                    predictions[i] = predict_run(specs[i])
+            except ModelUnsupportedError:
+                # The whole family rides the simulator.
+                for i in members:
+                    predictions.pop(i, None)
+                sim_indices.extend(members)
+                registry.counter("engine.families_fallback").inc()
+                continue
+            k = min(self.calibration_points, len(members))
+            picks = np.unique(
+                np.linspace(0, len(members) - 1, k).round().astype(int)
+            )
+            calibration[key] = [members[p] for p in picks]
+
+        # One batched simulation pass covers every family's calibration
+        # points (cache-backed, parallel).
+        calib_indices = sorted(i for ids in calibration.values() for i in ids)
+        calib_runs = dict(
+            zip(calib_indices, executor._map_sim([specs[i] for i in calib_indices]))
+        )
+        registry.counter("engine.calibration_points").inc(len(calib_indices))
+
+        results: list = [None] * n
+        for key, members in families.items():
+            if key not in calibration:
+                continue  # unsupported family: simulated below
+            worst = 0.0
+            for i in calibration[key]:
+                sim_elapsed = getattr(calib_runs[i], "elapsed", float("nan"))
+                if not np.isfinite(sim_elapsed) or sim_elapsed <= 0:
+                    worst = float("inf")
+                    break
+                err = abs(predictions[i].elapsed - sim_elapsed) / sim_elapsed
+                worst = max(worst, err)
+            label = _family_label(specs[members[0]])
+            registry.gauge("engine.calibration_error", family=label).set(worst)
+            if worst <= self.tolerance:
+                registry.counter("engine.families_certified").inc()
+                for i in members:
+                    if i in calib_runs:
+                        results[i] = calib_runs[i]
+                    else:
+                        results[i] = predictions[i]
+            else:
+                registry.counter("engine.families_fallback").inc()
+                for i in members:
+                    if i in calib_runs:
+                        results[i] = calib_runs[i]
+                    else:
+                        sim_indices.append(i)
+
+        sim_indices.sort()
+        if sim_indices:
+            sim_runs = executor._map_sim([specs[i] for i in sim_indices])
+            for i, run in zip(sim_indices, sim_runs):
+                results[i] = run
+
+        n_sim = sum(
+            1 for r in results if getattr(r, "engine", "sim") != "model"
+        )
+        if n:
+            registry.counter("engine.points", backend="model").inc(n - n_sim)
+            registry.counter("engine.points", backend="sim").inc(n_sim)
+            registry.gauge("engine.fallback_rate").set(n_sim / n)
+        return results
+
+
+def resolve_engine(engine):
+    """Map an ``engine=`` knob value to an engine object (or ``None``).
+
+    Accepts a name from :data:`ENGINE_NAMES` or a ready-made engine
+    instance (anything with a ``map(executor, specs)`` method), so
+    callers can pass e.g. ``HybridEngine(tolerance=0.02)`` directly.
+    ``"sim"`` resolves to ``None``: the executor's native path.
+    """
+    if engine is None or engine == "sim":
+        return None
+    if engine == "model":
+        return ModelEngine()
+    if engine == "hybrid":
+        return HybridEngine()
+    if hasattr(engine, "map") and hasattr(engine, "name"):
+        return engine
+    raise ConfigurationError(
+        f"unknown engine {engine!r}; expected one of {ENGINE_NAMES} "
+        "or an engine instance"
+    )

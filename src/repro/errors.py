@@ -56,6 +56,20 @@ class FaultInjectedError(ReproError):
     """
 
 
+class EngineError(ReproError):
+    """Base class for evaluation-engine failures (see :mod:`repro.engine`)."""
+
+
+class ModelUnsupportedError(EngineError):
+    """The analytic model backend cannot evaluate this run spec.
+
+    Raised by the ``model`` engine for configurations outside the
+    analytic fast path (unknown app, noisy device spec, multi-stream
+    places, ...).  The ``hybrid`` engine catches it and falls back to
+    the DES.
+    """
+
+
 class WorkerCrashError(ReproError):
     """A sweep worker process died (or was made to die) mid-run."""
 

@@ -87,6 +87,7 @@ def _build_executor(args):
         and args.checkpoint is None
         and args.fault_plan is None
         and args.on_error == "raise"
+        and args.engine == "sim"
     ):
         return None
     from repro.faults import FaultPlan
@@ -112,6 +113,7 @@ def _build_executor(args):
             FaultPlan.parse(args.fault_plan) if args.fault_plan else None
         ),
         on_error=args.on_error,
+        engine=args.engine,
     )
 
 
@@ -176,6 +178,16 @@ def main(argv: list[str] | None = None) -> int:
         "(raise, default) or render it as a gap (record)",
     )
     parser.add_argument(
+        "--engine",
+        choices=["sim", "model", "hybrid"],
+        default="sim",
+        help="evaluation engine for sweep-style figures: the "
+        "discrete-event simulation (sim, default), the vectorized "
+        "analytic model (model), or the model certified per sweep "
+        "family against simulated calibration points with simulation "
+        "fallback (hybrid); see docs/PERF.md",
+    )
+    parser.add_argument(
         "--app",
         action="append",
         default=None,
@@ -220,6 +232,8 @@ def main(argv: list[str] | None = None) -> int:
                     kwargs["executor"] = executor
                 elif "jobs" in params:
                     kwargs["jobs"] = args.jobs
+                if args.engine != "sim" and "engine" in params:
+                    kwargs["engine"] = args.engine
                 if args.apps and "apps" in params:
                     kwargs["apps"] = args.apps
                 start = time.perf_counter()
@@ -280,6 +294,7 @@ def _write_manifest(args, names, registry, experiments, profile):
         figures=list(names),
         fast=not args.full,
         jobs=args.jobs,
+        engine=args.engine,
         config_fingerprint=model_fingerprint(PHI_31SP),
         metrics=registry.snapshot(),
         seed=seed,

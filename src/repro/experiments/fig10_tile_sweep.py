@@ -25,10 +25,10 @@ from repro.experiments.runner import ExperimentResult
 from repro.parallel import RunSpec, SweepExecutor, shared_cache
 
 
-def _executor(executor, jobs) -> SweepExecutor:
+def _executor(executor, jobs, engine: str = "sim") -> SweepExecutor:
     if executor is not None:
         return executor
-    return SweepExecutor(jobs=jobs, cache=shared_cache())
+    return SweepExecutor(jobs=jobs, cache=shared_cache(), engine=engine)
 
 
 def _sweep(result, make_spec, tiles, metric, executor):
@@ -38,7 +38,9 @@ def _sweep(result, make_spec, tiles, metric, executor):
     return dict(zip(tiles, values))
 
 
-def run_mm(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
+def run_mm(
+    fast: bool = True, jobs: int = 1, executor=None, engine: str = "sim"
+) -> ExperimentResult:
     tiles = [1, 4, 16, 144, 400] if fast else [1, 4, 9, 16, 25, 36, 100, 144, 225, 400]
     result = ExperimentResult(
         experiment="fig10a",
@@ -52,7 +54,7 @@ def run_mm(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
         lambda t: RunSpec.for_app(MatMulApp, 6000, t, places=4),
         tiles,
         lambda r: r.gflops,
-        _executor(executor, jobs),
+        _executor(executor, jobs, engine),
     )
     result.add_check(
         "T=1 starves three of four partitions (T=4 is >2x better)",
@@ -65,7 +67,9 @@ def run_mm(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
     return result
 
 
-def run_cf(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
+def run_cf(
+    fast: bool = True, jobs: int = 1, executor=None, engine: str = "sim"
+) -> ExperimentResult:
     tiles = [4, 16, 100, 400] if fast else [4, 9, 16, 25, 36, 64, 100, 144, 225, 256, 400]
     result = ExperimentResult(
         experiment="fig10b",
@@ -79,7 +83,7 @@ def run_cf(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
         lambda t: RunSpec.for_app(CholeskyApp, 9600, t, places=4),
         tiles,
         lambda r: r.gflops,
-        _executor(executor, jobs),
+        _executor(executor, jobs, engine),
     )
     result.add_check(
         "CF needs many tiles: T=100 beats T=4 by >2x (DAG parallelism)",
@@ -89,7 +93,7 @@ def run_cf(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
 
 
 def run_kmeans(
-    fast: bool = True, jobs: int = 1, executor=None
+    fast: bool = True, jobs: int = 1, executor=None, engine: str = "sim"
 ) -> ExperimentResult:
     tiles = [1, 2, 4, 16, 56, 224] if fast else [1, 2, 4, 8, 16, 20, 28, 32, 56, 112, 224]
     iterations = 10 if fast else 100
@@ -107,7 +111,7 @@ def run_kmeans(
         ),
         tiles,
         lambda r: r.elapsed,
-        _executor(executor, jobs),
+        _executor(executor, jobs, engine),
     )
     result.add_check(
         "fastest at T=4 (= P): load balance without extra invocations",
@@ -117,7 +121,7 @@ def run_kmeans(
 
 
 def run_hotspot(
-    fast: bool = True, jobs: int = 1, executor=None
+    fast: bool = True, jobs: int = 1, executor=None, engine: str = "sim"
 ) -> ExperimentResult:
     tiles = [1, 4, 16, 64, 256, 1024] if fast else [1, 4, 16, 64, 256, 1024, 4096]
     iterations = 10 if fast else 50
@@ -135,7 +139,7 @@ def run_hotspot(
         ),
         tiles,
         lambda r: r.elapsed,
-        _executor(executor, jobs),
+        _executor(executor, jobs, engine),
     )
     interior_best = min(v for t, v in by_t.items() if 1 < t < tiles[-1])
     result.add_check(
@@ -145,7 +149,9 @@ def run_hotspot(
     return result
 
 
-def run_nn(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
+def run_nn(
+    fast: bool = True, jobs: int = 1, executor=None, engine: str = "sim"
+) -> ExperimentResult:
     tiles = [1, 4, 32, 256, 2048] if fast else [2**k for k in range(12)]
     result = ExperimentResult(
         experiment="fig10e",
@@ -159,7 +165,7 @@ def run_nn(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
         lambda t: RunSpec.for_app(NNApp, 5242880, t, places=4),
         tiles,
         lambda r: r.elapsed * 1e3,
-        _executor(executor, jobs),
+        _executor(executor, jobs, engine),
     )
     result.add_check(
         "transfer-bound: T=1 within 1.5x of T=4",
@@ -173,7 +179,7 @@ def run_nn(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
 
 
 def run_srad(
-    fast: bool = True, jobs: int = 1, executor=None
+    fast: bool = True, jobs: int = 1, executor=None, engine: str = "sim"
 ) -> ExperimentResult:
     tiles = [1, 4, 25, 100, 400, 625] if fast else [1, 4, 16, 25, 100, 400, 625, 2500]
     iterations = 5 if fast else 100
@@ -191,7 +197,7 @@ def run_srad(
         ),
         tiles,
         lambda r: r.elapsed,
-        _executor(executor, jobs),
+        _executor(executor, jobs, engine),
     )
     interior_best = min(v for t, v in by_t.items() if 1 < t < tiles[-1])
     result.add_check(
@@ -213,10 +219,11 @@ PANELS = {
 
 
 def run(
-    fast: bool = True, jobs: int = 1, executor=None, apps=None
+    fast: bool = True, jobs: int = 1, executor=None, apps=None,
+    engine: str = "sim",
 ) -> list[ExperimentResult]:
     """All panels, or — with ``apps`` — a subset by panel name."""
-    executor = _executor(executor, jobs)
+    executor = _executor(executor, jobs, engine)
     names = list(PANELS) if apps is None else list(apps)
     unknown = [a for a in names if a not in PANELS]
     if unknown:

@@ -8,12 +8,13 @@ directions are performed serially on Phi.
 from __future__ import annotations
 
 from repro.apps.hbench import HBench, TransferPattern
+from repro.experiments.probe_engine import probe_series
 from repro.experiments.runner import ExperimentResult
 from repro.metrics import get_registry
 from repro.util.units import MS
 
 
-def run(fast: bool = True) -> ExperimentResult:
+def run(fast: bool = True, engine: str = "sim") -> ExperimentResult:
     hb = HBench()
     total = 16
     xs = list(range(0, total + 1, 2 if fast else 1))
@@ -27,10 +28,21 @@ def run(fast: bool = True) -> ExperimentResult:
         x=xs,
         y_label="ms",
     )
+    from repro.engine.profiles import hbench_transfer_model
+
     curves = {}
     for pattern in TransferPattern:
         times = [
-            hb.transfer_time(*pattern.blocks(x, total)) / MS for x in xs
+            t / MS
+            for t in probe_series(
+                engine,
+                xs,
+                lambda x: hb.transfer_time(*pattern.blocks(x, total)),
+                lambda x: hbench_transfer_model(
+                    hb, *pattern.blocks(x, total)
+                ),
+                label=f"fig5-{pattern.value.lower()}",
+            )
         ]
         probes.inc(len(times))
         curves[pattern] = times

@@ -10,12 +10,13 @@ achievable).
 from __future__ import annotations
 
 from repro.apps.hbench import HBench
+from repro.experiments.probe_engine import probe_series
 from repro.experiments.runner import ExperimentResult
 from repro.metrics import get_registry
 from repro.util.units import MS
 
 
-def run(fast: bool = True) -> ExperimentResult:
+def run(fast: bool = True, engine: str = "sim") -> ExperimentResult:
     hb = HBench()
     xs = list(range(20, 61, 10 if fast else 5))
     get_registry().counter(
@@ -28,10 +29,23 @@ def run(fast: bool = True) -> ExperimentResult:
         x=xs,
         y_label="ms",
     )
+    from repro.engine.profiles import hbench_streamed_model
+
     data = [hb.data_time() / MS for _ in xs]
     kernel = [hb.kernel_time(i) / MS for i in xs]
     serial = [hb.serial_time(i) / MS for i in xs]
-    streamed = [hb.streamed_time(i) / MS for i in xs]
+    # Only the streamed line runs the DES (the rest are closed-form),
+    # so only it goes through engine selection.
+    streamed = [
+        t / MS
+        for t in probe_series(
+            engine,
+            xs,
+            hb.streamed_time,
+            lambda i: hbench_streamed_model(hb, i),
+            label="fig6-streamed",
+        )
+    ]
     ideal = [hb.ideal_time(i) / MS for i in xs]
     result.add_series("Data", data)
     result.add_series("Kernel", kernel)

@@ -10,12 +10,13 @@ for a non-overlappable kernel.
 from __future__ import annotations
 
 from repro.apps.hbench import HBench
+from repro.experiments.probe_engine import probe_series
 from repro.experiments.runner import ExperimentResult
 from repro.metrics import get_registry
 from repro.util.units import MS
 
 
-def run(fast: bool = True) -> ExperimentResult:
+def run(fast: bool = True, engine: str = "sim") -> ExperimentResult:
     hb = HBench()
     partitions = [1, 2, 4, 8, 16, 32, 64, 128]
     get_registry().counter(
@@ -29,11 +30,35 @@ def run(fast: bool = True) -> ExperimentResult:
         x=partitions + ["ref"],
         y_label="ms",
     )
+    from repro.engine.profiles import (
+        hbench_partition_sweep_model,
+        hbench_reference_model,
+    )
+
     times = [
-        hb.partition_sweep_time(p, nblocks=128, iterations=iterations) / MS
-        for p in partitions
+        t / MS
+        for t in probe_series(
+            engine,
+            partitions,
+            lambda p: hb.partition_sweep_time(
+                p, nblocks=128, iterations=iterations
+            ),
+            lambda p: hbench_partition_sweep_model(
+                hb, p, nblocks=128, iterations=iterations
+            ),
+            label="fig7-partitions",
+        )
     ]
-    ref = hb.reference_time(iterations) / MS
+    ref = (
+        probe_series(
+            engine,
+            [iterations],
+            hb.reference_time,
+            lambda i: hbench_reference_model(hb, i),
+            label="fig7-ref",
+        )[0]
+        / MS
+    )
     result.add_series("exec time", times + [ref])
 
     interior_best = min(times[1:-1])

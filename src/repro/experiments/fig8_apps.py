@@ -28,10 +28,10 @@ from repro.experiments.runner import ExperimentResult
 from repro.parallel import RunSpec, SweepExecutor, is_failed, shared_cache
 
 
-def _executor(executor, jobs) -> SweepExecutor:
+def _executor(executor, jobs, engine: str = "sim") -> SweepExecutor:
     if executor is not None:
         return executor
-    return SweepExecutor(jobs=jobs, cache=shared_cache())
+    return SweepExecutor(jobs=jobs, cache=shared_cache(), engine=engine)
 
 
 def _batched_best(executor, base_specs, candidate_groups):
@@ -64,7 +64,9 @@ def _improvement(base: float, streamed: float) -> float:
     return 100.0 * (base - streamed) / base
 
 
-def run_mm(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
+def run_mm(
+    fast: bool = True, jobs: int = 1, executor=None, engine: str = "sim"
+) -> ExperimentResult:
     datasets = [2000, 4000, 6000] if fast else [2000, 4000, 6000, 8000, 10000, 12000]
     result = ExperimentResult(
         experiment="fig8a",
@@ -85,7 +87,7 @@ def run_mm(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
         for d in datasets
     ]
     base_runs, best_runs = _batched_best(
-        _executor(executor, jobs), base_specs, candidate_groups
+        _executor(executor, jobs, engine), base_specs, candidate_groups
     )
     base = [run.gflops for run in base_runs]
     streamed = [run.gflops for run in best_runs]
@@ -98,7 +100,9 @@ def run_mm(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
     return result
 
 
-def run_cf(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
+def run_cf(
+    fast: bool = True, jobs: int = 1, executor=None, engine: str = "sim"
+) -> ExperimentResult:
     datasets = [4800, 9600] if fast else [7200, 9600, 12000, 14400, 16800, 19200]
     result = ExperimentResult(
         experiment="fig8b",
@@ -118,7 +122,7 @@ def run_cf(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
         for d in datasets
     ]
     base_runs, best_runs = _batched_best(
-        _executor(executor, jobs), base_specs, candidate_groups
+        _executor(executor, jobs, engine), base_specs, candidate_groups
     )
     base = [run.gflops for run in base_runs]
     streamed = [run.gflops for run in best_runs]
@@ -139,7 +143,7 @@ def run_cf(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
 
 
 def run_kmeans(
-    fast: bool = True, jobs: int = 1, executor=None
+    fast: bool = True, jobs: int = 1, executor=None, engine: str = "sim"
 ) -> ExperimentResult:
     datasets = (
         [140000, 560000, 1120000]
@@ -168,7 +172,7 @@ def run_kmeans(
                 KmeansApp, d, tiles, places=places, iterations=iterations
             )
         )
-    runs = _executor(executor, jobs).map(specs)
+    runs = _executor(executor, jobs, engine).map(specs)
     base = [run.elapsed for run in runs[0::2]]
     streamed = [run.elapsed for run in runs[1::2]]
     result.add_series("w/o", base)
@@ -181,7 +185,7 @@ def run_kmeans(
 
 
 def run_hotspot(
-    fast: bool = True, jobs: int = 1, executor=None
+    fast: bool = True, jobs: int = 1, executor=None, engine: str = "sim"
 ) -> ExperimentResult:
     datasets = [2048, 4096, 8192] if fast else [1024, 2048, 4096, 8192, 16384]
     iterations = 10 if fast else 50
@@ -209,7 +213,7 @@ def run_hotspot(
                 iterations=iterations,
             )
         )
-    runs = _executor(executor, jobs).map(specs)
+    runs = _executor(executor, jobs, engine).map(specs)
     base = [run.elapsed for run in runs[0::2]]
     streamed = [run.elapsed for run in runs[1::2]]
     result.add_series("w/o", base)
@@ -230,7 +234,9 @@ def run_hotspot(
     return result
 
 
-def run_nn(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
+def run_nn(
+    fast: bool = True, jobs: int = 1, executor=None, engine: str = "sim"
+) -> ExperimentResult:
     datasets = (
         [131072, 524288, 2097152]
         if fast
@@ -247,7 +253,7 @@ def run_nn(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
     for d in datasets:
         specs.append(RunSpec.for_app(NNApp, d, 1, places=1))
         specs.append(RunSpec.for_app(NNApp, d, 4, places=4))
-    runs = _executor(executor, jobs).map(specs)
+    runs = _executor(executor, jobs, engine).map(specs)
     base = [run.elapsed * 1e3 for run in runs[0::2]]
     streamed = [run.elapsed * 1e3 for run in runs[1::2]]
     result.add_series("w/o", base)
@@ -270,7 +276,7 @@ def run_nn(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
 
 
 def run_srad(
-    fast: bool = True, jobs: int = 1, executor=None
+    fast: bool = True, jobs: int = 1, executor=None, engine: str = "sim"
 ) -> ExperimentResult:
     datasets = [1000, 4000, 10000] if fast else [1000, 2000, 4000, 5000, 10000]
     iterations = 10 if fast else 100
@@ -291,7 +297,7 @@ def run_srad(
                 SradApp, d, 100, places=4, iterations=iterations
             )
         )
-    runs = _executor(executor, jobs).map(specs)
+    runs = _executor(executor, jobs, engine).map(specs)
     base = [run.elapsed for run in runs[0::2]]
     streamed = [run.elapsed for run in runs[1::2]]
     result.add_series("w/o", base)
@@ -319,10 +325,11 @@ PANELS = {
 
 
 def run(
-    fast: bool = True, jobs: int = 1, executor=None, apps=None
+    fast: bool = True, jobs: int = 1, executor=None, apps=None,
+    engine: str = "sim",
 ) -> list[ExperimentResult]:
     """All panels, or — with ``apps`` — a subset by panel name."""
-    executor = _executor(executor, jobs)
+    executor = _executor(executor, jobs, engine)
     names = list(PANELS) if apps is None else list(apps)
     unknown = [a for a in names if a not in PANELS]
     if unknown:

@@ -34,10 +34,10 @@ def _partitions(fast: bool) -> list[int]:
     return FAST_PARTITIONS if fast else FULL_PARTITIONS
 
 
-def _executor(executor, jobs) -> SweepExecutor:
+def _executor(executor, jobs, engine: str = "sim") -> SweepExecutor:
     if executor is not None:
         return executor
-    return SweepExecutor(jobs=jobs, cache=shared_cache())
+    return SweepExecutor(jobs=jobs, cache=shared_cache(), engine=engine)
 
 
 def _sweep(result, make_spec, partitions, metric, executor):
@@ -47,7 +47,9 @@ def _sweep(result, make_spec, partitions, metric, executor):
     return dict(zip(partitions, values))
 
 
-def run_mm(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
+def run_mm(
+    fast: bool = True, jobs: int = 1, executor=None, engine: str = "sim"
+) -> ExperimentResult:
     ps = _partitions(fast)
     result = ExperimentResult(
         experiment="fig9a",
@@ -61,7 +63,7 @@ def run_mm(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
         lambda p: RunSpec.for_app(MatMulApp, 6000, 144, places=p),
         ps,
         lambda r: r.gflops,
-        _executor(executor, jobs),
+        _executor(executor, jobs, engine),
     )
     result.add_check(
         "aligned counts beat misaligned neighbours (4>3, 14>13, 14>16)",
@@ -70,7 +72,9 @@ def run_mm(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
     return result
 
 
-def run_cf(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
+def run_cf(
+    fast: bool = True, jobs: int = 1, executor=None, engine: str = "sim"
+) -> ExperimentResult:
     ps = _partitions(fast)
     result = ExperimentResult(
         experiment="fig9b",
@@ -84,7 +88,7 @@ def run_cf(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
         lambda p: RunSpec.for_app(CholeskyApp, 9600, 144, places=p),
         ps,
         lambda r: r.gflops,
-        _executor(executor, jobs),
+        _executor(executor, jobs, engine),
     )
     result.add_check(
         "aligned counts beat misaligned neighbours (4>3, 14>13)",
@@ -94,7 +98,7 @@ def run_cf(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
 
 
 def run_kmeans(
-    fast: bool = True, jobs: int = 1, executor=None
+    fast: bool = True, jobs: int = 1, executor=None, engine: str = "sim"
 ) -> ExperimentResult:
     ps = _partitions(fast)
     iterations = 10 if fast else 100
@@ -112,7 +116,7 @@ def run_kmeans(
         ),
         ps,
         lambda r: r.elapsed,
-        _executor(executor, jobs),
+        _executor(executor, jobs, engine),
     )
     divisors = [p for p in (1, 2, 4, 7, 8, 14, 28, 56) if p in by_p]
     times = [by_p[p] for p in divisors]
@@ -124,7 +128,7 @@ def run_kmeans(
 
 
 def run_hotspot(
-    fast: bool = True, jobs: int = 1, executor=None
+    fast: bool = True, jobs: int = 1, executor=None, engine: str = "sim"
 ) -> ExperimentResult:
     ps = _partitions(fast)
     iterations = 10 if fast else 50
@@ -142,7 +146,7 @@ def run_hotspot(
         ),
         ps,
         lambda r: r.elapsed,
-        _executor(executor, jobs),
+        _executor(executor, jobs, engine),
     )
     best = min(by_p, key=by_p.get)
     result.add_check(
@@ -152,7 +156,9 @@ def run_hotspot(
     return result
 
 
-def run_nn(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
+def run_nn(
+    fast: bool = True, jobs: int = 1, executor=None, engine: str = "sim"
+) -> ExperimentResult:
     ps = _partitions(fast)
     result = ExperimentResult(
         experiment="fig9e",
@@ -166,7 +172,7 @@ def run_nn(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
         lambda p: RunSpec.for_app(NNApp, 5242880, 512, places=p),
         ps,
         lambda r: r.elapsed * 1e3,
-        _executor(executor, jobs),
+        _executor(executor, jobs, engine),
     )
     result.add_check(
         "sharp drop until P=4",
@@ -181,7 +187,7 @@ def run_nn(fast: bool = True, jobs: int = 1, executor=None) -> ExperimentResult:
 
 
 def run_srad(
-    fast: bool = True, jobs: int = 1, executor=None
+    fast: bool = True, jobs: int = 1, executor=None, engine: str = "sim"
 ) -> ExperimentResult:
     ps = _partitions(fast)
     iterations = 5 if fast else 100
@@ -199,7 +205,7 @@ def run_srad(
         ),
         ps,
         lambda r: r.elapsed,
-        _executor(executor, jobs),
+        _executor(executor, jobs, engine),
     )
     interior = {p: v for p, v in by_p.items() if 1 < p < 56}
     result.add_check(
@@ -222,10 +228,11 @@ PANELS = {
 
 
 def run(
-    fast: bool = True, jobs: int = 1, executor=None, apps=None
+    fast: bool = True, jobs: int = 1, executor=None, apps=None,
+    engine: str = "sim",
 ) -> list[ExperimentResult]:
     """All panels, or — with ``apps`` — a subset by panel name."""
-    executor = _executor(executor, jobs)
+    executor = _executor(executor, jobs, engine)
     names = list(PANELS) if apps is None else list(apps)
     unknown = [a for a in names if a not in PANELS]
     if unknown:

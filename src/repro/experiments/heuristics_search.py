@@ -29,7 +29,9 @@ def _mm_space(fast: bool) -> ConfigSpace:
     return ConfigSpace(p_values=p_values, t_values=t_values)
 
 
-def run(fast: bool = True, jobs: int = 1) -> ExperimentResult:
+def run(
+    fast: bool = True, jobs: int = 1, engine: str = "sim"
+) -> ExperimentResult:
     d = 3000 if fast else 6000
 
     def spec_fn(config: Config) -> RunSpec:
@@ -38,8 +40,12 @@ def run(fast: bool = True, jobs: int = 1) -> ExperimentResult:
         )
 
     # The pruned grid is a subset of the exhaustive one, so with the
-    # shared cache the second search is pure cache hits.
-    executor = SweepExecutor(jobs=jobs, cache=shared_cache())
+    # shared cache the second search is pure cache hits.  The engine
+    # knob swaps the evaluation backend under both searches (their
+    # evaluation *counts* — what this experiment measures — are
+    # unchanged); for model-*ranked* searching see
+    # ``run_search(engine=...)``.
+    executor = SweepExecutor(jobs=jobs, cache=shared_cache(), engine=engine)
     space = _mm_space(fast)
     exhaustive = run_search(space=space, spec_fn=spec_fn, executor=executor)
     pruned = run_search(

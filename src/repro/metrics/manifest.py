@@ -52,6 +52,9 @@ class RunManifest:
     jobs: int
     config_fingerprint: str
     metrics: MetricsSnapshot
+    #: Evaluation engine that produced the timings (``sim`` / ``model``
+    #: / ``hybrid`` — see :mod:`repro.engine`).
+    engine: str = "sim"
     seed: "int | None" = None
     argv: list[str] = field(default_factory=list)
     experiments: list[dict] = field(default_factory=list)
@@ -69,6 +72,7 @@ class RunManifest:
                 "figures": list(self.figures),
                 "fast": self.fast,
                 "jobs": self.jobs,
+                "engine": self.engine,
                 "argv": list(self.argv),
                 "created_unix": self.created_unix,
             },
@@ -95,6 +99,7 @@ class RunManifest:
             figures=list(run["figures"]),
             fast=run["fast"],
             jobs=run["jobs"],
+            engine=run.get("engine", "sim"),
             argv=list(run.get("argv", [])),
             created_unix=run["created_unix"],
             config_fingerprint=payload["config"]["fingerprint"],
@@ -164,6 +169,9 @@ def validate_manifest(payload: Any) -> list[str]:
         ):
             if not isinstance(run.get(key), types):
                 errors.append(f"run.{key} missing or mistyped")
+        # Optional (absent in manifests written before engines existed).
+        if "engine" in run and not isinstance(run["engine"], str):
+            errors.append("run.engine must be a string")
     config = payload.get("config")
     if not isinstance(config, dict) or not isinstance(
         config.get("fingerprint"), str

@@ -40,7 +40,12 @@ import pickle
 import time
 from collections import deque
 from collections.abc import Callable, Iterable
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING
 
@@ -60,7 +65,7 @@ from repro.parallel.resilience import (
     RetryPolicy,
     SweepError,
 )
-from repro.parallel.runspec import RunSpec, execute_spec
+from repro.parallel.runspec import RunSpec, execute_spec, execute_spec_batch
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.apps.base import AppRun
@@ -139,7 +144,11 @@ class SweepExecutor:
         checkpoint: SweepCheckpoint | None = None,
         fault_plan: FaultPlan | None = None,
         on_error: str = "raise",
+        engine: "str | object" = "sim",
+        chunksize: int | None = None,
     ) -> None:
+        from repro.engine.engines import resolve_engine
+
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
         self.progress = progress
@@ -154,6 +163,19 @@ class SweepExecutor:
                 f"on_error must be 'raise' or 'record', got {on_error!r}"
             )
         self.on_error = on_error
+        #: Evaluation engine (see :mod:`repro.engine`): ``None`` for the
+        #: native simulation path, else an object whose ``map`` decides
+        #: per spec between analytic prediction and simulation.
+        self._engine_impl = resolve_engine(engine)
+        self.engine = getattr(self._engine_impl, "name", "sim")
+        if chunksize is not None and chunksize < 1:
+            raise ConfigurationError(
+                f"chunksize must be >= 1, got {chunksize}"
+            )
+        #: Specs submitted per pool task (None: derived from grid size
+        #: and jobs).  Batching amortizes process spawn and per-result
+        #: metrics-snapshot pickling on large grids.
+        self.chunksize = chunksize
         self.stats = ExecutorStats()
 
     # -- public API --------------------------------------------------------
@@ -161,12 +183,23 @@ class SweepExecutor:
     def map(self, specs: Iterable[RunSpec]) -> "list[AppRun]":
         """Run every spec, returning results in submission order.
 
+        With a non-default engine the batch is routed through it (the
+        engine calls back into :meth:`_map_sim` for the points it wants
+        simulated); otherwise this is the native simulation path.
+
         Failure semantics: see the module docstring (``retry`` /
         ``on_error``).  When a :class:`SweepError` is raised, completed
         results ride along on the exception and the checkpoint (if any)
         has been flushed — nothing finished is lost.
         """
         specs = list(specs)
+        if self._engine_impl is not None:
+            return self._engine_impl.map(self, specs)
+        return self._map_sim(specs)
+
+    def _map_sim(self, specs: "list[RunSpec]") -> "list[AppRun]":
+        """The native path: every spec through the simulator (cache,
+        checkpoint, pool).  Engines call this for their DES subsets."""
         total = len(specs)
         results: "list[AppRun | None]" = [None] * total
         done = 0
@@ -381,9 +414,79 @@ class SweepExecutor:
         for i in indices:
             (parallelizable if _picklable(specs[i]) else local).append(i)
         if parallelizable:
-            done = self._drain(specs, parallelizable, results, done)
+            chunk = self._effective_chunksize(len(parallelizable))
+            if chunk > 1:
+                done = self._drain_chunked(
+                    specs, parallelizable, results, done, chunk
+                )
+            else:
+                done = self._drain(specs, parallelizable, results, done)
         if local:
             done = self._run_serial(specs, local, results, done)
+        return done
+
+    def _effective_chunksize(self, n: int) -> int:
+        """Specs per pool task.  Chunking only applies on the plain
+        path: retries and fault plans need per-spec submission (worker
+        directives and deadlines are drawn per attempt).  The default
+        keeps at least ``4 * jobs`` batches so the pool stays balanced,
+        capped at 8 specs per task."""
+        if self.retry is not None or self.fault_plan is not None:
+            return 1
+        if self.chunksize is not None:
+            return self.chunksize
+        return max(1, min(8, n // (4 * self.jobs)))
+
+    def _drain_chunked(self, specs, indices, results, done, chunk) -> int:
+        """Submit specs in batches of ``chunk`` per pool task.  A spec
+        that fails inside a batch is reported individually (the worker
+        returns per-spec outcomes), so ``on_error`` semantics match the
+        unchunked path; a batch lost to a pool failure is re-run
+        in-process."""
+        batches = [
+            indices[k:k + chunk] for k in range(0, len(indices), chunk)
+        ]
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(batches))
+            )
+        except (OSError, PermissionError):
+            return self._run_serial(specs, indices, results, done)
+        try:
+            futures = {}
+            for batch in batches:
+                try:
+                    future = pool.submit(
+                        execute_spec_batch, [specs[i] for i in batch]
+                    )
+                except (BrokenProcessPool, RuntimeError, OSError):
+                    done = self._run_serial(specs, batch, results, done)
+                    continue
+                futures[future] = batch
+            for future in as_completed(futures):
+                batch = futures[future]
+                try:
+                    outcomes = future.result()
+                except Exception:
+                    # The pool broke (or the result would not pickle):
+                    # the whole batch is lost, so re-run it in-process
+                    # rather than guessing which spec was at fault.
+                    done = self._run_serial(specs, batch, results, done)
+                    continue
+                for i, (status, payload) in zip(batch, outcomes):
+                    if status == "ok":
+                        done = self._attempt_ok(
+                            specs, results, i, payload, done
+                        )
+                    else:
+                        done = self._exhausted(
+                            specs, results, i, payload, 1, done
+                        )
+        finally:
+            # Workers are idle once every future has resolved, so a
+            # blocking shutdown is cheap — and tearing the queues down
+            # without waiting races the pool's feeder thread.
+            pool.shutdown(wait=True, cancel_futures=True)
         return done
 
     def _submit(self, pool, spec, i, attempt):
@@ -614,6 +717,8 @@ def run_sweep(
     checkpoint: SweepCheckpoint | None = None,
     fault_plan: FaultPlan | None = None,
     on_error: str = "raise",
+    engine: "str | object" = "sim",
+    chunksize: int | None = None,
 ) -> "list[AppRun]":
     """One-shot helper: ``SweepExecutor(...).map(specs)``."""
     return SweepExecutor(
@@ -624,4 +729,6 @@ def run_sweep(
         checkpoint=checkpoint,
         fault_plan=fault_plan,
         on_error=on_error,
+        engine=engine,
+        chunksize=chunksize,
     ).map(specs)

@@ -95,6 +95,18 @@ class RunSpec:
             run.outputs = {}
         return run
 
+    def predict(self) -> "AppRun":
+        """Evaluate this spec analytically (no simulation).
+
+        Delegates to :func:`repro.engine.profiles.predict_run`; raises
+        :class:`~repro.errors.ModelUnsupportedError` when the spec is
+        outside the analytic fast path.  Predicted runs carry
+        ``engine="model"`` and are never written to the result cache.
+        """
+        from repro.engine.profiles import predict_run
+
+        return predict_run(self)
+
     # -- identity ----------------------------------------------------------
 
     @property
@@ -141,3 +153,17 @@ def execute_spec(spec: RunSpec) -> "AppRun":
     """Module-level entry point for worker processes (must be picklable
     by reference, hence not a method)."""
     return spec.execute()
+
+
+def execute_spec_batch(specs: "list[RunSpec]") -> list:
+    """Worker entry point for chunked submission: run a batch of specs
+    in one pool task, reporting each outcome individually as
+    ``("ok", run)`` or ``("err", exc)`` so one failing spec does not
+    discard its batchmates."""
+    outcomes = []
+    for spec in specs:
+        try:
+            outcomes.append(("ok", spec.execute()))
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            outcomes.append(("err", exc))
+    return outcomes

@@ -1,0 +1,51 @@
+"""The ``run.engine`` stamp in run manifests."""
+
+import pytest
+
+from repro.metrics import (
+    MetricsRegistry,
+    RunManifest,
+    load_manifest,
+    validate_manifest,
+)
+
+
+def _manifest(**overrides):
+    defaults = dict(
+        name="fig9-mm",
+        figures=["fig9"],
+        fast=True,
+        jobs=1,
+        config_fingerprint="phi-31sp:abc123",
+        metrics=MetricsRegistry().snapshot(),
+    )
+    defaults.update(overrides)
+    return RunManifest(**defaults)
+
+
+class TestEngineStamp:
+    def test_defaults_to_sim(self):
+        manifest = _manifest()
+        assert manifest.engine == "sim"
+        assert manifest.to_dict()["run"]["engine"] == "sim"
+
+    def test_round_trips_through_disk(self, tmp_path):
+        path = _manifest(engine="hybrid").write(tmp_path / "run")
+        assert load_manifest(path).engine == "hybrid"
+
+    def test_legacy_payload_defaults_to_sim(self):
+        payload = _manifest().to_dict()
+        del payload["run"]["engine"]
+        assert not validate_manifest(payload)  # engine stays optional
+        assert RunManifest.from_dict(payload).engine == "sim"
+
+    def test_validator_rejects_non_string_engine(self):
+        payload = _manifest().to_dict()
+        payload["run"]["engine"] = 3
+        errors = validate_manifest(payload)
+        assert any("engine" in error for error in errors)
+
+    @pytest.mark.parametrize("engine", ["sim", "model", "hybrid"])
+    def test_all_engine_names_validate(self, engine):
+        payload = _manifest(engine=engine).to_dict()
+        assert not validate_manifest(payload)

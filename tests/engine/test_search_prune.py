@@ -1,0 +1,103 @@
+"""Model-ranked pruning in ``run_search`` and its fallback semantics."""
+
+import pytest
+
+from repro.apps import MatMulApp
+from repro.autotune import ConfigSpace, run_search
+from repro.errors import ConfigurationError, ModelUnsupportedError
+from repro.parallel import RunSpec, SweepExecutor
+
+
+SPACE = ConfigSpace(
+    p_values=[1, 2, 4, 8, 13, 16, 28],
+    t_values=[25, 36],
+)
+
+
+def _spec(config, **extra):
+    return RunSpec.for_app(
+        MatMulApp, 3000, config.tiles, places=config.places, **extra
+    )
+
+
+@pytest.fixture(scope="module")
+def exhaustive():
+    return run_search(
+        space=SPACE, spec_fn=_spec, executor=SweepExecutor(jobs=1)
+    )
+
+
+class TestModelPruning:
+    @pytest.mark.parametrize("engine", ["model", "hybrid"])
+    def test_prunes_to_top_k_and_finds_optimum(self, exhaustive, engine):
+        pruned = run_search(
+            space=SPACE,
+            spec_fn=_spec,
+            executor=SweepExecutor(jobs=1),
+            engine=engine,
+            verify_top_k=3,
+        )
+        assert pruned.evaluations == 3
+        assert pruned.best == exhaustive.best
+        assert pruned.best_time == pytest.approx(exhaustive.best_time)
+        assert pruned.reduction_vs(exhaustive) == pytest.approx(
+            len(list(SPACE)) / 3
+        )
+        # History still covers the whole space, in iteration order.
+        assert [c for c, _ in pruned.history] == [
+            c for c, _ in exhaustive.history
+        ]
+
+    def test_top_k_larger_than_space_degrades_to_exhaustive(self, exhaustive):
+        pruned = run_search(
+            space=SPACE,
+            spec_fn=_spec,
+            executor=SweepExecutor(jobs=1),
+            engine="model",
+            verify_top_k=10_000,
+        )
+        assert pruned.evaluations == exhaustive.evaluations
+        assert pruned.best == exhaustive.best
+
+    def test_verify_top_k_validated(self):
+        with pytest.raises(ConfigurationError):
+            run_search(
+                space=SPACE,
+                spec_fn=_spec,
+                executor=SweepExecutor(jobs=1),
+                engine="model",
+                verify_top_k=0,
+            )
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_search(
+                space=SPACE,
+                spec_fn=_spec,
+                executor=SweepExecutor(jobs=1),
+                engine="oracle",
+            )
+
+
+class TestUnsupportedSpace:
+    """Spaces the model cannot rank (streamed runs are outside the
+    analytic fast path)."""
+
+    def test_model_engine_raises(self):
+        with pytest.raises(ModelUnsupportedError):
+            run_search(
+                space=SPACE,
+                spec_fn=lambda c: _spec(c, streams_per_place=2),
+                executor=SweepExecutor(jobs=1),
+                engine="model",
+            )
+
+    def test_hybrid_falls_back_to_exhaustive(self):
+        streamed = run_search(
+            space=SPACE,
+            spec_fn=lambda c: _spec(c, streams_per_place=2),
+            executor=SweepExecutor(jobs=1),
+            engine="hybrid",
+        )
+        assert streamed.evaluations == len(list(SPACE))
+        assert streamed.best_time == min(t for _, t in streamed.history)

@@ -1,0 +1,109 @@
+"""Findings F1–F5 re-asserted under the hybrid evaluation engine.
+
+The hybrid engine (see :mod:`repro.engine`) replaces most simulation
+points with analytic predictions; these tests prove the substitution
+preserves every figure *shape* the paper's first five findings rest on.
+A model drift that survives per-point calibration tolerance but flips
+an ordering fails here.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig5_transfers,
+    fig6_overlap,
+    fig7_partitions,
+    fig8_apps,
+    fig9_partition_sweep,
+)
+from tests.findings.conftest import figure_snapshot, series
+
+
+@pytest.fixture(scope="module")
+def fig5_hybrid():
+    return figure_snapshot(fig5_transfers.run, engine="hybrid")
+
+
+@pytest.fixture(scope="module")
+def fig6_hybrid():
+    return figure_snapshot(fig6_overlap.run, engine="hybrid")
+
+
+@pytest.fixture(scope="module")
+def fig7_hybrid():
+    return figure_snapshot(fig7_partitions.run, engine="hybrid")
+
+
+@pytest.fixture(scope="module")
+def fig8_hybrid():
+    return figure_snapshot(fig8_apps.run, engine="hybrid")
+
+
+@pytest.fixture(scope="module")
+def fig9_hybrid():
+    return figure_snapshot(fig9_partition_sweep.run, engine="hybrid")
+
+
+def _flat(values, tolerance=0.05):
+    return max(values) - min(values) < tolerance * min(values)
+
+
+@pytest.mark.finding("F1")
+def test_f1_transfers_serialize_under_hybrid(fig5_hybrid):
+    cc = series(fig5_hybrid, "fig5", "CC")
+    id_ = series(fig5_hybrid, "fig5", "ID")
+    ic = series(fig5_hybrid, "fig5", "IC")
+    cd = series(fig5_hybrid, "fig5", "CD")
+    assert _flat(list(cc.values()))
+    assert _flat(list(id_.values()))
+    mean_cc = sum(cc.values()) / len(cc)
+    mean_id = sum(id_.values()) / len(id_)
+    assert mean_id == pytest.approx(mean_cc / 2, rel=0.10)
+    ic_values = [ic[x] for x in sorted(ic)]
+    cd_values = [cd[x] for x in sorted(cd)]
+    assert all(b > a for a, b in zip(ic_values, ic_values[1:]))
+    assert all(b < a for a, b in zip(cd_values, cd_values[1:]))
+
+
+@pytest.mark.finding("F2")
+def test_f2_partial_overlap_under_hybrid(fig6_hybrid):
+    streamed = series(fig6_hybrid, "fig6", "Streamed")
+    serial = series(fig6_hybrid, "fig6", "Data+Kernel")
+    ideal = series(fig6_hybrid, "fig6", "Ideal")
+    for x in streamed:
+        assert ideal[x] < streamed[x] < serial[x], x
+
+
+@pytest.mark.finding("F3")
+def test_f3_spatial_sharing_alone_under_hybrid(fig7_hybrid):
+    curve = series(fig7_hybrid, "fig7", "exec time")
+    ref = curve.pop("ref")
+    partitions = sorted(curve)
+    times = [curve[p] for p in partitions]
+    interior_best = min(times[1:-1])
+    assert interior_best < times[0] and interior_best < times[-1]
+    assert ref < min(times)
+
+
+@pytest.mark.finding("F4")
+def test_f4_streamed_vs_non_streamed_under_hybrid(fig8_hybrid):
+    for panel in ("fig8a", "fig8b"):
+        base = series(fig8_hybrid, panel, "w/o")
+        streamed = series(fig8_hybrid, panel, "w/")
+        for x in base:  # GFLOPS: higher is better
+            assert streamed[x] > base[x], (panel, x)
+    base = series(fig8_hybrid, "fig8c", "w/o")
+    streamed = series(fig8_hybrid, "fig8c", "w/")
+    for x in base:  # seconds: lower is better
+        assert streamed[x] < base[x], x
+
+
+@pytest.mark.finding("F5")
+def test_f5_divisor_fast_points_under_hybrid(fig9_hybrid):
+    by_p = series(fig9_hybrid, "fig9a", "GFLOPS")
+    assert by_p[4] > by_p[3]
+    assert by_p[14] > by_p[13]
+    assert by_p[14] > by_p[16]
+    cf_by_p = series(fig9_hybrid, "fig9b", "GFLOPS")
+    assert cf_by_p[4] > cf_by_p[3]
+    assert cf_by_p[14] > cf_by_p[13]

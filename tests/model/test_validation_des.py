@@ -1,0 +1,142 @@
+"""The analytic models against the DES over the fig5/fig6 probe grids.
+
+Two layers of evidence that the fast-path engine can stand in for the
+simulator:
+
+* **grid tolerance** — every hBench analytic helper
+  (:mod:`repro.engine.profiles`) is checked point-by-point against the
+  simulated probe it replaces, over exactly the grids fig5 and fig6
+  sweep, within :data:`repro.engine.DEFAULT_TOLERANCE`;
+* **model-shape properties** — Hypothesis drives
+  :class:`repro.model.overlap.OverlapModel` over arbitrary stage times,
+  asserting the orderings the engine's certification leans on:
+  ``serial >= streamed(n) >= ideal`` and ``streamed(n)`` monotonically
+  non-increasing in ``n`` toward the ideal bound.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.hbench import HBench, TransferPattern
+from repro.engine import DEFAULT_TOLERANCE
+from repro.engine.profiles import (
+    hbench_partition_sweep_model,
+    hbench_reference_model,
+    hbench_streamed_model,
+    hbench_transfer_model,
+)
+from repro.model.overlap import OverlapModel
+
+
+def _rel_error(predicted: float, simulated: float) -> float:
+    return abs(predicted - simulated) / simulated
+
+
+class TestFig5GridTolerance:
+    """Transfer-schedule model vs DES over the full fig5 grid."""
+
+    @pytest.fixture(scope="class")
+    def hb(self):
+        return HBench()
+
+    @pytest.mark.parametrize("pattern", list(TransferPattern))
+    def test_pattern_within_tolerance(self, hb, pattern):
+        total = 16
+        for x in range(0, total + 1):
+            hd, dh = pattern.blocks(x, total)
+            simulated = hb.transfer_time(hd, dh)
+            predicted = hbench_transfer_model(hb, hd, dh)
+            assert _rel_error(predicted, simulated) <= DEFAULT_TOLERANCE, (
+                pattern,
+                x,
+            )
+
+    def test_pattern_model_is_exact(self, hb):
+        # The transfer replay reproduces the DES's request-ordered link
+        # lane exactly — not merely within tolerance.
+        for pattern in TransferPattern:
+            hd, dh = pattern.blocks(8, 16)
+            assert hbench_transfer_model(hb, hd, dh) == pytest.approx(
+                hb.transfer_time(hd, dh), rel=1e-9
+            )
+
+
+class TestFig6GridTolerance:
+    """Streamed-overlap estimate vs DES over the full fig6 grid."""
+
+    @pytest.fixture(scope="class")
+    def hb(self):
+        return HBench()
+
+    def test_streamed_within_tolerance(self, hb):
+        for iterations in range(20, 61, 5):
+            simulated = hb.streamed_time(iterations)
+            predicted = hbench_streamed_model(hb, iterations)
+            assert (
+                _rel_error(predicted, simulated) <= DEFAULT_TOLERANCE
+            ), iterations
+
+    def test_streamed_preserves_f2_ordering(self, hb):
+        # The certified substitute must keep the Streamed line strictly
+        # between Ideal and Data+Kernel (finding F2).
+        for iterations in range(20, 61, 10):
+            predicted = hbench_streamed_model(hb, iterations)
+            assert (
+                hb.ideal_time(iterations)
+                < predicted
+                < hb.serial_time(iterations)
+            ), iterations
+
+
+class TestFig7Probes:
+    """Partition-sweep and reference replicas vs the DES."""
+
+    @pytest.fixture(scope="class")
+    def hb(self):
+        return HBench()
+
+    @pytest.mark.parametrize("places", [1, 2, 8, 32, 128])
+    def test_partition_sweep_exact(self, hb, places):
+        assert hbench_partition_sweep_model(hb, places) == pytest.approx(
+            hb.partition_sweep_time(places), rel=1e-9
+        )
+
+    def test_reference_exact(self, hb):
+        assert hbench_reference_model(hb, 100) == pytest.approx(
+            hb.reference_time(100), rel=1e-9
+        )
+
+
+# Stage times from 1 us to 10 s: the whole regime the figures exercise.
+stage_times = st.floats(
+    min_value=1e-6, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestOverlapModelProperties:
+    @given(h2d=stage_times, exe=stage_times, d2h=stage_times,
+           streams=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=200, deadline=None)
+    def test_serial_streamed_ideal_ordering(self, h2d, exe, d2h, streams):
+        model = OverlapModel(t_h2d=h2d, t_exe=exe, t_d2h=d2h)
+        streamed = model.streamed(streams)
+        eps = 1e-9 * model.serial()  # float summation-order noise
+        assert model.serial() + eps >= streamed >= model.ideal() - eps
+
+    @given(h2d=stage_times, exe=stage_times, d2h=stage_times)
+    @settings(max_examples=200, deadline=None)
+    def test_streamed_monotone_toward_ideal(self, h2d, exe, d2h):
+        """More streams never hurt, and the curve approaches (without
+        crossing) the ideal full-overlap bound."""
+        model = OverlapModel(t_h2d=h2d, t_exe=exe, t_d2h=d2h)
+        curve = [model.streamed(n) for n in range(1, 17)]
+        for earlier, later in zip(curve, curve[1:]):
+            assert later <= earlier + 1e-12
+        assert curve[-1] >= model.ideal()
+
+    @given(h2d=stage_times, exe=stage_times, d2h=stage_times)
+    @settings(max_examples=100, deadline=None)
+    def test_one_stream_is_serial(self, h2d, exe, d2h):
+        model = OverlapModel(t_h2d=h2d, t_exe=exe, t_d2h=d2h)
+        assert model.streamed(1) == pytest.approx(model.serial())
