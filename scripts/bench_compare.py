@@ -13,7 +13,11 @@ Suites (``--suite``):
   ``BENCH_engine.json`` (DES core throughput canaries);
 * ``model`` — ``benchmarks/bench_model.py`` against
   ``BENCH_model.json`` (sim vs model vs hybrid over the fig9-mm full
-  grid; the committed baseline records the hybrid speedup).
+  grid; the committed baseline records the hybrid speedup);
+* ``grid`` — ``benchmarks/bench_grid.py`` against ``BENCH_grid.json``
+  (vectorized grid path vs per-point hybrid on the fig9-mm full grid;
+  the committed baseline records the grid speedup and the exact-zero
+  worst relative error vs the scalar predictor).
 
 Usage::
 
@@ -42,6 +46,7 @@ STORAGE = REPO_ROOT / ".benchmarks"
 SUITES = {
     "engine": ("bench_engine.py", "BENCH_engine.json"),
     "model": ("bench_model.py", "BENCH_model.json"),
+    "grid": ("bench_grid.py", "BENCH_grid.json"),
 }
 
 

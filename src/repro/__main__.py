@@ -146,6 +146,12 @@ def main(argv: list[str] | None = None) -> int:
         "fallback (hybrid)",
     )
     exp.add_argument(
+        "--no-grid",
+        action="store_true",
+        help="disable the vectorized grid-prediction path for the "
+        "model/hybrid engines (per-point scalar prediction instead)",
+    )
+    exp.add_argument(
         "--app",
         default=None,
         metavar="NAME",
@@ -188,6 +194,8 @@ def main(argv: list[str] | None = None) -> int:
             rest = [f"--{flag.replace('_', '-')}", str(value)] + rest
     if args.profile:
         rest = ["--profile"] + rest
+    if args.no_grid:
+        rest = ["--no-grid"] + rest
     return experiments_main(rest)
 
 

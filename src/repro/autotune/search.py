@@ -113,8 +113,11 @@ def run_search(
 def _pruned_search(
     configs, specs, ex, measure, engine, verify_top_k
 ) -> SearchOutcome:
-    """Model-ranked search: predict everything, simulate only the
-    ``verify_top_k`` most promising configurations."""
+    """Model-ranked search: predict everything (one grid evaluation —
+    the whole config space is scored as arrays, see
+    :mod:`repro.engine.grid`), simulate only the ``verify_top_k`` most
+    promising configurations."""
+    from repro.engine.grid import predict_runs
     from repro.errors import ModelUnsupportedError
 
     if verify_top_k < 1:
@@ -122,7 +125,7 @@ def _pruned_search(
             f"verify_top_k must be >= 1, got {verify_top_k}"
         )
     try:
-        predicted = [measure(spec.predict()) for spec in specs]
+        predicted = [measure(run) for run in predict_runs(specs)]
     except ModelUnsupportedError:
         if engine == "model":
             raise

@@ -12,6 +12,11 @@ The public surface (see ``docs/API.md``):
 * :func:`~repro.engine.profiles.predict_run` — one-spec analytic
   evaluation, raising :class:`~repro.errors.ModelUnsupportedError`
   outside the fast path;
+* :func:`~repro.engine.grid.predict_grid` /
+  :func:`~repro.engine.grid.predict_runs` /
+  :class:`~repro.engine.grid.GridPlan` — batch evaluation: a whole
+  (P, T, D) sweep lowered to per-family array evaluations, element-wise
+  identical to the scalar predictor;
 * :mod:`repro.engine.analytic` — the vectorized cost-model replicas the
   predictors are built from.
 """
@@ -24,6 +29,7 @@ from repro.engine.engines import (
     ModelEngine,
     resolve_engine,
 )
+from repro.engine.grid import GridPlan, predict_grid, predict_runs
 from repro.engine.profiles import predict_run
 
 __all__ = [
@@ -34,4 +40,7 @@ __all__ = [
     "HybridEngine",
     "resolve_engine",
     "predict_run",
+    "predict_grid",
+    "predict_runs",
+    "GridPlan",
 ]

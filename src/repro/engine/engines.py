@@ -67,15 +67,39 @@ def _family_label(spec: "RunSpec") -> str:
     )
 
 
+def _notify_all(executor, specs) -> None:
+    """Fire the executor's per-spec progress for engine-answered points
+    (guarded so bare test doubles without the hook still work)."""
+    notify = getattr(executor, "_notify_progress", None)
+    if notify is not None:
+        for spec in specs:
+            notify(spec)
+
+
 class ModelEngine:
-    """Evaluate every spec analytically; refuse anything unsupported."""
+    """Evaluate every spec analytically; refuse anything unsupported.
+
+    ``vectorize=True`` (default) routes the batch through the grid path
+    (:mod:`repro.engine.grid`): homogeneous families are lowered once
+    and evaluated as arrays, heterogeneous leftovers fall back to the
+    scalar predictor — element-wise identical results either way.
+    """
 
     name = "model"
 
-    def map(self, executor: "SweepExecutor", specs: list) -> list:
-        from repro.engine.profiles import predict_run
+    def __init__(self, vectorize: bool = True) -> None:
+        self.vectorize = vectorize
 
-        results = [predict_run(spec) for spec in specs]
+    def map(self, executor: "SweepExecutor", specs: list) -> list:
+        if self.vectorize:
+            from repro.engine.grid import predict_runs
+
+            results = predict_runs(specs)
+        else:
+            from repro.engine.profiles import predict_run
+
+            results = [predict_run(spec) for spec in specs]
+        _notify_all(executor, specs)
         if results:
             get_registry().counter("engine.points", backend="model").inc(
                 len(results)
@@ -102,6 +126,7 @@ class HybridEngine:
         self,
         tolerance: float = DEFAULT_TOLERANCE,
         calibration_points: int = DEFAULT_CALIBRATION_POINTS,
+        vectorize: bool = True,
     ) -> None:
         if tolerance <= 0:
             raise ConfigurationError(
@@ -113,6 +138,10 @@ class HybridEngine:
             )
         self.tolerance = tolerance
         self.calibration_points = calibration_points
+        #: Predict via the grid path (one array evaluation per family)
+        #: instead of per-point ``predict_run`` — same certification,
+        #: same results, bit for bit.
+        self.vectorize = vectorize
 
     def map(self, executor: "SweepExecutor", specs: list) -> list:
         from repro.engine.profiles import predict_run
@@ -123,20 +152,40 @@ class HybridEngine:
         for i, spec in enumerate(specs):
             families.setdefault(_family_key(spec), []).append(i)
 
+        # Whole-grid prediction up front: one array evaluation answers
+        # every vectorizable point before any pool dispatch; only the
+        # points the model refuses (None) ride the simulator.
+        grid_preds = None
+        if self.vectorize:
+            from repro.engine.grid import GridPlan
+
+            grid_preds = GridPlan.build(specs).predict_runs(strict=False)
+
         predictions: dict[int, object] = {}
         calibration: dict[tuple, list[int]] = {}
         sim_indices: list[int] = []
         for key, members in families.items():
-            try:
+            if grid_preds is not None:
+                if any(grid_preds[i] is None for i in members):
+                    # The whole family rides the simulator (same rule
+                    # as the scalar loop: one refused member drops its
+                    # family).
+                    sim_indices.extend(members)
+                    registry.counter("engine.families_fallback").inc()
+                    continue
                 for i in members:
-                    predictions[i] = predict_run(specs[i])
-            except ModelUnsupportedError:
-                # The whole family rides the simulator.
-                for i in members:
-                    predictions.pop(i, None)
-                sim_indices.extend(members)
-                registry.counter("engine.families_fallback").inc()
-                continue
+                    predictions[i] = grid_preds[i]
+            else:
+                try:
+                    for i in members:
+                        predictions[i] = predict_run(specs[i])
+                except ModelUnsupportedError:
+                    # The whole family rides the simulator.
+                    for i in members:
+                        predictions.pop(i, None)
+                    sim_indices.extend(members)
+                    registry.counter("engine.families_fallback").inc()
+                    continue
             k = min(self.calibration_points, len(members))
             picks = np.unique(
                 np.linspace(0, len(members) - 1, k).round().astype(int)
@@ -144,10 +193,16 @@ class HybridEngine:
             calibration[key] = [members[p] for p in picks]
 
         # One batched simulation pass covers every family's calibration
-        # points (cache-backed, parallel).
+        # points (cache-backed; inline when small enough that a worker
+        # spawn would cost more than simulating in-process).
         calib_indices = sorted(i for ids in calibration.values() for i in ids)
         calib_runs = dict(
-            zip(calib_indices, executor._map_sim([specs[i] for i in calib_indices]))
+            zip(
+                calib_indices,
+                executor._map_sim(
+                    [specs[i] for i in calib_indices], inline=True
+                ),
+            )
         )
         registry.counter("engine.calibration_points").inc(len(calib_indices))
 
@@ -186,6 +241,15 @@ class HybridEngine:
             for i, run in zip(sim_indices, sim_runs):
                 results[i] = run
 
+        # The simulated subsets fired their own per-spec progress inside
+        # _map_sim; model-answered points complete here.
+        simulated = set(calib_indices)
+        simulated.update(sim_indices)
+        _notify_all(
+            executor,
+            [spec for i, spec in enumerate(specs) if i not in simulated],
+        )
+
         n_sim = sum(
             1 for r in results if getattr(r, "engine", "sim") != "model"
         )
@@ -193,6 +257,10 @@ class HybridEngine:
             registry.counter("engine.points", backend="model").inc(n - n_sim)
             registry.counter("engine.points", backend="sim").inc(n_sim)
             registry.gauge("engine.fallback_rate").set(n_sim / n)
+            if grid_preds is not None and n_sim:
+                registry.counter("engine.grid.points", route="sim").inc(
+                    n_sim
+                )
         return results
 
 

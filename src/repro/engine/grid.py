@@ -1,0 +1,928 @@
+"""Vectorized grid evaluation of the analytic predictors.
+
+A figure sweep, a Sec. V-C pruning study or an ML-tuner training pass
+evaluates a *dense grid* of :class:`~repro.parallel.runspec.RunSpec`\\ s
+that differ only in their run geometry (P) or dataset/tile arguments
+(T, D).  The scalar path (:func:`repro.engine.profiles.predict_run`)
+rebuilds the whole enqueue schedule — the Python loops of the per-app
+predictors plus a :class:`~repro.engine.analytic.StreamReplay` event
+loop — for every single point, even though the schedule's *topology*
+(which uploads are deduplicated, which kernel depends on which
+transfer, how many actions each phase settles) is identical across the
+grid for a single-device family and only the stream assignment
+(``tile % S``) and the per-stream costs vary.
+
+This module lowers a family once and evaluates each point with a flat
+loop over precompiled arrays:
+
+* :class:`_FamilyBuilder` — a *symbolic* ``StreamReplay``: the per-app
+  lowerers replay the exact schedule of their scalar predictor, but
+  record a stream *chain id* (the tile index the predictor reduces mod
+  ``num_streams``) instead of a concrete stream and a kernel *cost
+  class* instead of a concrete cost, so one recording serves every
+  partition count;
+* :func:`_eval_phase` — the exact flat equivalent of
+  ``StreamReplay._settle`` for the families the grid path accepts
+  (single device, no first-invocation upload): kernels and markers
+  complete eagerly the moment their last predecessor settles, and only
+  transfer-lane contention is treated chronologically, with a heap of
+  lane requests keyed ``(request time, activation time, issue index)``
+  and a busy-lane FIFO queue keyed ``(request time, issue index)`` —
+  the same grant discipline as the DES's capacity-1 link resource;
+* per-``(family, P)`` point schedules (stream maps, FIFO successor
+  arrays, per-action costs from one vectorized
+  :func:`~repro.engine.analytic.invoke_cost` table) cached so a
+  steady-state re-sweep pays only the flat loop;
+* :class:`GridPlan` / :func:`predict_grid` — the public batch surface:
+  group a heterogeneous batch into vectorizable families and scalar
+  leftovers, and evaluate the whole grid.
+
+The accuracy contract is *exact float equality* with
+:func:`~repro.engine.profiles.predict_run` (property-tested across all
+six app profiles): any configuration the lowering cannot reproduce
+bit-for-bit — multiple devices (device-dependent upload dedup), a
+device spec with a first-invocation upload cost, an app without a
+lowerer — is routed to the scalar predictor instead, never
+approximated.  Metrics land under ``engine.grid.*`` (see
+``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from heapq import heappop, heappush
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.apps.base import AppRun
+from repro.apps.cholesky_app import CholeskyApp
+from repro.apps.hotspot_app import HotspotApp
+from repro.apps.kmeans_app import KmeansApp
+from repro.apps.matmul_app import MatMulApp
+from repro.apps.nn_app import NNApp
+from repro.apps.srad_app import SradApp
+from repro.engine.analytic import (
+    check_supported,
+    invoke_cost,
+    stream_geometry,
+)
+from repro.errors import ModelUnsupportedError
+from repro.kernels.cholesky import (
+    gemm_update_work,
+    potrf_work,
+    syrk_update_work,
+    trsm_work,
+)
+from repro.kernels.hotspot import hotspot_work
+from repro.kernels.kmeans import kmeans_assign_work
+from repro.kernels.matmul import gemm_work
+from repro.kernels.nn import nn_work
+from repro.kernels.srad import srad_statistics_work, srad_update_work
+from repro.metrics.registry import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.runspec import RunSpec
+
+__all__ = ["GridPlan", "GridFamily", "predict_grid", "predict_runs"]
+
+
+class _GridUnsupported(Exception):
+    """The family cannot be lowered bit-exactly; use the scalar path."""
+
+
+#: Action kinds (match repro.engine.analytic).
+_MARKER, _TRANSFER, _KERNEL = 0, 1, 2
+
+#: Evaluation steps of a compiled family.
+_ST_SETTLE, _ST_SYNC, _ST_CLOSED = 0, 1, 2
+
+
+class _Phase:
+    """P-independent topology of one settle (the actions between two
+    global syncs): kinds, stream-chain ids, cost classes, precomputed
+    lane occupancies and the explicit-dependency graph."""
+
+    __slots__ = ("n", "kind", "chain", "klass", "lane_q", "outs", "ndeps")
+
+    def __init__(self, kind, chain, klass, lane_q, outs, ndeps):
+        self.n = len(kind)
+        self.kind = kind
+        self.chain = chain
+        self.klass = klass
+        self.lane_q = lane_q
+        self.outs = outs
+        self.ndeps = ndeps
+
+
+class _PointPhase:
+    """One phase specialized to one partition count: plain lists the
+    flat loop indexes without numpy overhead."""
+
+    __slots__ = (
+        "stream_of", "next_k", "cost", "remaining0", "init_todo", "pdone0"
+    )
+
+    def __init__(self, stream_of, next_k, cost, remaining0, init_todo, n):
+        self.stream_of = stream_of
+        self.next_k = next_k
+        self.cost = cost
+        self.remaining0 = remaining0
+        self.init_todo = init_todo
+        self.pdone0 = [-1.0] * n
+
+
+class _PointData:
+    """Everything per-(family, P): phase schedules, the closed-form
+    per-iteration chain maxima, and the memoized evaluation (the model
+    is deterministic, so one flat-loop pass per point ever)."""
+
+    __slots__ = ("S", "phases", "chain_maxes", "elapsed")
+
+    def __init__(self, S, phases, chain_maxes):
+        self.S = S
+        self.phases = phases
+        self.chain_maxes = chain_maxes
+        self.elapsed = None
+
+
+class _FamilyBuilder:
+    """Symbolic :class:`~repro.engine.analytic.StreamReplay`.
+
+    The lowerers drive the same ``h2d``/``d2h``/``invoke``/``sync_all``
+    surface as the scalar predictors, but with a *chain id* (the tile /
+    task index whose ``% num_streams`` picks the stream) and a kernel
+    *cost class* (an :func:`invoke_cost` row materialized later, per
+    P).  Dependencies must stay within one phase — every shipped
+    schedule's do (FIFO carry-over across a global sync is a provable
+    no-op: the sync floor dominates any earlier completion).
+    """
+
+    def __init__(self, spec):
+        self.spec = spec
+        self._bw = spec.link.bandwidth
+        self.classes: list = []
+        self.phases: list[_Phase] = []
+        self.steps: list[tuple[int, int]] = []
+        self.chains: list[tuple[np.ndarray, np.ndarray]] = []
+        self.iterations = 1
+        self._serial = 0
+        self._reset()
+
+    def _reset(self):
+        self._kind: list[int] = []
+        self._chain: list[int] = []
+        self._klass: list[int] = []
+        self._laneq: list[float] = []
+        self._deps: list[tuple[int, ...]] = []
+
+    def kernel_class(self, work) -> int:
+        self.classes.append(work)
+        return len(self.classes) - 1
+
+    def _issue(self, chain, kind, klass, q, deps):
+        for serial, _ in deps:
+            if serial != self._serial:
+                raise _GridUnsupported("cross-phase dependency")
+        idx = len(self._kind)
+        self._kind.append(kind)
+        self._chain.append(chain)
+        self._klass.append(klass)
+        self._laneq.append(q)
+        self._deps.append(tuple(d for _, d in deps))
+        return (self._serial, idx)
+
+    def h2d(self, chain, nbytes, deps=()):
+        if nbytes <= 0:
+            # Residency marker (count=0): no link occupancy.
+            return self._issue(chain, _MARKER, -1, 0.0, deps)
+        return self._issue(
+            chain, _TRANSFER, -1, float(nbytes) / self._bw, deps
+        )
+
+    d2h = h2d
+
+    def invoke(self, chain, klass, deps=()):
+        return self._issue(chain, _KERNEL, klass, 0.0, deps)
+
+    def sync_all(self):
+        if self._kind:
+            n = len(self._kind)
+            outs: list[list[int]] = [[] for _ in range(n)]
+            ndeps = np.zeros(n, dtype=np.int64)
+            for k, deps in enumerate(self._deps):
+                ndeps[k] = len(deps)
+                for p in deps:
+                    outs[p].append(k)
+            phase = _Phase(
+                kind=self._kind,
+                chain=np.asarray(self._chain, dtype=np.int64),
+                klass=np.asarray(self._klass, dtype=np.int64),
+                lane_q=self._laneq,
+                outs=[tuple(o) for o in outs],
+                ndeps=ndeps,
+            )
+            self.steps.append((_ST_SETTLE, len(self.phases)))
+            self.phases.append(phase)
+            self._serial += 1
+            self._reset()
+        self.steps.append((_ST_SYNC, 0))
+
+    def closed_form(self, iterations, chains):
+        """Remaining iterations advance time in closed form: per chain,
+        ``max over streams of sum(dispatch + cost)`` plus the global
+        sync — the arithmetic of ``profiles._chain_lengths``."""
+        self.iterations = iterations
+        self.chains = [
+            (
+                np.asarray(klasses, dtype=np.int64),
+                np.arange(len(klasses), dtype=np.int64),
+            )
+            for klasses in chains
+        ]
+        self.steps.append((_ST_CLOSED, 0))
+
+
+def _eval_phase(phase, pt, tails, floor, lane_free, dispatch, lat):
+    """Settle one compiled phase at one grid point; returns the updated
+    lane-free time (``tails`` is mutated in place).
+
+    Exact flat-loop equivalent of ``StreamReplay._settle`` for the
+    single-device, zero-first-invoke families the grid path lowers.
+    Kernels and markers complete eagerly — their finish time is known
+    the moment their last predecessor settles, and completion effects
+    (tail maxima, dependency releases) are commutative, so processing
+    order is free.  Only the transfer lane needs chronology: requests
+    wait in ``arrivals`` keyed ``(request time, activation time, issue
+    index)`` (the DES's event order for an idle lane) and move to
+    ``waiting`` keyed ``(request time, issue index)`` once the
+    in-flight transfer outlasts them (the DES's busy-lane FIFO queue).
+    Granting the earliest known request is chronologically safe: any
+    request discovered later is released by a completion at or after
+    the current lane horizon, so its request time cannot precede it.
+    """
+    kinds = phase.kind
+    outs = phase.outs
+    laneq = phase.lane_q
+    stream_of = pt.stream_of
+    nxt = pt.next_k
+    cost = pt.cost
+    remaining = pt.remaining0[:]
+    pdone = pt.pdone0[:]
+    todo = pt.init_todo[:]
+    arrivals: list = []
+    waiting: list = []
+    inflight = -1
+    push = heappush
+    pop = heappop
+    while True:
+        while todo:
+            k = todo.pop()
+            a = pdone[k]
+            ready = (a if a > floor else floor) + dispatch
+            kd = kinds[k]
+            if kd == 1:  # transfer: request the lane
+                push(arrivals, (ready, a, k))
+                continue
+            t = ready + cost[k] if kd == 2 else ready
+            s = stream_of[k]
+            if t > tails[s]:
+                tails[s] = t
+            d = nxt[k]
+            if d >= 0:
+                if t > pdone[d]:
+                    pdone[d] = t
+                r = remaining[d] - 1
+                remaining[d] = r
+                if not r:
+                    todo.append(d)
+            for d in outs[k]:
+                if t > pdone[d]:
+                    pdone[d] = t
+                r = remaining[d] - 1
+                remaining[d] = r
+                if not r:
+                    todo.append(d)
+        if inflight >= 0:
+            t = lane_free
+            while arrivals and arrivals[0][0] <= t:
+                item = pop(arrivals)
+                push(waiting, (item[0], item[2]))
+            k = inflight
+            if waiting:
+                k2 = pop(waiting)[1]
+                lane_free = (t + lat) + laneq[k2]
+                inflight = k2
+            else:
+                inflight = -1
+            # Complete the released transfer at t.
+            s = stream_of[k]
+            if t > tails[s]:
+                tails[s] = t
+            d = nxt[k]
+            if d >= 0:
+                if t > pdone[d]:
+                    pdone[d] = t
+                r = remaining[d] - 1
+                remaining[d] = r
+                if not r:
+                    todo.append(d)
+            for d in outs[k]:
+                if t > pdone[d]:
+                    pdone[d] = t
+                r = remaining[d] - 1
+                remaining[d] = r
+                if not r:
+                    todo.append(d)
+        elif arrivals:
+            ready, _, k2 = pop(arrivals)
+            if ready < lane_free:
+                ready = lane_free
+            lane_free = (ready + lat) + laneq[k2]
+            inflight = k2
+        else:
+            return lane_free
+
+
+#: Bound on cached per-P point schedules per family.
+_POINT_CAP = 128
+
+
+class _CompiledFamily:
+    """One lowered family plus its per-P point-schedule cache."""
+
+    def __init__(self, app, spec):
+        self.app = app
+        self.spec = spec
+        over = spec.overheads
+        self.dispatch = over.dispatch
+        self.spp = over.sync_per_stream
+        self.lat = spec.link.latency
+        self.phases: list[_Phase] = []
+        self.steps: list[tuple[int, int]] = []
+        self.classes: list = []
+        self.chains: list = []
+        self.iterations = 1
+        # AppRun fields shared by every point of the family.
+        self.app_name = app.name
+        self.app_tiles = app.tiles
+        self.app_flops = app.total_flops()
+        self._points: OrderedDict[int, _PointData] = OrderedDict()
+
+    # -- per-P specialization ----------------------------------------------
+
+    def _point(self, places: int) -> _PointData:
+        pt = self._points.get(places)
+        if pt is not None:
+            self._points.move_to_end(places)
+            return pt
+        pt = self._build_point(places)
+        self._points[places] = pt
+        while len(self._points) > _POINT_CAP:
+            self._points.popitem(last=False)
+        return pt
+
+    def _build_point(self, places: int) -> _PointData:
+        geom = stream_geometry(places, 1, self.spec)
+        S = geom.num_streams
+        rows = [invoke_cost(w, geom, self.spec) for w in self.classes]
+        ctable = (
+            np.vstack(rows) if rows else np.zeros((0, S), dtype=np.float64)
+        )
+        padded = np.vstack([np.zeros((1, S), dtype=np.float64), ctable])
+        phases = []
+        for ph in self.phases:
+            stream = ph.chain % S
+            order = np.argsort(stream, kind="stable")
+            sorted_streams = stream[order]
+            same = sorted_streams[:-1] == sorted_streams[1:]
+            nxt = np.full(ph.n, -1, dtype=np.int64)
+            nxt[order[:-1][same]] = order[1:][same]
+            has_pred = np.zeros(ph.n, dtype=np.int64)
+            has_pred[order[1:][same]] = 1
+            remaining = ph.ndeps + has_pred
+            init = np.flatnonzero(remaining == 0)
+            cost = padded[ph.klass + 1, stream]
+            phases.append(
+                _PointPhase(
+                    stream.tolist(),
+                    nxt.tolist(),
+                    cost.tolist(),
+                    remaining.tolist(),
+                    init.tolist(),
+                    ph.n,
+                )
+            )
+        chain_maxes = []
+        for klass, chain in self.chains:
+            s_of_t = chain % S
+            cost_t = ctable[klass, s_of_t]
+            chain_maxes.append(
+                float(
+                    np.bincount(
+                        s_of_t,
+                        weights=cost_t + self.dispatch,
+                        minlength=S,
+                    ).max()
+                )
+            )
+        return _PointData(S, phases, chain_maxes)
+
+    # -- evaluation ---------------------------------------------------------
+
+    def evaluate(self, places: int) -> float:
+        """Predicted elapsed seconds at one partition count — exactly
+        the scalar predictor's arithmetic."""
+        pt = self._point(places)
+        if pt.elapsed is not None:
+            return pt.elapsed
+        S = pt.S
+        tails = [0.0] * S
+        floor = 0.0
+        lane_free = 0.0
+        t = 0.0
+        dispatch = self.dispatch
+        lat = self.lat
+        spp = self.spp
+        for op, arg in self.steps:
+            if op == _ST_SETTLE:
+                lane_free = _eval_phase(
+                    self.phases[arg], pt.phases[arg],
+                    tails, floor, lane_free, dispatch, lat,
+                )
+            elif op == _ST_SYNC:
+                t = max(tails)
+                t += S * spp
+                tails = [t] * S
+                floor = t
+            elif self.iterations > 1:
+                per_iter = 0.0
+                for cm in pt.chain_maxes:
+                    per_iter += cm
+                    per_iter += S * spp
+                t += (self.iterations - 1) * per_iter
+                for s in range(S):
+                    if t > tails[s]:
+                        tails[s] = t
+                if t > floor:
+                    floor = t
+        pt.elapsed = t
+        return t
+
+    def wrap(self, places: int, elapsed: float) -> AppRun:
+        """The :func:`predict_run` result envelope for one point."""
+        flops = self.app_flops
+        return AppRun(
+            app=self.app_name,
+            elapsed=elapsed,
+            places=places,
+            tiles=self.app_tiles,
+            gflops=(flops / elapsed / 1e9) if flops > 0 else None,
+            engine="model",
+        )
+
+
+# -- per-app lowerers ---------------------------------------------------------
+#
+# Each mirrors its scalar predictor in repro.engine.profiles line for
+# line — same dedup bookkeeping, same dependency edges, same emission
+# order — with streams deferred (chain ids) and costs deferred (cost
+# classes).  The property suite in tests/engine/test_grid_properties.py
+# holds the two implementations bit-identical.
+
+
+def _lower_matmul(app: MatMulApp, bld: _FamilyBuilder) -> None:
+    d, g = app.d, app.grid
+    block = d // g
+    itemsize = app.dtype.itemsize
+    kl = bld.kernel_class(gemm_work(block, block, d, itemsize, app.spec))
+    row_bytes = block * d * itemsize
+    a_blocks: dict[int, tuple] = {}
+    b_blocks: dict[int, tuple] = {}
+    for t in range(g * g):
+        i, j = divmod(t, g)
+        deps = []
+        if i not in a_blocks:
+            a_blocks[i] = bld.h2d(t, row_bytes)
+        deps.append(a_blocks[i])
+        if j not in b_blocks:
+            b_blocks[j] = bld.h2d(t, row_bytes)
+        deps.append(b_blocks[j])
+        bld.invoke(t, kl, deps=deps)
+        bld.d2h(t, block * block * itemsize)
+    bld.sync_all()
+
+
+def _lower_nn(app: NNApp, bld: _FamilyBuilder) -> None:
+    bounds = np.linspace(0, app.n_records, app.tiles + 1).astype(int)
+    classes: dict[int, int] = {}
+    for t, (lo, hi) in enumerate(zip(bounds, bounds[1:])):
+        count = int(hi - lo)
+        if count == 0:
+            continue
+        if count not in classes:
+            classes[count] = bld.kernel_class(nn_work(count, 4, app.spec))
+    for t, (lo, hi) in enumerate(zip(bounds, bounds[1:])):
+        count = int(hi - lo)
+        if count == 0:
+            continue
+        bld.h2d(t, count * 2 * 4)
+        bld.h2d(t, 0)  # output residency marker
+        bld.invoke(t, classes[count])
+        bld.d2h(t, count * 4)
+    bld.sync_all()
+
+
+def _tile_classes(
+    bld: _FamilyBuilder,
+    tiles: list[tuple[int, int]],
+    work_of: Callable,
+) -> list[int]:
+    """Cost class per tile, deduplicated by tile size — the grid twin
+    of ``profiles._per_iteration_costs``."""
+    classes: dict[int, int] = {}
+    out = []
+    for lo, hi in tiles:
+        count = hi - lo
+        if count not in classes:
+            classes[count] = bld.kernel_class(work_of(count))
+        out.append(classes[count])
+    return out
+
+
+def _lower_kmeans(app: KmeansApp, bld: _FamilyBuilder) -> None:
+    f = app.n_features
+    tiles = app._tile_bounds()
+    for t, (lo, hi) in enumerate(tiles):
+        bld.h2d(t, (hi - lo) * f * 4)
+    kls = _tile_classes(
+        bld, tiles,
+        lambda n: kmeans_assign_work(n, app.n_clusters, f, 4, app.spec),
+    )
+    for t in range(len(tiles)):
+        bld.invoke(t, kls[t])
+    bld.sync_all()
+    bld.closed_form(app.iterations, [kls])
+    bld.sync_all()  # harness's final global sync
+
+
+def _lower_hotspot(app: HotspotApp, bld: _FamilyBuilder) -> None:
+    if app.halo_sync != "global":
+        raise ModelUnsupportedError(
+            "analytic engine models Hotspot's global halo barrier only "
+            f"(halo_sync={app.halo_sync!r})"
+        )
+    d = app.d
+    bands = app._row_bands()
+    for t, (lo, hi) in enumerate(bands):
+        bld.h2d(t, (hi - lo) * d * 4)  # temp band
+        bld.h2d(t, (hi - lo) * d * 4)  # power band
+        bld.h2d(t, 0)  # scratch residency marker
+    bld.sync_all()
+    kls = _tile_classes(
+        bld, bands, lambda n: hotspot_work(n, d, 4, app.spec)
+    )
+    for t in range(len(bands)):
+        bld.invoke(t, kls[t])
+    bld.sync_all()
+    bld.closed_form(app.iterations, [kls])
+    for t, (lo, hi) in enumerate(bands):
+        bld.d2h(t, (hi - lo) * d * 4)
+    bld.sync_all()
+
+
+def _lower_srad(app: SradApp, bld: _FamilyBuilder) -> None:
+    d = app.d
+    bands = app._row_bands()
+    for t, (lo, hi) in enumerate(bands):
+        bld.h2d(t, (hi - lo) * d * 4)  # image band
+        bld.h2d(t, 0)  # scratch residency marker
+    bld.sync_all()
+    stats_kls = _tile_classes(
+        bld, bands, lambda n: srad_statistics_work(n, d, 4, app.spec)
+    )
+    update_kls = _tile_classes(
+        bld, bands, lambda n: srad_update_work(n, d, 4, app.spec)
+    )
+    for t in range(len(bands)):
+        bld.invoke(t, stats_kls[t])
+    bld.sync_all()
+    for t in range(len(bands)):
+        bld.invoke(t, update_kls[t])
+    bld.sync_all()
+    bld.closed_form(app.iterations, [stats_kls, update_kls])
+    for t, (lo, hi) in enumerate(bands):
+        bld.d2h(t, (hi - lo) * d * 4)
+    bld.sync_all()
+
+
+def _lower_cholesky(app: CholeskyApp, bld: _FamilyBuilder) -> None:
+    if app.mapping != "owner":
+        raise ModelUnsupportedError(
+            "analytic engine models the owner stream mapping only "
+            f"(mapping={app.mapping!r})"
+        )
+    nb, b = app.nb, app.block
+    tile_bytes = b * b * 8
+    kls = {
+        kind: bld.kernel_class(work)
+        for kind, work in (
+            ("potrf", potrf_work(b, 8, app.spec)),
+            ("trsm", trsm_work(b, 8, app.spec)),
+            ("syrk", syrk_update_work(b, 8, app.spec)),
+            ("gemm", gemm_update_work(b, 8, app.spec)),
+        )
+    }
+    done: dict[str, tuple] = {}
+    last_writer: dict[tuple[int, int], str] = {}
+    resident: dict[tuple[int, int], set[int]] = {}
+
+    # Single device (enforced at compile): the resident-set evolution,
+    # and with it the whole action topology, is P-independent.
+    def h2d_count(reads=(), writes=()):
+        n = 0
+        for coord in (*reads, *writes):
+            homes = resident.setdefault(coord, set())
+            if 0 not in homes:
+                homes.add(0)
+                n += 1
+        for coord in writes:
+            resident[coord] = {0}
+        return n
+
+    def emit(name, kind, chain, after, n_h2d, with_d2h):
+        deps = [done[a] for a in after]
+        first = True
+        for _ in range(n_h2d):
+            bld.h2d(chain, tile_bytes, deps=deps if first else ())
+            first = False
+        last = bld.invoke(chain, kls[kind], deps=deps if first else ())
+        if with_d2h:
+            last = bld.d2h(chain, tile_bytes)
+        done[name] = last
+
+    for j in range(nb):
+        after = [last_writer[(j, j)]] if (j, j) in last_writer else []
+        n = h2d_count(writes=((j, j),))
+        emit(f"potrf_{j}", "potrf", j, after, n, with_d2h=True)
+        last_writer[(j, j)] = f"potrf_{j}"
+        for i in range(j + 1, nb):
+            after = [f"potrf_{j}"]
+            if (i, j) in last_writer:
+                after.append(last_writer[(i, j)])
+            n = h2d_count(reads=((j, j),), writes=((i, j),))
+            emit(f"trsm_{i}_{j}", "trsm", i, after, n, with_d2h=True)
+            last_writer[(i, j)] = f"trsm_{i}_{j}"
+        for i in range(j + 1, nb):
+            for k in range(j + 1, i + 1):
+                after = [f"trsm_{i}_{j}"]
+                if k != i:
+                    after.append(f"trsm_{k}_{j}")
+                if (i, k) in last_writer:
+                    after.append(last_writer[(i, k)])
+                kind = "syrk" if k == i else "gemm"
+                reads = ((i, j),) if k == i else ((i, j), (k, j))
+                name = (
+                    f"syrk_{i}_{j}" if k == i else f"gemm_{i}_{k}_{j}"
+                )
+                n = h2d_count(reads=reads, writes=((i, k),))
+                emit(name, kind, i, after, n, with_d2h=False)
+                last_writer[(i, k)] = name
+    bld.sync_all()
+
+
+_LOWERERS: dict[type, Callable] = {
+    MatMulApp: _lower_matmul,
+    NNApp: _lower_nn,
+    KmeansApp: _lower_kmeans,
+    HotspotApp: _lower_hotspot,
+    SradApp: _lower_srad,
+    CholeskyApp: _lower_cholesky,
+}
+
+
+# -- family compilation (module-level cache) ----------------------------------
+
+#: family key -> _CompiledFamily (array route) or None (scalar route).
+_FAMILIES: "OrderedDict[tuple, _CompiledFamily | None]" = OrderedDict()
+_FAMILY_CAP = 64
+
+
+def clear_grid_caches() -> None:
+    """Drop every compiled family (tests and recalibration hooks)."""
+    _FAMILIES.clear()
+
+
+def _family_key(spec: "RunSpec") -> tuple:
+    """Specs that share one lowering: same app construction, same run
+    geometry class.  The device spec rides inside ``app_kwargs``, so a
+    recalibrated model is a different family."""
+    return (
+        spec.app_cls,
+        spec.app_args,
+        spec.app_kwargs,
+        spec.streams_per_place,
+        spec.num_devices,
+        spec.keep_timeline,
+    )
+
+
+def _compile_family(spec0: "RunSpec") -> _CompiledFamily:
+    """Lower one family, or raise (``_GridUnsupported`` /
+    :class:`ModelUnsupportedError`) to route it to the scalar path."""
+    if spec0.streams_per_place != 1:
+        raise _GridUnsupported("streams_per_place != 1")
+    if spec0.keep_timeline:
+        raise _GridUnsupported("keep_timeline")
+    if spec0.num_devices != 1:
+        # Device-major place distribution makes the upload-dedup
+        # topology P-dependent; the scalar replay handles it exactly.
+        raise _GridUnsupported("multi-device topology is P-dependent")
+    app = spec0.build_app()
+    lower = _LOWERERS.get(type(app))
+    if lower is None:
+        raise _GridUnsupported(f"no lowerer for {type(app).__name__}")
+    if app.materialize:
+        raise _GridUnsupported("real-data runs need the simulator")
+    check_supported(app.spec)
+    if app.spec.overheads.first_invoke_extra > 0.0:
+        # First-invocation uploads depend on kernel-name arrival order,
+        # which the eager evaluator does not track.
+        raise _GridUnsupported("first_invoke_extra > 0")
+    fam = _CompiledFamily(app, app.spec)
+    bld = _FamilyBuilder(app.spec)
+    lower(app, bld)
+    fam.phases = bld.phases
+    fam.steps = bld.steps
+    fam.classes = bld.classes
+    fam.chains = bld.chains
+    fam.iterations = bld.iterations
+    return fam
+
+
+def _compiled_for(spec0: "RunSpec"):
+    """Cached compile: a ``None`` entry memoizes the scalar routing
+    decision.  Returns ``(compiled | None, cache_hit)``."""
+    try:
+        key = _family_key(spec0)
+        cached = key in _FAMILIES
+    except TypeError:  # unhashable ctor argument: never vectorize
+        return None, False
+    if cached:
+        _FAMILIES.move_to_end(key)
+        return _FAMILIES[key], True
+    try:
+        compiled = _compile_family(spec0)
+    except (_GridUnsupported, ModelUnsupportedError):
+        compiled = None
+    _FAMILIES[key] = compiled
+    while len(_FAMILIES) > _FAMILY_CAP:
+        _FAMILIES.popitem(last=False)
+    return compiled, False
+
+
+# -- public surface -----------------------------------------------------------
+
+
+class GridFamily:
+    """One homogeneous slice of a batch: the spec indices it covers and
+    the route (``"array"`` for the vectorized path, ``"scalar"`` for
+    per-point :func:`predict_run` leftovers)."""
+
+    __slots__ = ("indices", "route", "compiled")
+
+    def __init__(self, indices, route, compiled=None):
+        self.indices = indices
+        self.route = route
+        self.compiled = compiled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GridFamily(route={self.route!r}, n={len(self.indices)})"
+
+
+class GridPlan:
+    """A heterogeneous batch grouped into vectorizable families and
+    scalar leftovers (see the module docstring).
+
+    Build once per batch with :meth:`build`; evaluate with
+    :meth:`predict_runs` (AppRun envelopes, exactly
+    :func:`predict_run`'s) or :meth:`evaluate` (an elapsed-seconds
+    array).  ``strict=False`` returns ``None`` for points the model
+    refuses instead of raising — the hybrid engine uses it to fall
+    families back to the simulator.
+    """
+
+    def __init__(self, specs: list, families: list[GridFamily]):
+        self.specs = specs
+        self.families = families
+
+    @classmethod
+    def build(cls, specs) -> "GridPlan":
+        specs = list(specs)
+        families: list[GridFamily] = []
+        by_key: dict[tuple, GridFamily] = {}
+        for i, spec in enumerate(specs):
+            try:
+                key = _family_key(spec)
+                fam = by_key.get(key)
+            except TypeError:
+                key, fam = None, None
+            if fam is None:
+                compiled, _ = _compiled_for(spec)
+                fam = GridFamily(
+                    [], "array" if compiled is not None else "scalar",
+                    compiled,
+                )
+                families.append(fam)
+                if key is not None:
+                    by_key[key] = fam
+            fam.indices.append(i)
+        return cls(specs, families)
+
+    @property
+    def vectorized_points(self) -> int:
+        """Points answered by the array path."""
+        return sum(
+            len(f.indices) for f in self.families if f.route == "array"
+        )
+
+    def predict_runs(self, strict: bool = True) -> list:
+        """One :class:`AppRun` per spec (submission order).
+
+        ``strict=True`` raises :class:`ModelUnsupportedError` exactly
+        where a scalar ``[predict_run(s) for s in specs]`` loop would;
+        ``strict=False`` leaves ``None`` at unsupported points.
+        """
+        from repro.engine.profiles import predict_run
+
+        results: list = [None] * len(self.specs)
+        n_array = n_scalar = fam_array = fam_scalar = 0
+        eval_seconds = 0.0
+        for fam in self.families:
+            if fam.route == "array":
+                compiled = fam.compiled
+                t0 = perf_counter()
+                for i in fam.indices:
+                    spec = self.specs[i]
+                    results[i] = compiled.wrap(
+                        spec.places, compiled.evaluate(spec.places)
+                    )
+                eval_seconds += perf_counter() - t0
+                n_array += len(fam.indices)
+                fam_array += 1
+            else:
+                for i in fam.indices:
+                    if strict:
+                        results[i] = predict_run(self.specs[i])
+                    else:
+                        try:
+                            results[i] = predict_run(self.specs[i])
+                        except ModelUnsupportedError:
+                            results[i] = None
+                    if results[i] is not None:
+                        n_scalar += 1
+                fam_scalar += 1
+        if self.specs:
+            registry = get_registry()
+            if fam_array:
+                registry.counter(
+                    "engine.grid.families", route="array"
+                ).inc(fam_array)
+            if fam_scalar:
+                registry.counter(
+                    "engine.grid.families", route="scalar"
+                ).inc(fam_scalar)
+            if n_array:
+                registry.counter(
+                    "engine.grid.points", route="array"
+                ).inc(n_array)
+            if n_scalar:
+                registry.counter(
+                    "engine.grid.points", route="scalar"
+                ).inc(n_scalar)
+            registry.histogram("engine.grid.eval_seconds").observe(
+                eval_seconds
+            )
+        return results
+
+    def evaluate(self) -> np.ndarray:
+        """Predicted elapsed seconds for every spec, as one array."""
+        return np.array(
+            [run.elapsed for run in self.predict_runs()],
+            dtype=np.float64,
+        )
+
+
+def predict_grid(specs) -> np.ndarray:
+    """Evaluate a whole batch of specs analytically: elapsed seconds in
+    submission order, element-wise identical to scalar
+    :func:`~repro.engine.profiles.predict_run` (raising
+    :class:`ModelUnsupportedError` exactly where it would)."""
+    return GridPlan.build(specs).evaluate()
+
+
+def predict_runs(specs) -> list:
+    """Batch :func:`~repro.engine.profiles.predict_run`: one
+    ``engine="model"`` :class:`AppRun` per spec, via the grid path."""
+    return GridPlan.build(specs).predict_runs()

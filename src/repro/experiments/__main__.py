@@ -74,6 +74,21 @@ example:
 """
 
 
+def _resolve_engine_arg(args):
+    """The ``engine=`` value the executor and figures receive.
+
+    ``--no-grid`` turns the name into an engine instance with grid
+    routing off; results are bit-identical either way, the flag only
+    trades the batched array evaluation for per-point ``predict_run``.
+    """
+    if args.no_grid and args.engine in ("model", "hybrid"):
+        from repro.engine import HybridEngine, ModelEngine
+
+        cls = ModelEngine if args.engine == "model" else HybridEngine
+        return cls(vectorize=False)
+    return args.engine
+
+
 def _build_executor(args):
     """One shared executor when any resilience flag is in play.
 
@@ -113,7 +128,7 @@ def _build_executor(args):
             FaultPlan.parse(args.fault_plan) if args.fault_plan else None
         ),
         on_error=args.on_error,
-        engine=args.engine,
+        engine=_resolve_engine_arg(args),
     )
 
 
@@ -188,6 +203,13 @@ def main(argv: list[str] | None = None) -> int:
         "fallback (hybrid); see docs/PERF.md",
     )
     parser.add_argument(
+        "--no-grid",
+        action="store_true",
+        help="disable the vectorized grid-prediction path for the "
+        "model/hybrid engines (evaluate every sweep point with the "
+        "scalar predictor instead; see docs/PERF.md)",
+    )
+    parser.add_argument(
         "--app",
         action="append",
         default=None,
@@ -233,7 +255,7 @@ def main(argv: list[str] | None = None) -> int:
                 elif "jobs" in params:
                     kwargs["jobs"] = args.jobs
                 if args.engine != "sim" and "engine" in params:
-                    kwargs["engine"] = args.engine
+                    kwargs["engine"] = _resolve_engine_arg(args)
                 if args.apps and "apps" in params:
                     kwargs["apps"] = args.apps
                 start = time.perf_counter()

@@ -8,6 +8,9 @@ we sweep T at P=4).
 Like the partition sweep, each panel fans its independent runs over the
 :mod:`repro.parallel` executor and shares the process-wide simulation
 cache (the (app, D, P, T) points here overlap fig8's candidate search).
+A tile sweep varies T, so each T value is its own spec family: under a
+model/hybrid engine the batch becomes one single-point grid family per
+tile count, still answered in-process by :mod:`repro.engine.grid`.
 """
 
 from __future__ import annotations

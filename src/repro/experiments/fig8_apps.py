@@ -9,6 +9,9 @@ Each panel batches every run it needs — baselines plus all streamed
 candidates across all datasets — into one executor sweep, so the runs
 parallelize together and repeated configurations (many candidates recur
 in fig9/fig10 and the heuristics grid) come from the shared cache.
+Under a model/hybrid engine the heterogeneous batch is partitioned into
+spec families by :class:`repro.engine.grid.GridPlan` and evaluated as
+arrays; only simulation-routed points reach the worker pool.
 """
 
 from __future__ import annotations

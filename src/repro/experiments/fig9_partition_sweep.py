@@ -10,6 +10,9 @@ Every panel is a sweep of independent runs, so all of them go through
 the :mod:`repro.parallel` executor: one :class:`RunSpec` per partition
 count (fast and full mode share the same code path), fanned over
 ``jobs`` worker processes and memoized in the shared simulation cache.
+With ``engine="model"``/``"hybrid"`` each panel's partition sweep is a
+single spec family, so the whole batch is answered by one vectorized
+grid evaluation (:mod:`repro.engine.grid`) before any pool dispatch.
 """
 
 from __future__ import annotations

@@ -136,6 +136,43 @@ class SimulationCache:
         self.stats.misses += 1
         return None
 
+    def get_many(self, specs: "list[RunSpec]") -> "list[AppRun | None]":
+        """Batch :meth:`get`: one lookup per *unique* cache key.
+
+        Duplicate specs inside one batch cost a single hit or miss (the
+        executor's in-batch dedup simulates the representative once and
+        serves the rest), and all keys sharing a calibration fingerprint
+        share one disk-shard load.  Each served slot gets its own
+        freshly-decoded :class:`AppRun`.
+        """
+        results: "list[AppRun | None]" = [None] * len(specs)
+        seen: dict[str, "dict | None"] = {}
+        for i, spec in enumerate(specs):
+            if spec.keep_timeline:
+                continue
+            key = spec.cache_key()
+            if key in seen:
+                record = seen[key]
+            else:
+                record = self._memory.get(key)
+                if record is not None:
+                    self._memory.move_to_end(key)
+                    self.stats.hits += 1
+                elif self.disk_dir is not None:
+                    record = self._disk_load(key).get(key)
+                    if record is not None:
+                        self.stats.hits += 1
+                        self.stats.disk_hits += 1
+                        self._remember(key, record)
+                    else:
+                        self.stats.misses += 1
+                else:
+                    self.stats.misses += 1
+                seen[key] = record
+            if record is not None:
+                results[i] = decode_run(record)
+        return results
+
     def put(self, spec: RunSpec, run: AppRun) -> None:
         """Memoize ``run`` as the outcome of ``spec``."""
         if spec.keep_timeline:
@@ -145,9 +182,26 @@ class SimulationCache:
         self._remember(key, record)
         self.stats.puts += 1
         if self.disk_dir is not None:
-            shard = self._disk_load(key)
-            shard[key] = record
-            self._disk_store(key, shard)
+            self._disk_load(key)[key] = record
+            self._store_shard(self._fingerprint_of(key))
+
+    def put_many(self, items: "list[tuple[RunSpec, AppRun]]") -> None:
+        """Batch :meth:`put`: one disk-shard write per calibration
+        fingerprint instead of one whole-file rewrite per run — the
+        executor buffers a sweep's completions and flushes them here."""
+        dirty: set[str] = set()
+        for spec, run in items:
+            if spec.keep_timeline:
+                continue
+            key = spec.cache_key()
+            record = encode_run(run)
+            self._remember(key, record)
+            self.stats.puts += 1
+            if self.disk_dir is not None:
+                self._disk_load(key)[key] = record
+                dirty.add(self._fingerprint_of(key))
+        for fingerprint in dirty:
+            self._store_shard(fingerprint)
 
     def clear(self) -> None:
         """Drop the in-memory layer (disk files are left alone)."""
@@ -183,8 +237,8 @@ class SimulationCache:
             self._disk[fingerprint] = shard
         return shard
 
-    def _disk_store(self, key: str, shard: dict[str, dict]) -> None:
-        fingerprint = self._fingerprint_of(key)
+    def _store_shard(self, fingerprint: str) -> None:
+        shard = self._disk.get(fingerprint, {})
         path = self._disk_path(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
         # Atomic replace so a crashed run never leaves a torn JSON file.

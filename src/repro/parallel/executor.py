@@ -15,7 +15,10 @@ embarrassingly-parallel shape.  :class:`SweepExecutor` runs them over a
   and misses are written back, so overlapping sweeps (fig8's config
   search, fig9, the heuristics grid) pay for each configuration once;
 * **progress** — an optional ``progress(done, total, spec)`` callback
-  fires as each run completes (in completion order);
+  fires exactly once per spec as it completes (in completion order),
+  with ``total`` always the full batch size — chunked dispatch and
+  engine routing (model-answered points, calibration subsets) report
+  against the same scale as the plain path;
 * **fault tolerance** — a failing spec never silently discards the rest
   of the batch.  Without a :class:`~repro.parallel.RetryPolicy` the
   failure raises :class:`~repro.parallel.SweepError` *carrying every
@@ -177,6 +180,17 @@ class SweepExecutor:
         #: metrics-snapshot pickling on large grids.
         self.chunksize = chunksize
         self.stats = ExecutorStats()
+        #: Active progress scope: the batch-level total every completion
+        #: reports against.  ``map`` opens it over the *whole* batch, so
+        #: engine-routed subsets (model-answered points, calibration
+        #: sims, DES fallbacks) all count toward one ``total`` instead
+        #: of each subset restarting at ``done=1``.
+        self._progress_total: "int | None" = None
+        self._progress_done = 0
+        #: When set, completed runs buffer here instead of writing the
+        #: cache point-by-point; ``_map_sim`` flushes via ``put_many``
+        #: (one disk write per fingerprint, not one per run).
+        self._put_buffer: "list | None" = None
 
     # -- public API --------------------------------------------------------
 
@@ -193,86 +207,153 @@ class SweepExecutor:
         has been flushed — nothing finished is lost.
         """
         specs = list(specs)
-        if self._engine_impl is not None:
-            return self._engine_impl.map(self, specs)
-        return self._map_sim(specs)
+        prev_total, prev_done = self._progress_total, self._progress_done
+        self._progress_total, self._progress_done = len(specs), 0
+        try:
+            if self._engine_impl is not None:
+                return self._engine_impl.map(self, specs)
+            return self._map_sim(specs)
+        finally:
+            self._progress_total, self._progress_done = prev_total, prev_done
 
-    def _map_sim(self, specs: "list[RunSpec]") -> "list[AppRun]":
+    def _notify_progress(self, spec: RunSpec) -> None:
+        """Fire the user's progress callback for one completed spec,
+        numbered against the active batch scope.  Every completion path
+        — cache hit, checkpoint resume, executed run, recorded failure,
+        dedup alias, engine-answered model point — funnels through here
+        exactly once per spec."""
+        if self.progress is None:
+            return
+        self._progress_done += 1
+        total = self._progress_total
+        self.progress(
+            self._progress_done,
+            total if total is not None else self._progress_done,
+            spec,
+        )
+
+    def _map_sim(
+        self, specs: "list[RunSpec]", inline: bool = False
+    ) -> "list[AppRun]":
         """The native path: every spec through the simulator (cache,
-        checkpoint, pool).  Engines call this for their DES subsets."""
+        checkpoint, pool).  Engines call this for their DES subsets;
+        ``inline=True`` marks a small latency-sensitive subset (hybrid
+        calibration) worth running in-process instead of paying pool
+        spawn for a handful of cached-next-time points."""
         total = len(specs)
         results: "list[AppRun | None]" = [None] * total
         done = 0
-
-        # Cache pass: serve hits, collect misses, and deduplicate
-        # repeated specs inside the batch (only the first occurrence is
-        # simulated; the rest resolve after it completes).
-        misses: list[int] = []
-        first_miss: dict[RunSpec, int] = {}
-        aliases: dict[int, int] = {}
-        for i, spec in enumerate(specs):
-            try:
-                representative = first_miss.get(spec)
-            except TypeError:  # unhashable ctor argument: never dedup
-                representative = None
-            if representative is not None:
-                aliases[i] = representative
-                continue
-            hit = self.cache.get(spec) if self.cache is not None else None
-            if hit is not None:
-                self.stats.cache_hits += 1
-                get_registry().counter("executor.cache_hits").inc()
-                results[i] = hit
-                done += 1
-                if self.progress is not None:
-                    self.progress(done, total, spec)
-            else:
-                misses.append(i)
-                try:
-                    first_miss[spec] = i
-                except TypeError:
-                    pass
-
-        # Checkpoint pass: a resumed sweep serves every point the
-        # interrupted run already finished, re-executing only the rest.
-        if self.checkpoint is not None and misses:
-            remaining: list[int] = []
-            for i in misses:
-                run = self.checkpoint.lookup(specs[i])
-                if run is None:
-                    remaining.append(i)
-                    continue
-                self.stats.checkpoint_hits += 1
-                get_registry().counter("executor.checkpoint_resumed").inc()
-                if self.cache is not None:
-                    self.cache.put(specs[i], run)
-                results[i] = run
-                done += 1
-                if self.progress is not None:
-                    self.progress(done, total, specs[i])
-            misses = remaining
+        owns_scope = self._progress_total is None
+        if owns_scope:
+            self._progress_total, self._progress_done = total, 0
+        prev_buffer = self._put_buffer
+        buffer: "list | None" = [] if self.cache is not None else None
+        self._put_buffer = buffer
 
         try:
-            if misses:
-                if self.jobs > 1:
-                    done = self._run_parallel(specs, misses, results, done)
+            # Cache pass (one batched lookup): serve hits, collect
+            # misses, and deduplicate repeated specs inside the batch
+            # (only the first occurrence is simulated; the rest resolve
+            # after it completes — get_many already counted duplicates
+            # as a single cache miss).
+            hits = (
+                self.cache.get_many(specs)
+                if self.cache is not None
+                else [None] * total
+            )
+            misses: list[int] = []
+            first_miss: dict[RunSpec, int] = {}
+            aliases: dict[int, int] = {}
+            for i, spec in enumerate(specs):
+                try:
+                    representative = first_miss.get(spec)
+                except TypeError:  # unhashable ctor argument: never dedup
+                    representative = None
+                if representative is not None:
+                    aliases[i] = representative
+                    continue
+                hit = hits[i]
+                if hit is not None:
+                    self.stats.cache_hits += 1
+                    get_registry().counter("executor.cache_hits").inc()
+                    results[i] = hit
+                    done += 1
+                    self._notify_progress(spec)
                 else:
-                    done = self._run_serial(specs, misses, results, done)
+                    misses.append(i)
+                    try:
+                        first_miss[spec] = i
+                    except TypeError:
+                        pass
+
+            # Checkpoint pass: a resumed sweep serves every point the
+            # interrupted run already finished, re-executing the rest.
+            if self.checkpoint is not None and misses:
+                remaining: list[int] = []
+                for i in misses:
+                    run = self.checkpoint.lookup(specs[i])
+                    if run is None:
+                        remaining.append(i)
+                        continue
+                    self.stats.checkpoint_hits += 1
+                    get_registry().counter(
+                        "executor.checkpoint_resumed"
+                    ).inc()
+                    if buffer is not None:
+                        buffer.append((specs[i], run))
+                    results[i] = run
+                    done += 1
+                    self._notify_progress(specs[i])
+                misses = remaining
+
+            try:
+                if misses:
+                    if self.jobs > 1 and not self._inline_eligible(
+                        inline, len(misses)
+                    ):
+                        done = self._run_parallel(
+                            specs, misses, results, done
+                        )
+                    else:
+                        done = self._run_serial(specs, misses, results, done)
+            finally:
+                if buffer:
+                    self.cache.put_many(buffer)
+                    buffer.clear()
+                if self.checkpoint is not None:
+                    self.checkpoint.flush()
+
+            for i, representative in aliases.items():
+                # Served from the cache when one is configured (so
+                # hit/miss accounting reflects the dedup), else shared
+                # directly.
+                run = (
+                    self.cache.get(specs[i])
+                    if self.cache is not None
+                    else None
+                )
+                results[i] = run if run is not None else results[representative]
+                done += 1
+                self._notify_progress(specs[i])
+
+            assert done == total
+            return results  # type: ignore[return-value]
         finally:
-            if self.checkpoint is not None:
-                self.checkpoint.flush()
+            self._put_buffer = prev_buffer
+            if owns_scope:
+                self._progress_total, self._progress_done = None, 0
 
-        for i, representative in aliases.items():
-            # Served from the cache when one is configured (so hit/miss
-            # accounting reflects the dedup), else shared directly.
-            run = self.cache.get(specs[i]) if self.cache is not None else None
-            results[i] = run if run is not None else results[representative]
-            done += 1
-            if self.progress is not None:
-                self.progress(done, total, specs[i])
-
-        assert done == total
-        return results  # type: ignore[return-value]
+    def _inline_eligible(self, inline: bool, n_misses: int) -> bool:
+        """Whether an ``inline``-flagged subset should skip the pool.
+        Retries and fault plans keep their per-attempt submission
+        machinery; otherwise a subset no larger than one pool round
+        is cheaper in-process than a worker spawn."""
+        return (
+            inline
+            and self.retry is None
+            and self.fault_plan is None
+            and n_misses <= max(4, self.jobs)
+        )
 
     def run_one(self, spec: RunSpec) -> "AppRun":
         """Convenience: execute a single spec through the cache."""
@@ -281,7 +362,9 @@ class SweepExecutor:
     # -- shared internals --------------------------------------------------
 
     def _complete(self, spec: RunSpec, run: "AppRun") -> None:
-        if self.cache is not None:
+        if self._put_buffer is not None:
+            self._put_buffer.append((spec, run))
+        elif self.cache is not None:
             self.cache.put(spec, run)
         if self.checkpoint is not None:
             self.checkpoint.record(spec, run)
@@ -320,8 +403,7 @@ class SweepExecutor:
         self._complete(specs[i], run)
         results[i] = run
         done += 1
-        if self.progress is not None:
-            self.progress(done, len(specs), specs[i])
+        self._notify_progress(specs[i])
         return done
 
     def _exhausted(self, specs, results, i, exc, attempts, done) -> int:
@@ -340,8 +422,7 @@ class SweepExecutor:
                 attempts=attempts,
             )
             done += 1
-            if self.progress is not None:
-                self.progress(done, len(specs), spec)
+            self._notify_progress(spec)
             return done
         raise SweepError(
             f"spec {i} failed after {attempts} attempt(s): {exc} "

@@ -147,3 +147,54 @@ class TestCalibrationInvalidation:
 class TestSharedCache:
     def test_singleton(self):
         assert shared_cache() is shared_cache()
+
+
+class TestBatchLookup:
+    def test_get_many_counts_duplicates_once(self):
+        cache = SimulationCache()
+        assert cache.get_many([SPEC, OTHER, SPEC]) == [None, None, None]
+        assert cache.stats.misses == 2  # the duplicate is one lookup
+        run = _run_of(SPEC)
+        cache.put(SPEC, run)
+        served = cache.get_many([SPEC, SPEC])
+        assert cache.stats.hits == 1
+        assert served[0].elapsed == run.elapsed
+        assert served[1].elapsed == run.elapsed
+        assert served[0] is not served[1]  # fresh object per slot
+
+    def test_get_many_matches_scalar_get(self):
+        cache = SimulationCache()
+        cache.put(SPEC, _run_of(SPEC))
+        batch = cache.get_many([SPEC, OTHER])
+        assert batch[0].elapsed == cache.get(SPEC).elapsed
+        assert batch[1] is None
+
+    def test_put_many_roundtrips_through_disk(self, tmp_path):
+        run_a, run_b = _run_of(SPEC), _run_of(OTHER)
+        cache = SimulationCache(disk_dir=tmp_path)
+        cache.put_many([(SPEC, run_a), (OTHER, run_b)])
+        assert cache.stats.puts == 2
+        # Both keys share a fingerprint: one shard file, not two writes.
+        assert len(list(tmp_path.glob("simcache-*.json"))) == 1
+        fresh = SimulationCache(disk_dir=tmp_path)
+        served = fresh.get_many([SPEC, OTHER])
+        assert served[0].elapsed == run_a.elapsed
+        assert served[1].elapsed == run_b.elapsed
+        assert fresh.stats.disk_hits == 2
+
+    def test_put_many_skips_keep_timeline(self, tmp_path):
+        spec = RunSpec.for_app(
+            MatMulApp, 600, 4, places=2, keep_timeline=True
+        )
+        cache = SimulationCache(disk_dir=tmp_path)
+        cache.put_many([(spec, _run_of(SPEC))])
+        assert cache.stats.puts == 0
+        assert list(tmp_path.glob("simcache-*.json")) == []
+
+    def test_duplicate_specs_in_one_batch_simulate_once(self):
+        cache = SimulationCache()
+        ex = SweepExecutor(jobs=1, cache=cache)
+        runs = ex.map([SPEC, SPEC, SPEC])
+        assert ex.stats.executed == 1
+        assert cache.stats.misses == 1  # batch lookup deduplicates
+        assert len({run.elapsed for run in runs}) == 1

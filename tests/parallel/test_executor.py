@@ -195,3 +195,64 @@ class TestExperimentEquivalence:
         assert [s.values for s in serial.series] == [
             s.values for s in parallel.series
         ]
+
+
+class TestProgressReporting:
+    """The callback contract: exactly one call per spec, ``done``
+    strictly 1..n, ``total`` always the full batch size — regardless of
+    chunked dispatch or engine routing."""
+
+    def _specs(self, n=8):
+        return [
+            RunSpec.for_app(MatMulApp, 600, 4, places=p)
+            for p in range(1, n + 1)
+        ]
+
+    def test_chunked_dispatch_fires_once_per_spec(self):
+        specs = self._specs(8)
+        seen = []
+        ex = SweepExecutor(
+            jobs=2,
+            chunksize=4,
+            progress=lambda done, total, spec: seen.append((done, total)),
+        )
+        ex.map(specs)
+        assert [done for done, _ in seen] == list(range(1, len(specs) + 1))
+        assert all(total == len(specs) for _, total in seen)
+
+    def test_engine_routed_batch_reports_whole_grid_total(self):
+        from repro.metrics.registry import scoped_registry
+
+        specs = [
+            RunSpec.for_app(MatMulApp, 3000, 36, places=p)
+            for p in (1, 2, 4, 8, 13, 28, 56)
+        ]
+        seen = []
+        ex = SweepExecutor(
+            jobs=1,
+            engine="hybrid",
+            progress=lambda done, total, spec: seen.append((done, total)),
+        )
+        with scoped_registry():
+            ex.map(specs)
+        # Calibration sims and model-answered points together cover the
+        # batch exactly once, numbered against the whole grid.
+        assert [done for done, _ in seen] == list(range(1, len(specs) + 1))
+        assert all(total == len(specs) for _, total in seen)
+
+    def test_model_engine_reports_every_point(self):
+        from repro.metrics.registry import scoped_registry
+
+        specs = [
+            RunSpec.for_app(MatMulApp, 3000, 36, places=p)
+            for p in (1, 4, 13)
+        ]
+        seen = []
+        ex = SweepExecutor(
+            jobs=1,
+            engine="model",
+            progress=lambda done, total, spec: seen.append((done, total)),
+        )
+        with scoped_registry():
+            ex.map(specs)
+        assert seen == [(1, 3), (2, 3), (3, 3)]
