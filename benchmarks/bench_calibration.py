@@ -1,0 +1,105 @@
+"""Calibration-phase benches (fig9-mm full grid through the hybrid engine).
+
+The hybrid engine's remaining cold-start cost is certification: a DES
+calibration spread per family.  The persistent certified-family store
+(``repro.engine.store``) moves that cost out of the process: a warm
+store answers the verdict from disk with **zero** DES calibration runs.
+
+``test_fig9_mm_calibration_cold`` times the cold sweep (fresh store,
+fresh simulation cache — every round pays the full spread).
+``test_fig9_mm_calibration_store_warm`` times the same sweep against a
+warm store (simulation cache still cold, so the store is the only
+difference) and asserts the gate documented in ``docs/PERF.md``: zero
+calibration runs, and the calibration wall-time — the engine's own
+``engine.calibration.eval_seconds`` accounting — drops by at least
+``TARGET_CALIBRATION_SPEEDUP`` versus cold.  The committed
+``BENCH_calibration.json`` baseline records both numbers;
+``scripts/bench_compare.py --suite calibration`` guards the means.
+"""
+
+import shutil
+import tempfile
+
+from repro.apps import MatMulApp
+from repro.engine import HybridEngine
+from repro.metrics.registry import scoped_registry
+from repro.parallel import RunSpec, SimulationCache, SweepExecutor
+
+FULL_GRID = list(range(1, 57))
+
+#: The >= bar for warm-store calibration wall-time vs cold.
+TARGET_CALIBRATION_SPEEDUP = 3.0
+
+
+def _specs():
+    return [
+        RunSpec.for_app(MatMulApp, 6000, 144, places=p) for p in FULL_GRID
+    ]
+
+
+def _hybrid_sweep(store):
+    """One fig9-mm hybrid sweep on a cold simulation cache; returns the
+    engine's calibration wall-time and DES calibration-run count."""
+    with scoped_registry() as registry:
+        runs = SweepExecutor(
+            cache=SimulationCache(), engine=HybridEngine(store=store)
+        ).map(_specs())
+        snapshot = registry.snapshot()
+    assert len(runs) == len(FULL_GRID)
+    assert all(run.elapsed > 0 for run in runs)
+    stats = snapshot.histogram_stats("engine.calibration.eval_seconds")
+    seconds = stats["sum"] if stats else 0.0
+    return seconds, snapshot.counter_value("engine.calibration_points")
+
+
+def test_fig9_mm_calibration_cold(benchmark):
+    """Cold certification: every round starts with an empty store and
+    an empty simulation cache, so the full calibration spread runs."""
+
+    def cold():
+        with tempfile.TemporaryDirectory() as store_dir:
+            seconds, points = _hybrid_sweep(store_dir)
+        assert points == 3
+        return seconds
+
+    benchmark.pedantic(cold, rounds=3, iterations=1, warmup_rounds=0)
+
+
+def test_fig9_mm_calibration_store_warm(benchmark):
+    """Warm store, cold simulation cache — the second-process shape.
+
+    The gate: zero DES calibration runs, and calibration wall-time
+    down >= TARGET_CALIBRATION_SPEEDUP vs the cold reference."""
+    cold_seconds = []
+    for _ in range(3):
+        with tempfile.TemporaryDirectory() as store_dir:
+            seconds, points = _hybrid_sweep(store_dir)
+        assert points == 3
+        cold_seconds.append(seconds)
+    cold = min(cold_seconds)
+
+    store_dir = tempfile.mkdtemp(prefix="bench-engine-store-")
+    try:
+        _hybrid_sweep(store_dir)  # record the verdict once
+        observed = []
+
+        def warm():
+            observed.append(_hybrid_sweep(store_dir))
+
+        benchmark.pedantic(warm, rounds=5, iterations=1, warmup_rounds=0)
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    assert all(points == 0 for _, points in observed), (
+        "warm store still issued DES calibration runs: "
+        f"{[points for _, points in observed]}"
+    )
+    warm_worst = max(seconds for seconds, _ in observed)
+    speedup = cold / max(warm_worst, 1e-9)
+    benchmark.extra_info["cold_calibration_seconds"] = cold
+    benchmark.extra_info["warm_calibration_seconds"] = warm_worst
+    benchmark.extra_info["calibration_speedup"] = speedup
+    assert speedup >= TARGET_CALIBRATION_SPEEDUP, (
+        f"warm-store calibration only {speedup:.1f}x faster than cold, "
+        f"expected >= {TARGET_CALIBRATION_SPEEDUP:.0f}x"
+    )

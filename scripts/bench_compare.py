@@ -17,7 +17,11 @@ Suites (``--suite``):
 * ``grid`` — ``benchmarks/bench_grid.py`` against ``BENCH_grid.json``
   (vectorized grid path vs per-point hybrid on the fig9-mm full grid;
   the committed baseline records the grid speedup and the exact-zero
-  worst relative error vs the scalar predictor).
+  worst relative error vs the scalar predictor);
+* ``calibration`` — ``benchmarks/bench_calibration.py`` against
+  ``BENCH_calibration.json`` (cold vs store-warm hybrid certification
+  on the fig9-mm full grid; the committed baseline records the
+  calibration speedup and the zero-DES-runs warm contract).
 
 Usage::
 
@@ -47,6 +51,7 @@ SUITES = {
     "engine": ("bench_engine.py", "BENCH_engine.json"),
     "model": ("bench_model.py", "BENCH_model.json"),
     "grid": ("bench_grid.py", "BENCH_grid.json"),
+    "calibration": ("bench_calibration.py", "BENCH_calibration.json"),
 }
 
 

@@ -6,6 +6,7 @@ Usage::
     python scripts/profile_sim.py [--sort cumulative|tottime] [--top N]
     python scripts/profile_sim.py --workload fig9mm [--jobs 4]
     python scripts/profile_sim.py --workload fig9mm --engine hybrid
+    python scripts/profile_sim.py --phase calibration
 
 Workloads:
 
@@ -19,6 +20,13 @@ Workloads:
   ``--engine model|hybrid`` profiles the analytic evaluation path
   instead of the DES (see ``repro.engine``), and the timing pass then
   reports the selected engine next to the pure-sim baseline.
+
+``--phase calibration`` isolates the hybrid engine's certification
+pass on the fig9 MM sweep: it profiles the cold (store-empty)
+calibration, then re-runs against the now-warm persistent store and
+reports both phases' ``engine.calibration.eval_seconds`` totals side
+by side (warm should issue zero DES calibration runs; see
+``docs/PERF.md``).
 """
 
 from __future__ import annotations
@@ -114,6 +122,68 @@ def profile_fig9mm(args: argparse.Namespace) -> None:
     )
 
 
+def profile_calibration(args: argparse.Namespace) -> None:
+    """Isolate the hybrid engine's calibration phase.
+
+    Runs the fig9 MM sweep twice against one persistent store: the
+    cold pass (profiled) pays the DES calibration spread, the warm pass
+    answers it from disk.  Both report their calibration wall-time from
+    the ``engine.calibration.eval_seconds`` histogram, so the number is
+    the engine's own accounting — the same one the manifest records.
+    """
+    import tempfile
+
+    from repro.apps import MatMulApp
+    from repro.engine import HybridEngine
+    from repro.metrics.registry import scoped_registry
+    from repro.parallel import RunSpec, SimulationCache, SweepExecutor
+
+    specs = [
+        RunSpec.for_app(MatMulApp, 6000, 144, places=p)
+        for p in range(1, 57)
+    ]
+
+    def calibration_stats(registry):
+        snapshot = registry.snapshot()
+        stats = snapshot.histogram_stats("engine.calibration.eval_seconds")
+        seconds = stats["sum"] if stats else 0.0
+        return seconds, snapshot.counter_value("engine.calibration_points")
+
+    with tempfile.TemporaryDirectory() as store_dir:
+        profiler = cProfile.Profile()
+        with scoped_registry() as registry:
+            profiler.enable()
+            SweepExecutor(
+                jobs=1,
+                cache=SimulationCache(),
+                engine=HybridEngine(store=store_dir),
+            ).map(specs)
+            profiler.disable()
+            cold_seconds, cold_points = calibration_stats(registry)
+
+        with scoped_registry() as registry:
+            SweepExecutor(
+                jobs=1,
+                cache=SimulationCache(),
+                engine=HybridEngine(store=store_dir),
+            ).map(specs)
+            warm_seconds, warm_points = calibration_stats(registry)
+
+    print("hybrid calibration phase, full fig9 MM sweep (P=1..56):")
+    print(
+        f"  cold (empty store): {cold_seconds:8.3f} s  "
+        f"({cold_points} DES calibration runs)"
+    )
+    print(
+        f"  warm (store hit):   {warm_seconds:8.3f} s  "
+        f"({warm_points} DES calibration runs)"
+    )
+    if warm_seconds > 0:
+        print(f"  speedup:            {cold_seconds / warm_seconds:8.1f}x")
+    print()
+    pstats.Stats(profiler).sort_stats(args.sort).print_stats(args.top)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -136,11 +206,20 @@ def main() -> None:
         choices=["sim", "model", "hybrid"],
         help="evaluation engine for the fig9mm workload (default: sim)",
     )
+    parser.add_argument(
+        "--phase",
+        default="full",
+        choices=["full", "calibration"],
+        help="profile the whole workload (full, default) or only the "
+        "hybrid engine's calibration pass, cold vs store-warm",
+    )
     args = parser.parse_args()
     if args.top is None:
         args.top = 20 if args.workload == "fig9mm" else 25
 
-    if args.workload == "fig9mm":
+    if args.phase == "calibration":
+        profile_calibration(args)
+    elif args.workload == "fig9mm":
         profile_fig9mm(args)
     else:
         profile_srad(args)

@@ -152,6 +152,19 @@ def main(argv: list[str] | None = None) -> int:
         "model/hybrid engines (per-point scalar prediction instead)",
     )
     exp.add_argument(
+        "--engine-store",
+        default=None,
+        metavar="PATH",
+        help="persist hybrid-engine certification verdicts to PATH so "
+        "repeat invocations skip DES calibration runs",
+    )
+    exp.add_argument(
+        "--keep-traces",
+        action="store_true",
+        help="ship full run objects from workers instead of the slim "
+        "scalar transport",
+    )
+    exp.add_argument(
         "--app",
         default=None,
         metavar="NAME",
@@ -187,7 +200,7 @@ def main(argv: list[str] | None = None) -> int:
     rest = list(args.rest)
     for flag in (
         "jobs", "retries", "checkpoint", "fault_plan", "on_error",
-        "engine", "app", "results_dir", "run_name",
+        "engine", "app", "results_dir", "run_name", "engine_store",
     ):
         value = getattr(args, flag)
         if value is not None:
@@ -196,6 +209,8 @@ def main(argv: list[str] | None = None) -> int:
         rest = ["--profile"] + rest
     if args.no_grid:
         rest = ["--no-grid"] + rest
+    if args.keep_traces:
+        rest = ["--keep-traces"] + rest
     return experiments_main(rest)
 
 

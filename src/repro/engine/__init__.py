@@ -31,14 +31,26 @@ from repro.engine.engines import (
 )
 from repro.engine.grid import GridPlan, predict_grid, predict_runs
 from repro.engine.profiles import predict_run
+from repro.engine.store import (
+    DEFAULT_STORE_CAPACITY,
+    EngineStore,
+    FamilyVerdict,
+    family_store_key,
+    resolve_store,
+)
 
 __all__ = [
     "ENGINE_NAMES",
     "DEFAULT_TOLERANCE",
     "DEFAULT_CALIBRATION_POINTS",
+    "DEFAULT_STORE_CAPACITY",
+    "EngineStore",
+    "FamilyVerdict",
     "ModelEngine",
     "HybridEngine",
+    "family_store_key",
     "resolve_engine",
+    "resolve_store",
     "predict_run",
     "predict_grid",
     "predict_runs",

@@ -22,10 +22,12 @@ existing metric sets are unchanged.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.engine.store import FamilyVerdict, family_store_key, resolve_store
 from repro.errors import ConfigurationError, ModelUnsupportedError
 from repro.metrics.registry import get_registry
 
@@ -87,8 +89,13 @@ class ModelEngine:
 
     name = "model"
 
-    def __init__(self, vectorize: bool = True) -> None:
+    def __init__(self, vectorize: bool = True, store=None) -> None:
         self.vectorize = vectorize
+        #: Accepted for knob-uniformity with :class:`HybridEngine`
+        #: (``resolve_engine(..., store=...)``, ``--engine-store``).
+        #: The strict model engine never certifies, so it records and
+        #: consults nothing.
+        self.store = resolve_store(store)
 
     def map(self, executor: "SweepExecutor", specs: list) -> list:
         if self.vectorize:
@@ -118,6 +125,15 @@ class HybridEngine:
     ``tolerance``.  Calibration points always report their simulated
     result (never a prediction), so a certified sweep contains no
     unverified numbers at the calibration sites.
+
+    With a persistent :class:`~repro.engine.store.EngineStore`
+    (``store=`` / ``--engine-store``), certification verdicts and their
+    calibration spreads survive the process: a family whose verdict is
+    already on disk — same model fingerprint, same tolerance, same
+    spread size — is answered with **zero** DES calibration runs
+    (certified families report pure predictions; failed families route
+    straight to the simulator).  Calibration cost is recorded as the
+    ``engine.calibration.eval_seconds`` histogram either way.
     """
 
     name = "hybrid"
@@ -127,6 +143,7 @@ class HybridEngine:
         tolerance: float = DEFAULT_TOLERANCE,
         calibration_points: int = DEFAULT_CALIBRATION_POINTS,
         vectorize: bool = True,
+        store=None,
     ) -> None:
         if tolerance <= 0:
             raise ConfigurationError(
@@ -142,6 +159,22 @@ class HybridEngine:
         #: instead of per-point ``predict_run`` — same certification,
         #: same results, bit for bit.
         self.vectorize = vectorize
+        #: Persistent certified-family store (path or
+        #: :class:`~repro.engine.store.EngineStore`), or None.
+        self.store = resolve_store(store)
+
+    def _store_key(self, key: tuple) -> str:
+        """The on-disk identity of one family's verdict: the
+        ``_family_key`` tuple flattened to a string, plus everything
+        else the verdict depends on (tolerance, spread size)."""
+        app_cls, spp, devices, fingerprint = key
+        family = (
+            f"{app_cls.__module__}.{app_cls.__qualname__}"
+            f"|S={spp}|D={devices}"
+        )
+        return family_store_key(
+            fingerprint, family, self.tolerance, self.calibration_points
+        )
 
     def map(self, executor: "SweepExecutor", specs: list) -> list:
         from repro.engine.profiles import predict_run
@@ -192,10 +225,23 @@ class HybridEngine:
             )
             calibration[key] = [members[p] for p in picks]
 
+        # Store pass: a persisted verdict (same fingerprint, tolerance
+        # and spread size) answers its family with zero DES calibration
+        # runs — certified families report pure predictions, failed
+        # ones route straight to the simulator.
+        stored: dict[tuple, FamilyVerdict] = {}
+        if self.store is not None:
+            for key in list(calibration):
+                verdict = self.store.get(self._store_key(key))
+                if verdict is not None:
+                    stored[key] = verdict
+                    del calibration[key]
+
         # One batched simulation pass covers every family's calibration
         # points (cache-backed; inline when small enough that a worker
         # spawn would cost more than simulating in-process).
         calib_indices = sorted(i for ids in calibration.values() for i in ids)
+        calib_t0 = perf_counter()
         calib_runs = dict(
             zip(
                 calib_indices,
@@ -208,16 +254,42 @@ class HybridEngine:
 
         results: list = [None] * n
         for key, members in families.items():
+            if key in stored:
+                verdict = stored[key]
+                label = _family_label(specs[members[0]])
+                registry.gauge("engine.calibration_error", family=label).set(
+                    verdict.worst_error
+                )
+                if verdict.certified:
+                    registry.counter("engine.families_certified").inc()
+                    for i in members:
+                        results[i] = predictions[i]
+                else:
+                    registry.counter("engine.families_fallback").inc()
+                    sim_indices.extend(members)
+                continue
             if key not in calibration:
                 continue  # unsupported family: simulated below
             worst = 0.0
+            spread: "list[dict] | None" = []
             for i in calibration[key]:
                 sim_elapsed = getattr(calib_runs[i], "elapsed", float("nan"))
                 if not np.isfinite(sim_elapsed) or sim_elapsed <= 0:
                     worst = float("inf")
+                    spread = None
                     break
                 err = abs(predictions[i].elapsed - sim_elapsed) / sim_elapsed
                 worst = max(worst, err)
+                if spread is not None:
+                    spread.append(
+                        {
+                            "places": specs[i].places,
+                            "key": specs[i].cache_key(),
+                            "predicted": predictions[i].elapsed,
+                            "simulated": sim_elapsed,
+                            "error": err,
+                        }
+                    )
             label = _family_label(specs[members[0]])
             registry.gauge("engine.calibration_error", family=label).set(worst)
             if worst <= self.tolerance:
@@ -234,6 +306,19 @@ class HybridEngine:
                         results[i] = calib_runs[i]
                     else:
                         sim_indices.append(i)
+            if self.store is not None and spread is not None:
+                self.store.put(
+                    self._store_key(key),
+                    FamilyVerdict(
+                        certified=worst <= self.tolerance,
+                        worst_error=worst,
+                        tolerance=self.tolerance,
+                        calibration=tuple(spread),
+                    ),
+                )
+        registry.histogram("engine.calibration.eval_seconds").observe(
+            perf_counter() - calib_t0
+        )
 
         sim_indices.sort()
         if sim_indices:
@@ -264,21 +349,29 @@ class HybridEngine:
         return results
 
 
-def resolve_engine(engine):
+def resolve_engine(engine, store=None):
     """Map an ``engine=`` knob value to an engine object (or ``None``).
 
     Accepts a name from :data:`ENGINE_NAMES` or a ready-made engine
     instance (anything with a ``map(executor, specs)`` method), so
     callers can pass e.g. ``HybridEngine(tolerance=0.02)`` directly.
     ``"sim"`` resolves to ``None``: the executor's native path.
+
+    ``store`` (a path or :class:`~repro.engine.store.EngineStore`) is
+    threaded into name-built engines; an engine *instance* keeps its
+    own store unless it has none, in which case the resolved one is
+    attached.
     """
     if engine is None or engine == "sim":
         return None
+    store = resolve_store(store)
     if engine == "model":
-        return ModelEngine()
+        return ModelEngine(store=store)
     if engine == "hybrid":
-        return HybridEngine()
+        return HybridEngine(store=store)
     if hasattr(engine, "map") and hasattr(engine, "name"):
+        if store is not None and getattr(engine, "store", None) is None:
+            engine.store = store
         return engine
     raise ConfigurationError(
         f"unknown engine {engine!r}; expected one of {ENGINE_NAMES} "

@@ -80,22 +80,26 @@ def _resolve_engine_arg(args):
     ``--no-grid`` turns the name into an engine instance with grid
     routing off; results are bit-identical either way, the flag only
     trades the batched array evaluation for per-point ``predict_run``.
+    ``--engine-store`` likewise forces an instance so the persistent
+    certified-family store rides along wherever the engine goes.
     """
-    if args.no_grid and args.engine in ("model", "hybrid"):
+    store = getattr(args, "engine_store", None)
+    if args.engine in ("model", "hybrid") and (args.no_grid or store):
         from repro.engine import HybridEngine, ModelEngine
 
         cls = ModelEngine if args.engine == "model" else HybridEngine
-        return cls(vectorize=False)
+        return cls(vectorize=not args.no_grid, store=store)
     return args.engine
 
 
-def _build_executor(args):
+def _build_executor(args, engine_arg):
     """One shared executor when any resilience flag is in play.
 
     With plain ``--jobs`` the per-figure executors are kept (their
     behaviour predates the resilience layer and is unchanged); retries,
-    checkpoints and fault plans need a single executor whose stats and
-    checkpoint file span the whole invocation.
+    checkpoints, fault plans and ``--keep-traces`` need a single
+    executor whose stats, checkpoint file and transport mode span the
+    whole invocation.
     """
     if (
         args.retries is None
@@ -103,6 +107,7 @@ def _build_executor(args):
         and args.fault_plan is None
         and args.on_error == "raise"
         and args.engine == "sim"
+        and not args.keep_traces
     ):
         return None
     from repro.faults import FaultPlan
@@ -128,7 +133,9 @@ def _build_executor(args):
             FaultPlan.parse(args.fault_plan) if args.fault_plan else None
         ),
         on_error=args.on_error,
-        engine=_resolve_engine_arg(args),
+        engine=engine_arg,
+        keep_traces=args.keep_traces,
+        engine_store=args.engine_store,
     )
 
 
@@ -210,6 +217,22 @@ def main(argv: list[str] | None = None) -> int:
         "scalar predictor instead; see docs/PERF.md)",
     )
     parser.add_argument(
+        "--engine-store",
+        default=None,
+        metavar="PATH",
+        help="persist hybrid-engine certification verdicts to PATH (a "
+        "JSON file or directory); a repeat invocation answers "
+        "already-certified sweep families with zero DES calibration "
+        "runs (see docs/PERF.md)",
+    )
+    parser.add_argument(
+        "--keep-traces",
+        action="store_true",
+        help="ship full run objects (with per-run metrics snapshots) "
+        "back from worker processes instead of the slim scalar "
+        "transport; results are identical, only the IPC volume differs",
+    )
+    parser.add_argument(
         "--app",
         action="append",
         default=None,
@@ -242,7 +265,8 @@ def main(argv: list[str] | None = None) -> int:
 
     names = args.figures or list(EXPERIMENTS)
     with scoped_registry() as registry:
-        executor = _build_executor(args)
+        engine_arg = _resolve_engine_arg(args)
+        executor = _build_executor(args, engine_arg)
         failed = 0
         experiments: list[dict] = []
         with profile_capture(enabled=args.profile) as profiled:
@@ -255,7 +279,7 @@ def main(argv: list[str] | None = None) -> int:
                 elif "jobs" in params:
                     kwargs["jobs"] = args.jobs
                 if args.engine != "sim" and "engine" in params:
-                    kwargs["engine"] = _resolve_engine_arg(args)
+                    kwargs["engine"] = engine_arg
                 if args.apps and "apps" in params:
                     kwargs["apps"] = args.apps
                 start = time.perf_counter()

@@ -36,7 +36,14 @@ from repro.parallel.resilience import (
     is_failed,
     value_or_nan,
 )
-from repro.parallel.runspec import RunSpec, execute_spec
+from repro.parallel.runspec import (
+    RunResult,
+    RunSpec,
+    compress_snapshot,
+    decompress_snapshot,
+    execute_spec,
+    execute_spec_slim,
+)
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -45,14 +52,18 @@ __all__ = [
     "ExecutorStats",
     "FailedRun",
     "RetryPolicy",
+    "RunResult",
     "RunSpec",
     "SimulationCache",
     "SweepCheckpoint",
     "SweepError",
     "SweepExecutor",
+    "compress_snapshot",
     "decode_run",
+    "decompress_snapshot",
     "encode_run",
     "execute_spec",
+    "execute_spec_slim",
     "is_failed",
     "resolve_jobs",
     "run_sweep",

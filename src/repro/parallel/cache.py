@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.apps.base import AppRun
+from repro.metrics.registry import get_registry
 from repro.parallel.runspec import RunSpec
 
 #: Default location of the on-disk store, relative to the repo root.
@@ -48,6 +49,7 @@ class CacheStats:
     disk_hits: int = 0
     puts: int = 0
     evictions: int = 0
+    disk_evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -92,24 +94,40 @@ class SimulationCache:
     """LRU-bounded ``cache_key -> timings`` map with an optional disk tier.
 
     ``capacity`` bounds the in-memory layer only; the disk tier (enabled
-    by passing ``disk_dir``) is unbounded and write-through.  Disk files
-    are partitioned by calibration fingerprint — the last ``|``-segment
-    of every key — so recalibrating the model simply starts a new file.
+    by passing ``disk_dir``) is write-through.  Disk files are
+    partitioned by calibration fingerprint — the last ``|``-segment of
+    every key — so recalibrating the model simply starts a new file.
+    ``disk_capacity`` bounds the disk tier to that many shard files:
+    exceeding it deletes the oldest-fingerprint shards (mtime order,
+    never the shard just written) and counts each deletion as
+    ``stats.disk_evictions`` / the ``engine.cache.disk_evictions``
+    metric.  ``disk_capacity=None`` (the default) leaves the tier
+    unbounded, as before.
     """
 
     def __init__(
         self,
         capacity: int = 4096,
         disk_dir: "str | os.PathLike | None" = None,
+        disk_capacity: "int | None" = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if disk_capacity is not None and disk_capacity < 1:
+            raise ValueError(
+                f"disk_capacity must be >= 1, got {disk_capacity}"
+            )
         self.capacity = capacity
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.disk_capacity = disk_capacity
         self.stats = CacheStats()
         self._memory: OrderedDict[str, dict] = OrderedDict()
         #: Lazily-loaded disk files, keyed by fingerprint.
         self._disk: dict[str, dict[str, dict]] = {}
+        #: Fingerprints whose shard file is known absent — a negative
+        #: lookup is answered from here, not by re-probing the
+        #: filesystem on every miss.
+        self._disk_missing: set[str] = set()
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -207,6 +225,7 @@ class SimulationCache:
         """Drop the in-memory layer (disk files are left alone)."""
         self._memory.clear()
         self._disk.clear()
+        self._disk_missing.clear()
 
     # -- internals ---------------------------------------------------------
 
@@ -229,11 +248,17 @@ class SimulationCache:
         fingerprint = self._fingerprint_of(key)
         shard = self._disk.get(fingerprint)
         if shard is None:
-            path = self._disk_path(fingerprint)
-            try:
-                shard = json.loads(path.read_text(encoding="utf-8"))
-            except (OSError, ValueError):
+            if fingerprint in self._disk_missing:
+                # Negative lookup already established: no filesystem
+                # probe for repeated misses on the same fingerprint.
                 shard = {}
+            else:
+                path = self._disk_path(fingerprint)
+                try:
+                    shard = json.loads(path.read_text(encoding="utf-8"))
+                except (OSError, ValueError):
+                    self._disk_missing.add(fingerprint)
+                    shard = {}
             self._disk[fingerprint] = shard
         return shard
 
@@ -255,6 +280,38 @@ class SimulationCache:
             except OSError:
                 pass
             raise
+        self._disk_missing.discard(fingerprint)
+        self._evict_disk(keep=fingerprint)
+
+    def _evict_disk(self, keep: str) -> None:
+        """Bound the disk tier: beyond ``disk_capacity`` shard files,
+        delete the oldest-fingerprint shards (mtime order) — never the
+        shard just written, which ``keep`` names."""
+        if self.disk_capacity is None or self.disk_dir is None:
+            return
+        try:
+            shards = sorted(
+                self.disk_dir.glob("simcache-*.json"),
+                key=lambda p: p.stat().st_mtime,
+            )
+        except OSError:
+            return
+        excess = len(shards) - self.disk_capacity
+        for path in shards:
+            if excess <= 0:
+                break
+            fingerprint = path.stem[len("simcache-"):]
+            if fingerprint == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            excess -= 1
+            self._disk.pop(fingerprint, None)
+            self._disk_missing.add(fingerprint)
+            self.stats.disk_evictions += 1
+            get_registry().counter("engine.cache.disk_evictions").inc()
 
 
 _shared: SimulationCache | None = None

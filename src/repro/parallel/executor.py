@@ -68,7 +68,15 @@ from repro.parallel.resilience import (
     RetryPolicy,
     SweepError,
 )
-from repro.parallel.runspec import RunSpec, execute_spec, execute_spec_batch
+from repro.parallel.runspec import (
+    RunResult,
+    RunSpec,
+    decompress_snapshot,
+    execute_spec,
+    execute_spec_batch,
+    execute_spec_batch_slim,
+    execute_spec_slim,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.apps.base import AppRun
@@ -149,6 +157,8 @@ class SweepExecutor:
         on_error: str = "raise",
         engine: "str | object" = "sim",
         chunksize: int | None = None,
+        keep_traces: bool = False,
+        engine_store: "str | object | None" = None,
     ) -> None:
         from repro.engine.engines import resolve_engine
 
@@ -166,10 +176,18 @@ class SweepExecutor:
                 f"on_error must be 'raise' or 'record', got {on_error!r}"
             )
         self.on_error = on_error
+        #: ``True`` restores full-object result transport (whole
+        #: ``AppRun`` pickles) instead of the default slim
+        #: :class:`~repro.parallel.runspec.RunResult` wire records —
+        #: the CLIs' ``--keep-traces``.  Specs with ``keep_timeline``
+        #: always ship their full run either way.
+        self.keep_traces = keep_traces
         #: Evaluation engine (see :mod:`repro.engine`): ``None`` for the
         #: native simulation path, else an object whose ``map`` decides
         #: per spec between analytic prediction and simulation.
-        self._engine_impl = resolve_engine(engine)
+        #: ``engine_store`` optionally attaches a persistent
+        #: certified-family store (see :mod:`repro.engine.store`).
+        self._engine_impl = resolve_engine(engine, store=engine_store)
         self.engine = getattr(self._engine_impl, "name", "sim")
         if chunksize is not None and chunksize < 1:
             raise ConfigurationError(
@@ -533,12 +551,15 @@ class SweepExecutor:
             )
         except (OSError, PermissionError):
             return self._run_serial(specs, indices, results, done)
+        batch_fn = (
+            execute_spec_batch if self.keep_traces else execute_spec_batch_slim
+        )
         try:
             futures = {}
             for batch in batches:
                 try:
                     future = pool.submit(
-                        execute_spec_batch, [specs[i] for i in batch]
+                        batch_fn, [specs[i] for i in batch]
                     )
                 except (BrokenProcessPool, RuntimeError, OSError):
                     done = self._run_serial(specs, batch, results, done)
@@ -547,21 +568,36 @@ class SweepExecutor:
             for future in as_completed(futures):
                 batch = futures[future]
                 try:
-                    outcomes = future.result()
+                    payload = future.result()
                 except Exception:
                     # The pool broke (or the result would not pickle):
                     # the whole batch is lost, so re-run it in-process
                     # rather than guessing which spec was at fault.
                     done = self._run_serial(specs, batch, results, done)
                     continue
-                for i, (status, payload) in zip(batch, outcomes):
+                if isinstance(payload, tuple):
+                    # Slim transport: the worker merged its batch's
+                    # metrics snapshots into one compressed delta.
+                    # Merging it once here is exactly equivalent to the
+                    # per-run merges of the full path (associative and
+                    # commutative), so parent totals are unchanged.
+                    outcomes, metrics_z = payload
+                    if metrics_z is not None:
+                        get_registry().merge_snapshot(
+                            decompress_snapshot(metrics_z)
+                        )
+                else:
+                    outcomes = payload
+                for i, (status, result) in zip(batch, outcomes):
                     if status == "ok":
+                        if isinstance(result, RunResult):
+                            result = result.to_run()
                         done = self._attempt_ok(
-                            specs, results, i, payload, done
+                            specs, results, i, result, done
                         )
                     else:
                         done = self._exhausted(
-                            specs, results, i, payload, 1, done
+                            specs, results, i, result, 1, done
                         )
         finally:
             # Workers are idle once every future has resolved, so a
@@ -577,7 +613,9 @@ class SweepExecutor:
             return pool.submit(
                 execute_spec_faulty, spec, plan, attempt, directive
             )
-        return pool.submit(execute_spec, spec)
+        if self.keep_traces:
+            return pool.submit(execute_spec, spec)
+        return pool.submit(execute_spec_slim, spec)
 
     def _charged_for_crash(self, i: int, attempt: int) -> bool:
         """Whether a pool break should cost this inflight spec an
@@ -725,6 +763,8 @@ class SweepExecutor:
                             specs, results, pending, i, attempt, exc, done
                         )
                     else:
+                        if isinstance(run, RunResult):
+                            run = run.to_run()
                         done = self._attempt_ok(
                             specs, results, i, run, done,
                             elapsed=time.monotonic() - t0,
@@ -800,6 +840,8 @@ def run_sweep(
     on_error: str = "raise",
     engine: "str | object" = "sim",
     chunksize: int | None = None,
+    keep_traces: bool = False,
+    engine_store: "str | object | None" = None,
 ) -> "list[AppRun]":
     """One-shot helper: ``SweepExecutor(...).map(specs)``."""
     return SweepExecutor(
@@ -812,4 +854,6 @@ def run_sweep(
         on_error=on_error,
         engine=engine,
         chunksize=chunksize,
+        keep_traces=keep_traces,
+        engine_store=engine_store,
     ).map(specs)

@@ -11,6 +11,7 @@ identical results.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
@@ -19,6 +20,7 @@ from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.apps.base import AppRun
+    from repro.metrics.registry import MetricsSnapshot
 
 
 @dataclass(frozen=True)
@@ -149,10 +151,120 @@ class RunSpec:
         )
 
 
+@dataclass
+class RunResult:
+    """Compact wire record of one executed run (slim result transport).
+
+    A sweep only consumes a run's scalar timings, yet the pool used to
+    ship whole :class:`~repro.apps.base.AppRun` objects back — including
+    a full :class:`~repro.metrics.registry.MetricsSnapshot` per run (and
+    the entire trace for ``keep_timeline`` specs).  A ``RunResult``
+    carries the timings plus, at most, the run's metrics delta as
+    zlib-compressed snapshot JSON; chunked workers go further and merge
+    their whole batch's snapshots into **one** compressed delta (the
+    merge is associative and commutative, so parent-side totals are
+    unchanged).  Executors decode back to an ``AppRun`` on arrival, so
+    nothing downstream sees the wire format.
+
+    ``SweepExecutor(keep_traces=True)`` (the CLIs' ``--keep-traces``)
+    restores the previous full-object transport; specs with
+    ``keep_timeline=True`` always ride the full path so their trace
+    output is bit-identical either way.
+    """
+
+    app: str
+    elapsed: float
+    places: int
+    tiles: int
+    gflops: "float | None"
+    engine: str
+    #: zlib-compressed ``MetricsSnapshot`` JSON, or None when the delta
+    #: was merged into a chunk-level blob (or the run had no metrics).
+    metrics_z: "bytes | None" = None
+
+    def __reduce__(self):
+        # Positional-tuple pickling: no per-instance field-name state
+        # dict on the wire (being small is this class's whole job).
+        return (
+            RunResult,
+            (
+                self.app,
+                self.elapsed,
+                self.places,
+                self.tiles,
+                self.gflops,
+                self.engine,
+                self.metrics_z,
+            ),
+        )
+
+    @classmethod
+    def from_run(
+        cls, run: "AppRun", include_metrics: bool = True
+    ) -> "RunResult":
+        metrics_z = None
+        if include_metrics and run.metrics is not None:
+            metrics_z = compress_snapshot(run.metrics)
+        return cls(
+            app=run.app,
+            elapsed=run.elapsed,
+            places=run.places,
+            tiles=run.tiles,
+            gflops=run.gflops,
+            engine=run.engine,
+            metrics_z=metrics_z,
+        )
+
+    def to_run(self) -> "AppRun":
+        """Rehydrate the parent-side :class:`AppRun`."""
+        from repro.apps.base import AppRun
+
+        metrics = (
+            decompress_snapshot(self.metrics_z)
+            if self.metrics_z is not None
+            else None
+        )
+        return AppRun(
+            app=self.app,
+            elapsed=self.elapsed,
+            places=self.places,
+            tiles=self.tiles,
+            gflops=self.gflops,
+            metrics=metrics,
+            engine=self.engine,
+        )
+
+
+def compress_snapshot(snapshot: "MetricsSnapshot") -> bytes:
+    """A metrics snapshot as compact wire bytes (zlib'd JSON — the
+    metric names repeat heavily, so this is ~4x smaller than the
+    pickled snapshot object)."""
+    return zlib.compress(snapshot.to_json().encode("utf-8"), 6)
+
+
+def decompress_snapshot(blob: bytes) -> "MetricsSnapshot":
+    """Inverse of :func:`compress_snapshot`."""
+    from repro.metrics.registry import MetricsSnapshot
+
+    return MetricsSnapshot.from_json(
+        zlib.decompress(blob).decode("utf-8")
+    )
+
+
 def execute_spec(spec: RunSpec) -> "AppRun":
     """Module-level entry point for worker processes (must be picklable
     by reference, hence not a method)."""
     return spec.execute()
+
+
+def execute_spec_slim(spec: RunSpec) -> "RunResult | AppRun":
+    """Worker entry point for slim transport: ship a
+    :class:`RunResult` instead of the full run.  ``keep_timeline``
+    specs return the full ``AppRun`` (their trace is the product)."""
+    run = spec.execute()
+    if spec.keep_timeline:
+        return run
+    return RunResult.from_run(run)
 
 
 def execute_spec_batch(specs: "list[RunSpec]") -> list:
@@ -167,3 +279,37 @@ def execute_spec_batch(specs: "list[RunSpec]") -> list:
         except Exception as exc:  # noqa: BLE001 - reported to the parent
             outcomes.append(("err", exc))
     return outcomes
+
+
+def execute_spec_batch_slim(
+    specs: "list[RunSpec]",
+) -> "tuple[list, bytes | None]":
+    """Chunked slim transport: per-spec scalar outcomes plus **one**
+    merged, compressed metrics delta for the whole batch.
+
+    Returns ``(outcomes, metrics_z)`` where ``outcomes`` entries are
+    ``("ok", RunResult | AppRun)`` or ``("err", exc)``.  Snapshot merge
+    is associative and commutative (counters add, histogram buckets
+    add), so the parent merging the blob once is exactly equivalent to
+    merging each run's snapshot individually — at a fraction of the
+    IPC bytes.  ``keep_timeline`` specs ride along as full runs with
+    their own metrics attached (never folded into the blob, so the
+    parent merges them through its normal per-run path).
+    """
+    outcomes: list = []
+    merged = None
+    for spec in specs:
+        try:
+            run = spec.execute()
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            outcomes.append(("err", exc))
+            continue
+        if spec.keep_timeline:
+            outcomes.append(("ok", run))
+            continue
+        metrics = run.metrics
+        if metrics is not None:
+            merged = metrics if merged is None else merged.merge(metrics)
+        outcomes.append(("ok", RunResult.from_run(run, include_metrics=False)))
+    metrics_z = compress_snapshot(merged) if merged is not None else None
+    return outcomes, metrics_z

@@ -1,0 +1,81 @@
+"""The store's headline act: zero calibration runs in a *fresh process*.
+
+The in-process warm path is covered by ``test_store.py``; this suite
+runs the same hybrid sweep in two separate interpreters sharing only
+the ``--engine-store`` path, asserting the second process re-certifies
+from disk without issuing a single DES calibration run.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+CHILD = """
+import json
+import sys
+
+from repro.apps import MatMulApp
+from repro.engine import HybridEngine
+from repro.metrics.registry import scoped_registry
+from repro.parallel import RunSpec, SweepExecutor
+
+store_path = sys.argv[1]
+specs = [
+    RunSpec.for_app(MatMulApp, 3000, 36, places=p)
+    for p in (1, 2, 4, 8, 13, 28, 56)
+]
+with scoped_registry() as registry:
+    runs = SweepExecutor(
+        jobs=1, engine=HybridEngine(store=store_path)
+    ).map(specs)
+    snapshot = registry.snapshot()
+print(
+    json.dumps(
+        {
+            "calibration_points": snapshot.counter_value(
+                "engine.calibration_points"
+            ),
+            "certified": snapshot.counter_value("engine.families_certified"),
+            "backends": [run.engine for run in runs],
+            "elapsed": [run.elapsed for run in runs],
+        }
+    )
+)
+"""
+
+
+def _run_child(store_path):
+    proc = subprocess.run(
+        [sys.executable, "-c", CHILD, str(store_path)],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def test_second_process_calibrates_for_free(tmp_path):
+    cold = _run_child(tmp_path / "store")
+    warm = _run_child(tmp_path / "store")
+
+    assert cold["calibration_points"] == 3
+    assert cold["certified"] == 1
+
+    # The fresh interpreter answered every point from the model: the
+    # verdict came off disk, no DES calibration at all.
+    assert warm["calibration_points"] == 0
+    assert warm["certified"] == 1
+    assert all(engine == "model" for engine in warm["backends"])
+
+    # And the numbers it reports are the numbers the cold process
+    # certified (the calibration sites swap sim readings for model
+    # predictions, identical to within the certified error).
+    assert warm["elapsed"] == pytest.approx(cold["elapsed"], rel=1e-9)

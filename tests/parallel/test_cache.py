@@ -144,6 +144,115 @@ class TestCalibrationInvalidation:
         assert len(list(tmp_path.glob("simcache-*.json"))) == 2
 
 
+def _spec_with_grain(grain):
+    """A spec whose cache key lands in its own fingerprint shard."""
+    return RunSpec.for_app(
+        MatMulApp,
+        600,
+        4,
+        places=2,
+        spec=PHI_31SP.with_overrides(grain_half_ops=grain),
+    )
+
+
+class TestDiskBound:
+    def test_disk_capacity_validated(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError):
+            SimulationCache(disk_dir=tmp_path, disk_capacity=0)
+
+    def test_oldest_fingerprint_shard_evicted(self, tmp_path):
+        import os
+        import time
+
+        from repro.metrics.registry import scoped_registry
+
+        cache = SimulationCache(disk_dir=tmp_path, disk_capacity=2)
+        run = _run_of(SPEC)
+        specs = [_spec_with_grain(g) for g in (7000.0, 8000.0, 9000.0)]
+        with scoped_registry() as registry:
+            for i, spec in enumerate(specs[:2]):
+                cache.put(spec, run)
+                # Distinct mtimes so "oldest" is well-defined.
+                stamp = time.time() - 60 + i
+                os.utime(
+                    cache._disk_path(
+                        cache._fingerprint_of(spec.cache_key())
+                    ),
+                    (stamp, stamp),
+                )
+            cache.put(specs[2], run)  # third shard: evicts the oldest
+            snapshot = registry.snapshot()
+        assert len(list(tmp_path.glob("simcache-*.json"))) == 2
+        assert cache.stats.disk_evictions == 1
+        assert snapshot.counter_value("engine.cache.disk_evictions") == 1
+        # The first-written (oldest) shard is gone; a cold cache still
+        # serves the two survivors.
+        fresh = SimulationCache(disk_dir=tmp_path)
+        assert fresh.get(specs[0]) is None
+        assert fresh.get(specs[1]) is not None
+        assert fresh.get(specs[2]) is not None
+
+    def test_just_written_shard_never_evicted(self, tmp_path):
+        cache = SimulationCache(disk_dir=tmp_path, disk_capacity=1)
+        run = _run_of(SPEC)
+        a, b = _spec_with_grain(7000.0), _spec_with_grain(8000.0)
+        cache.put(a, run)
+        cache.put(b, run)  # over capacity: a's shard goes, b's stays
+        (path,) = tmp_path.glob("simcache-*.json")
+        assert cache._fingerprint_of(b.cache_key()) in path.name
+        assert SimulationCache(disk_dir=tmp_path).get(b) is not None
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = SimulationCache(disk_dir=tmp_path)
+        run = _run_of(SPEC)
+        for g in (7000.0, 8000.0, 9000.0):
+            cache.put(_spec_with_grain(g), run)
+        assert len(list(tmp_path.glob("simcache-*.json"))) == 3
+        assert cache.stats.disk_evictions == 0
+
+
+class TestNegativeLookup:
+    def test_missing_shard_probed_once(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        cache = SimulationCache(disk_dir=tmp_path)
+        reads = {"n": 0}
+        real_read_text = Path.read_text
+
+        def counting_read_text(self, *args, **kwargs):
+            reads["n"] += 1
+            return real_read_text(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "read_text", counting_read_text)
+        assert cache.get(SPEC) is None
+        assert reads["n"] == 1
+        # Repeated misses on the same fingerprint answer from the
+        # negative-lookup marker: zero further filesystem probes.
+        assert cache.get(SPEC) is None
+        assert cache.get(OTHER) is None
+        assert cache.get_many([SPEC, OTHER]) == [None, None]
+        assert reads["n"] == 1
+
+    def test_put_clears_negative_marker(self, tmp_path):
+        cache = SimulationCache(disk_dir=tmp_path)
+        assert cache.get(SPEC) is None  # marks the shard absent
+        cache.put(SPEC, _run_of(SPEC))
+        fingerprint = cache._fingerprint_of(SPEC.cache_key())
+        assert fingerprint not in cache._disk_missing
+        # A cold instance finds the shard on disk.
+        assert SimulationCache(disk_dir=tmp_path).get(SPEC) is not None
+
+    def test_clear_forgets_negative_markers(self, tmp_path):
+        cache = SimulationCache(disk_dir=tmp_path)
+        assert cache.get(SPEC) is None
+        # Another process writes the shard behind our back.
+        SimulationCache(disk_dir=tmp_path).put(SPEC, _run_of(SPEC))
+        cache.clear()
+        assert cache.get(SPEC) is not None  # re-probes after clear()
+
+
 class TestSharedCache:
     def test_singleton(self):
         assert shared_cache() is shared_cache()
