@@ -1,0 +1,155 @@
+"""Serving-path benches: batched coalescing vs one-request-at-a-time.
+
+The workload is the serving shape the batcher was built for: the full
+fig9-mm grid (56 point queries, D=6000, T=144) against a *warm*
+backend — certification verdict in a persistent engine store, DES
+calibration entries in the simulation cache — driven in-process on
+simulated admission time (:func:`repro.serve.loadgen.run_inprocess`),
+so the measured cost is pure admission + dispatch + evaluation, no
+sockets and no real batching-window sleeps.
+
+``test_serve_sequential_baseline`` answers the 56 queries one at a
+time (each request flushes as its own single-spec batch — what a
+server without coalescing would do).  ``test_serve_batched_wave``
+admits the same 56 queries concurrently and lets the window coalesce
+them into grid-family batches; it asserts the ``TARGET_SPEEDUP``
+throughput gate and that batched p99 stays under the configured
+deadline, and records p50/p99/req-per-s in the committed
+``BENCH_serve.json`` baseline guarded by
+``scripts/bench_compare.py --suite serve``.
+"""
+
+import time
+
+from repro.metrics.registry import scoped_registry
+from repro.parallel import RunSpec, SimulationCache
+from repro.serve import PredictionBackend, ServeConfig
+from repro.serve.loadgen import point_payloads, run_inprocess
+
+#: Batched-wave throughput must beat sequential by at least this much.
+TARGET_SPEEDUP = 5.0
+
+#: The serving deadline the batched p99 must stay under (seconds).
+DEADLINE_SECONDS = 0.25
+
+
+def _warm_backend(tmp_path) -> PredictionBackend:
+    """A server the way a warm process sees it: certified fig9-mm
+    verdict in the engine store, calibration runs in the sim cache."""
+    store = tmp_path / "engine-store.json"
+    cache = SimulationCache()
+    cold = PredictionBackend(engine="hybrid", store=str(store), cache=cache)
+    from repro.apps import MatMulApp
+
+    cold.evaluate(
+        [RunSpec.for_app(MatMulApp, 6000, 144, places=p) for p in (1, 14, 56)]
+    )
+    warm = PredictionBackend(engine="hybrid", store=str(store), cache=cache)
+    # One throwaway wave warms the compiled-family/point caches.
+    run_inprocess(warm, payloads=point_payloads("mm"), mode="batched")
+    return warm
+
+
+def _config() -> ServeConfig:
+    return ServeConfig(
+        batch_window=0.0, max_batch=64, default_deadline=None
+    )
+
+
+def test_serve_sequential_baseline(benchmark, tmp_path):
+    """One request at a time: every query pays its own dispatch."""
+    backend = _warm_backend(tmp_path)
+
+    def sequential():
+        with scoped_registry():
+            return run_inprocess(
+                backend,
+                payloads=point_payloads("mm"),
+                mode="sequential",
+                config=_config(),
+            )
+
+    report = benchmark.pedantic(
+        sequential, rounds=5, iterations=2, warmup_rounds=1
+    )
+    assert report.errors == 0
+    benchmark.extra_info["req_per_s"] = report.req_per_s
+    benchmark.extra_info["p50_seconds"] = report.p50
+    benchmark.extra_info["p99_seconds"] = report.p99
+
+
+def test_serve_batched_wave(benchmark, tmp_path):
+    """56 concurrent queries coalesced by the window — and the gates."""
+    backend = _warm_backend(tmp_path)
+
+    def run(mode):
+        with scoped_registry():
+            return run_inprocess(
+                backend,
+                payloads=point_payloads("mm"),
+                mode=mode,
+                config=_config(),
+            )
+
+    # Like-for-like: median wall time of each mode over the same wave.
+    # The wave itself is ~1 ms, so each benchmark round averages several
+    # iterations to keep scheduler noise out of the speedup gate.
+    sequential_median = _median(
+        [_timed(lambda: run("sequential")) for _ in range(5)]
+    )
+    report = benchmark.pedantic(
+        lambda: run("batched"), rounds=7, iterations=5, warmup_rounds=2
+    )
+    assert report.errors == 0
+    batched_median = benchmark.stats.stats.median
+    speedup = sequential_median / batched_median
+    benchmark.extra_info["req_per_s"] = report.req_per_s
+    benchmark.extra_info["p50_seconds"] = report.p50
+    benchmark.extra_info["p99_seconds"] = report.p99
+    benchmark.extra_info["speedup_vs_sequential"] = speedup
+    assert report.p99 <= DEADLINE_SECONDS, (
+        f"batched p99 {report.p99 * 1e3:.1f} ms over the "
+        f"{DEADLINE_SECONDS * 1e3:.0f} ms deadline"
+    )
+    assert speedup >= TARGET_SPEEDUP, (
+        f"batched wave {speedup:.1f}x over sequential, "
+        f"expected >= {TARGET_SPEEDUP:.0f}x"
+    )
+
+
+def test_serve_warm_point_query(benchmark, tmp_path):
+    """Single warm point query: the per-request floor (zero DES runs —
+    the engine-store verdict answers the family)."""
+    backend = _warm_backend(tmp_path)
+    payload = [{"app": "mm", "P": 14, "T": 144, "D": 6000}]
+
+    def one():
+        with scoped_registry() as registry:
+            report = run_inprocess(
+                backend, payloads=payload, mode="sequential",
+                config=_config(),
+            )
+            assert (
+                registry.snapshot().counter_value(
+                    "engine.calibration_points"
+                )
+                == 0
+            )
+            return report
+
+    report = benchmark.pedantic(
+        one, rounds=10, iterations=3, warmup_rounds=1
+    )
+    assert report.errors == 0
+    benchmark.extra_info["p50_seconds"] = report.p50
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _median(values):
+    values = sorted(values)
+    return values[len(values) // 2]

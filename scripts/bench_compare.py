@@ -21,7 +21,11 @@ Suites (``--suite``):
 * ``calibration`` — ``benchmarks/bench_calibration.py`` against
   ``BENCH_calibration.json`` (cold vs store-warm hybrid certification
   on the fig9-mm full grid; the committed baseline records the
-  calibration speedup and the zero-DES-runs warm contract).
+  calibration speedup and the zero-DES-runs warm contract);
+* ``serve`` — ``benchmarks/bench_serve.py`` against
+  ``BENCH_serve.json`` (batched-wave vs sequential serving over the
+  fig9-mm grid on a warm backend; the committed baseline records the
+  batched speedup, p50/p99 latencies and requests per second).
 
 Usage::
 
@@ -52,6 +56,7 @@ SUITES = {
     "model": ("bench_model.py", "BENCH_model.json"),
     "grid": ("bench_grid.py", "BENCH_grid.json"),
     "calibration": ("bench_calibration.py", "BENCH_calibration.json"),
+    "serve": ("bench_serve.py", "BENCH_serve.json"),
 }
 
 

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Relative-link checker for the repo's markdown docs.
+
+Scans the repo-root ``*.md`` files and everything under ``docs/`` for
+markdown links and images, resolves every relative target against the
+containing file, and fails when a target does not exist.  External
+links (``http(s)://``, ``mailto:``) and in-page anchors (``#...``) are
+skipped — the gate is about repo-internal drift: a doc pointing at a
+file that was renamed or never existed.
+
+Usage::
+
+    python scripts/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` and ``![alt](target)`` — good enough for our
+#: docs, which do not use reference-style links.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files() -> list[Path]:
+    files = sorted(REPO_ROOT.glob("*.md"))
+    files += sorted((REPO_ROOT / "docs").glob("**/*.md"))
+    return files
+
+
+def check_file(path: Path) -> list[str]:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                rel = path.relative_to(REPO_ROOT)
+                problems.append(f"{rel}:{line_no}: broken link -> {target}")
+    return problems
+
+
+def main() -> int:
+    files = markdown_files()
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    print(f"checked {len(files)} markdown files")
+    if problems:
+        print(f"{len(problems)} broken link(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@ Subcommands::
 
     python -m repro info           # device spec + calibration table
     python -m repro demo           # streamed pipeline + Gantt + report
+    python -m repro serve          # prediction-as-a-service HTTP server
     python -m repro experiments    # forwards to repro.experiments
 """
 
@@ -93,11 +94,134 @@ def cmd_demo() -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import (
+        PredictionBackend,
+        PredictionService,
+        ServeConfig,
+        run_server,
+    )
+
+    backend = PredictionBackend(
+        engine=args.engine,
+        store=args.engine_store,
+        jobs=args.jobs if args.jobs is not None else 1,
+    )
+    config = ServeConfig(
+        batch_window=args.window_ms / 1e3,
+        max_batch=args.max_batch,
+        queue_limit=args.queue_limit,
+        default_deadline=(
+            None if args.deadline_ms == 0 else args.deadline_ms / 1e3
+        ),
+    )
+    service = PredictionService(backend, config)
+
+    def ready(addr) -> None:
+        host, port = addr[0], addr[1]
+        print(f"repro.serve listening on http://{host}:{port}", flush=True)
+        print(
+            f"  engine={backend.engine_name} "
+            f"window={config.batch_window * 1e3:.1f}ms "
+            f"max_batch={config.max_batch} "
+            f"queue_limit={config.queue_limit}",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(
+            run_server(
+                service,
+                host=args.host,
+                port=args.port,
+                ready=ready,
+                drain_grace=args.drain_grace,
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover - signal path varies
+        pass
+    print("repro.serve: drained, bye", flush=True)
+    return 0
+
+
+def add_serve_parser(sub) -> None:
+    """The ``serve`` subcommand flags (shared with ``repro.serve.__main__``)."""
+    srv = sub.add_parser(
+        "serve",
+        help="run the prediction-as-a-service HTTP server",
+        epilog="Request schemas, batching/deadline tuning and capacity "
+        "notes: docs/SERVING.md.",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8351)
+    srv.add_argument(
+        "--window-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="batching window: concurrent point requests arriving "
+        "within MS coalesce into one grid evaluation (default 5)",
+    )
+    srv.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="specs per dispatched batch (default 64)",
+    )
+    srv.add_argument(
+        "--queue-limit",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="admitted-but-undispatched request bound; beyond it "
+        "requests are shed with 429 (default 1024)",
+    )
+    srv.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=2000.0,
+        metavar="MS",
+        help="default per-request deadline; 0 disables (default 2000)",
+    )
+    srv.add_argument(
+        "--engine",
+        choices=["sim", "model", "hybrid"],
+        default="hybrid",
+        help="evaluation engine behind the batcher (default hybrid)",
+    )
+    srv.add_argument(
+        "--engine-store",
+        default=None,
+        metavar="PATH",
+        help="persistent certified-family store: a warm server answers "
+        "certified families with zero DES calibration runs",
+    )
+    srv.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for simulation fallbacks (0 = all cores)",
+    )
+    srv.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="on SIGINT/SIGTERM, finish in-flight work for up to this "
+        "long before exiting (default 10)",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("info", help="device spec and calibration anchors")
     sub.add_parser("demo", help="run a streamed pipeline, show Gantt+report")
+    add_serve_parser(sub)
     exp = sub.add_parser(
         "experiments",
         help="regenerate paper figures",
@@ -195,6 +319,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_info()
     if args.command == "demo":
         return cmd_demo()
+    if args.command == "serve":
+        return cmd_serve(args)
     from repro.experiments.__main__ import main as experiments_main
 
     rest = list(args.rest)

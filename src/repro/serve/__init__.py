@@ -1,0 +1,70 @@
+"""Prediction-as-a-service: async batching server over the engines.
+
+``python -m repro serve`` stands up a long-running asyncio HTTP/JSON
+service answering point predictions (``predict(app, P, T, D)``),
+whole-sweep queries, and autotune ("best config for app + D") queries
+— the online query loop the ML-tuning follow-on papers assume, backed
+by the repo's own evaluation stack:
+
+* admission/batching (:mod:`repro.serve.core`) — a sans-IO state
+  machine that coalesces concurrent point requests within a short
+  window into grid-family batches, with per-request deadlines, a
+  bounded queue with load shedding, and graceful drain;
+* runtime drivers (:mod:`repro.serve.service`) — the asyncio
+  production pump and a simulated-time :class:`SyncDriver` for tests
+  and benches (no sleeps or sockets in the batching/dispatch tests);
+* a warm backend (:mod:`repro.serve.backend`) — certified hybrid
+  engine seeded from a persistent ``--engine-store``, simulation
+  cache for cold/fallback points, and the pruned autotune search;
+* the HTTP front-end (:mod:`repro.serve.http`) — stdlib asyncio, five
+  routes, ``/metrics`` + ``/healthz``;
+* a load generator (:mod:`repro.serve.loadgen`) feeding
+  ``benchmarks/bench_serve.py`` / ``BENCH_serve.json``.
+
+See ``docs/SERVING.md`` for architecture, schemas, and tuning.
+"""
+
+from repro.serve.api import (
+    APP_PROFILES,
+    AppProfile,
+    BadRequest,
+    parse_autotune,
+    parse_predict,
+    parse_sweep,
+    run_to_json,
+)
+from repro.serve.backend import PredictionBackend
+from repro.serve.core import (
+    Batch,
+    Batcher,
+    ServeConfig,
+    Shed,
+    Ticket,
+)
+from repro.serve.http import handle_request, run_server, serve_http
+from repro.serve.loadgen import LoadReport, run_http, run_inprocess
+from repro.serve.service import PredictionService, SyncDriver
+
+__all__ = [
+    "APP_PROFILES",
+    "AppProfile",
+    "BadRequest",
+    "Batch",
+    "Batcher",
+    "LoadReport",
+    "PredictionBackend",
+    "PredictionService",
+    "ServeConfig",
+    "Shed",
+    "SyncDriver",
+    "Ticket",
+    "handle_request",
+    "parse_autotune",
+    "parse_predict",
+    "parse_sweep",
+    "run_http",
+    "run_inprocess",
+    "run_server",
+    "run_to_json",
+    "serve_http",
+]

@@ -1,0 +1,16 @@
+"""``python -m repro.serve`` — shortcut for ``python -m repro serve``."""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    from repro.__main__ import main as top_main
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    return top_main(["serve"] + argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,194 @@
+"""Request/response schemas of the prediction service.
+
+The service speaks plain JSON (``docs/SERVING.md`` shows the full
+schemas with curl examples).  This module owns the translation between
+wire payloads and the library's native objects:
+
+* an app-name registry mapping the six paper applications to their
+  :class:`~repro.parallel.runspec.RunSpec` shapes (constructor
+  argument order, required iteration counts, figure-default D and T);
+* payload validation — every malformed field raises
+  :class:`BadRequest` with a message the HTTP layer returns verbatim
+  as a 400 body, never a stack trace;
+* response shaping — :class:`~repro.apps.base.AppRun` results back to
+  JSON-safe dicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import (
+    CholeskyApp,
+    HotspotApp,
+    KmeansApp,
+    MatMulApp,
+    NNApp,
+    SradApp,
+)
+from repro.errors import ReproError
+from repro.parallel import RunSpec
+
+
+class BadRequest(ReproError):
+    """A malformed request payload (HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """How one servable application maps onto a :class:`RunSpec`.
+
+    ``defaults`` fills D (dataset) and T (tiles) when the request
+    omits them — the figure-caption geometry of Fig. 9, so a bare
+    ``{"app": "mm", "P": 4}`` asks about the paper's own panel point.
+    ``extra_kwargs`` carries fixed constructor keywords (iteration
+    counts for the iterative apps; sweeps hold them constant).
+    """
+
+    name: str
+    app_cls: type
+    default_d: int
+    default_t: int
+    extra_kwargs: tuple = ()
+
+    def spec(self, p: int, t: "int | None", d: "int | None") -> RunSpec:
+        return RunSpec.for_app(
+            self.app_cls,
+            d if d is not None else self.default_d,
+            t if t is not None else self.default_t,
+            places=p,
+            **dict(self.extra_kwargs),
+        )
+
+
+#: Servable apps, keyed by the panel names the CLIs already use
+#: (``--app mm`` etc.); defaults are the Fig. 9 caption geometries.
+APP_PROFILES: "dict[str, AppProfile]" = {
+    "mm": AppProfile("mm", MatMulApp, 6000, 144),
+    "cf": AppProfile("cf", CholeskyApp, 9600, 144),
+    "kmeans": AppProfile(
+        "kmeans", KmeansApp, 1120000, 56, (("iterations", 10),)
+    ),
+    "hotspot": AppProfile(
+        "hotspot", HotspotApp, 16384, 256, (("iterations", 10),)
+    ),
+    "nn": AppProfile("nn", NNApp, 5242880, 512),
+    "srad": AppProfile("srad", SradApp, 10000, 400, (("iterations", 5),)),
+}
+
+#: Partition counts considered by default-space autotune queries (the
+#: usable-core divisor band the paper sweeps in Fig. 9).
+DEFAULT_AUTOTUNE_P = [1, 2, 4, 7, 8, 14, 16, 28, 56]
+
+
+def profile_for(name) -> AppProfile:
+    if not isinstance(name, str) or name not in APP_PROFILES:
+        raise BadRequest(
+            f"unknown app {name!r}; expected one of "
+            f"{sorted(APP_PROFILES)}"
+        )
+    return APP_PROFILES[name]
+
+
+def _int_field(payload: dict, key: str, *, required: bool = False,
+               minimum: int = 1) -> "int | None":
+    value = payload.get(key)
+    if value is None:
+        if required:
+            raise BadRequest(f"missing required field {key!r}")
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BadRequest(f"field {key!r} must be an integer, got {value!r}")
+    if value < minimum:
+        raise BadRequest(f"field {key!r} must be >= {minimum}, got {value}")
+    return value
+
+
+def _int_list(payload: dict, key: str, default: "list[int] | None" = None,
+              minimum: int = 1) -> "list[int] | None":
+    value = payload.get(key)
+    if value is None:
+        return default
+    if not isinstance(value, list) or not value:
+        raise BadRequest(f"field {key!r} must be a non-empty list")
+    out = []
+    for item in value:
+        if isinstance(item, bool) or not isinstance(item, int):
+            raise BadRequest(
+                f"field {key!r} entries must be integers, got {item!r}"
+            )
+        if item < minimum:
+            raise BadRequest(
+                f"field {key!r} entries must be >= {minimum}, got {item}"
+            )
+        out.append(item)
+    return out
+
+
+def deadline_seconds(payload: dict) -> "float | None":
+    """Optional per-request ``deadline_ms`` → relative seconds."""
+    value = payload.get("deadline_ms")
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BadRequest(
+            f"field 'deadline_ms' must be a number, got {value!r}"
+        )
+    if value <= 0:
+        raise BadRequest(
+            f"field 'deadline_ms' must be positive, got {value}"
+        )
+    return float(value) / 1e3
+
+
+def parse_predict(payload: dict) -> RunSpec:
+    """``{"app", "P", "T"?, "D"?}`` → one point spec."""
+    profile = profile_for(payload.get("app"))
+    p = _int_field(payload, "P", required=True)
+    t = _int_field(payload, "T")
+    d = _int_field(payload, "D")
+    return profile.spec(p, t, d)
+
+
+def parse_sweep(payload: dict) -> "list[RunSpec]":
+    """``{"app", "P": [...], "T": [...]?, "D"?}`` → the cross-product
+    grid of specs, P-major then T — the shape ``predict_grid`` answers
+    as one family evaluation."""
+    profile = profile_for(payload.get("app"))
+    ps = _int_list(payload, "P")
+    if ps is None:
+        raise BadRequest("missing required field 'P' (list of partitions)")
+    ts = _int_list(payload, "T", default=[None])  # type: ignore[list-item]
+    d = _int_field(payload, "D")
+    return [profile.spec(p, t, d) for p in ps for t in ts]
+
+
+def parse_autotune(payload: dict) -> dict:
+    """``{"app", "D"?, "P"?: [...], "T"?: [...], "verify_top_k"?}`` →
+    the search context the backend feeds to
+    :func:`repro.autotune.run_search`."""
+    profile = profile_for(payload.get("app"))
+    d = _int_field(payload, "D")
+    ps = _int_list(payload, "P", default=list(DEFAULT_AUTOTUNE_P))
+    ts = _int_list(payload, "T", default=[profile.default_t])
+    top_k = _int_field(payload, "verify_top_k")
+    return {
+        "profile": profile,
+        "d": d,
+        "p_values": ps,
+        "t_values": ts,
+        "verify_top_k": top_k if top_k is not None else 3,
+    }
+
+
+def run_to_json(run) -> dict:
+    """One :class:`AppRun` as a JSON-safe response entry."""
+    gflops = getattr(run, "gflops", None)
+    return {
+        "app": run.app,
+        "P": run.places,
+        "T": run.tiles,
+        "elapsed_seconds": run.elapsed,
+        "gflops": gflops,
+        "engine": getattr(run, "engine", "sim"),
+    }

@@ -1,0 +1,263 @@
+"""Minimal stdlib HTTP/JSON front-end for the prediction service.
+
+A deliberately small HTTP/1.1 server over ``asyncio.start_server`` —
+no third-party web framework, matching the repo's stdlib-only
+dependency policy.  One request per connection (``Connection: close``),
+JSON bodies, five routes:
+
+==========================  =================================================
+``POST /predict``           one point — ``{"app", "P", "T"?, "D"?,
+                            "deadline_ms"?}``
+``POST /sweep``             a whole grid — ``{"app", "P": [...],
+                            "T": [...]?, "D"?, "deadline_ms"?}``
+``POST /autotune``          best config — ``{"app", "D"?, "P"?: [...],
+                            "T"?: [...], "verify_top_k"?}``
+``GET /healthz``            liveness + warm-family registry + config
+``GET /metrics``            the process metrics registry as text
+==========================  =================================================
+
+Status mapping (see ``docs/SERVING.md`` for the failure-mode guide):
+400 malformed payload, 404 unknown route, 429 queue full (load shed),
+503 draining, 504 per-request deadline exceeded before dispatch, 500
+evaluation error.
+
+The handlers themselves (:func:`handle_request`) are transport-free —
+they take a parsed ``(method, path, payload)`` and return ``(status,
+body dict | text)`` — so tests exercise routing and status mapping
+without opening sockets; only :func:`serve_http` touches the network.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+
+from repro.metrics.registry import get_registry
+from repro.serve.api import (
+    BadRequest,
+    deadline_seconds,
+    parse_autotune,
+    parse_predict,
+    parse_sweep,
+    run_to_json,
+)
+from repro.serve.core import (
+    SHED_DEADLINE,
+    SHED_DRAINING,
+    SHED_QUEUE_FULL,
+    Shed,
+)
+from repro.serve.service import PredictionService
+
+#: Shed reason → HTTP status.
+SHED_STATUS = {
+    SHED_QUEUE_FULL: 429,
+    SHED_DRAINING: 503,
+    SHED_DEADLINE: 504,
+}
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Request body bound (a full-grid sweep payload is < 1 KiB).
+MAX_BODY_BYTES = 1 << 20
+
+
+async def handle_request(
+    service: PredictionService, method: str, path: str, payload
+):
+    """Route one parsed request; returns ``(status, body)``.
+
+    ``body`` is a dict (sent as JSON) or a plain string (sent as
+    ``text/plain`` — the ``/metrics`` exposition).
+    """
+    if path == "/healthz" and method == "GET":
+        return 200, service.health()
+    if path == "/metrics" and method == "GET":
+        return 200, get_registry().snapshot().format_block()
+    if path not in ("/predict", "/sweep", "/autotune"):
+        return 404, {"error": f"unknown path {path!r}"}
+    if method != "POST":
+        return 405, {"error": f"{path} expects POST, got {method}"}
+    if not isinstance(payload, dict):
+        return 400, {"error": "request body must be a JSON object"}
+
+    try:
+        deadline = deadline_seconds(payload)
+        if path == "/predict":
+            specs = [parse_predict(payload)]
+            kind, context = "predict", None
+        elif path == "/sweep":
+            specs = parse_sweep(payload)
+            kind, context = "sweep", None
+        else:
+            query = parse_autotune(payload)
+            # One representative spec for admission bookkeeping; the
+            # dispatcher runs the whole search (see dispatch_batch).
+            specs = [
+                query["profile"].spec(
+                    query["p_values"][0], query["t_values"][0], query["d"]
+                )
+            ]
+            kind, context = "autotune", query
+    except BadRequest as exc:
+        return 400, {"error": str(exc)}
+
+    try:
+        ticket = await service.submit(
+            kind, specs, deadline=deadline, context=context
+        )
+    except Shed as exc:
+        return SHED_STATUS[exc.reason], {"error": f"shed: {exc.reason}"}
+    if ticket.error is not None:
+        if isinstance(ticket.error, Shed):
+            return (
+                SHED_STATUS[ticket.error.reason],
+                {"error": f"shed: {ticket.error.reason}"},
+            )
+        return 500, {"error": str(ticket.error)}
+
+    if kind == "predict":
+        return 200, run_to_json(ticket.results[0])
+    if kind == "sweep":
+        return 200, {"results": [run_to_json(r) for r in ticket.results]}
+    return 200, ticket.results[0]  # autotune: already a JSON-safe dict
+
+
+def _encode_response(status: int, body) -> bytes:
+    if isinstance(body, (dict, list)):
+        payload = json.dumps(body).encode("utf-8")
+        ctype = "application/json"
+    else:
+        payload = str(body).encode("utf-8")
+        if payload and not payload.endswith(b"\n"):
+            payload += b"\n"
+        ctype = "text/plain; charset=utf-8"
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {ctype}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + payload
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """Parse one HTTP/1.1 request; returns ``(method, path, payload)``
+    or raises :class:`BadRequest` / ``ValueError`` on a torn stream."""
+    request_line = await reader.readline()
+    if not request_line:
+        raise ConnectionError("empty request")
+    try:
+        method, target, _version = (
+            request_line.decode("ascii").strip().split(" ", 2)
+        )
+    except ValueError as exc:
+        raise BadRequest(f"malformed request line") from exc
+    headers: "dict[str, str]" = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise BadRequest(f"request body over {MAX_BODY_BYTES} bytes")
+    payload = None
+    if length:
+        body = await reader.readexactly(length)
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise BadRequest(f"invalid JSON body: {exc}") from exc
+    path = target.split("?", 1)[0]
+    return method.upper(), path, payload
+
+
+async def _handle_connection(
+    service: PredictionService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        try:
+            method, path, payload = await _read_request(reader)
+        except BadRequest as exc:
+            writer.write(_encode_response(400, {"error": str(exc)}))
+            return
+        except (ConnectionError, asyncio.IncompleteReadError, ValueError):
+            return
+        status, body = await handle_request(service, method, path, payload)
+        writer.write(_encode_response(status, body))
+    except Exception as exc:  # noqa: BLE001 - last-resort 500
+        try:
+            writer.write(_encode_response(500, {"error": str(exc)}))
+        except Exception:  # noqa: BLE001 - connection already gone
+            pass
+    finally:
+        try:
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except Exception:  # noqa: BLE001 - connection already gone
+            pass
+
+
+async def serve_http(
+    service: PredictionService, host: str = "127.0.0.1", port: int = 8351
+):
+    """Start the HTTP front-end; returns the ``asyncio.AbstractServer``.
+
+    The caller owns the service lifecycle (``await service.start()``
+    before, ``drain()``/``stop()`` after).
+    """
+
+    async def connection(reader, writer):
+        await _handle_connection(service, reader, writer)
+
+    return await asyncio.start_server(connection, host=host, port=port)
+
+
+async def run_server(
+    service: PredictionService,
+    host: str = "127.0.0.1",
+    port: int = 8351,
+    ready=None,
+    drain_grace: float = 10.0,
+) -> None:
+    """Run until SIGINT/SIGTERM, then drain gracefully and exit.
+
+    ``ready`` (optional callable) fires once the socket is listening —
+    the CLI prints the bound address, tests use it to synchronize.
+    """
+    await service.start()
+    server = await serve_http(service, host=host, port=port)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    if ready is not None:
+        sockets = server.sockets or []
+        ready(sockets[0].getsockname() if sockets else (host, port))
+    try:
+        await stop.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        await service.drain(timeout=drain_grace)
+        await service.stop()

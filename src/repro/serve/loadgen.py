@@ -1,0 +1,207 @@
+"""Load generator + latency/throughput reporting for the service.
+
+Two drive modes over the same workload and the same report format:
+
+* :func:`run_inprocess` — drives the sans-IO batcher + a real backend
+  synchronously (no sockets, no event loop): ``sequential`` answers
+  one request at a time (flush after every submission — the
+  no-batching baseline), ``batched`` submits waves of concurrent
+  requests and lets the window coalesce them.  Wall-clock is pure
+  evaluation cost, so this is what ``benchmarks/bench_serve.py``
+  measures and what ``BENCH_serve.json`` records.
+* :func:`run_http` — an asyncio closed-loop client fleet against a
+  live server (the CI smoke test and capacity planning; see
+  ``docs/SERVING.md``).
+
+Reports carry p50/p99 latency and req/s (:class:`LoadReport`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.serve.api import APP_PROFILES
+from repro.serve.core import ServeConfig
+from repro.serve.service import SyncDriver
+
+
+def percentile(values: "list[float]", q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty list."""
+    if not values:
+        raise ValueError("percentile of an empty list")
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+@dataclass
+class LoadReport:
+    """Latency/throughput summary of one load run."""
+
+    mode: str
+    requests: int
+    errors: int
+    elapsed_seconds: float
+    latencies: "list[float]" = field(default_factory=list, repr=False)
+
+    @property
+    def req_per_s(self) -> float:
+        return self.requests / self.elapsed_seconds
+
+    @property
+    def p50(self) -> float:
+        return percentile(self.latencies, 50)
+
+    @property
+    def p99(self) -> float:
+        return percentile(self.latencies, 99)
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "requests": self.requests,
+            "errors": self.errors,
+            "elapsed_seconds": self.elapsed_seconds,
+            "req_per_s": self.req_per_s,
+            "p50_seconds": self.p50,
+            "p99_seconds": self.p99,
+        }
+
+
+def point_payloads(app: str = "mm", ps=None) -> "list[dict]":
+    """The default workload: one point query per partition count over
+    the app's figure geometry (the fig9 grid as independent requests)."""
+    profile = APP_PROFILES[app]
+    ps = list(ps) if ps is not None else list(range(1, 57))
+    return [
+        {"app": app, "P": p, "T": profile.default_t, "D": profile.default_d}
+        for p in ps
+    ]
+
+
+def _specs_for(payloads: "list[dict]") -> list:
+    from repro.serve.api import parse_predict
+
+    return [parse_predict(p) for p in payloads]
+
+
+def run_inprocess(
+    backend,
+    payloads: "list[dict] | None" = None,
+    mode: str = "batched",
+    config: "ServeConfig | None" = None,
+    rounds: int = 1,
+) -> LoadReport:
+    """Drive the batcher + ``backend`` on simulated admission time.
+
+    ``sequential`` measures the one-request-at-a-time baseline: each
+    request is admitted and immediately flushed as its own batch.
+    ``batched`` admits the whole wave concurrently and flushes once,
+    so the wave coalesces into family batches.  Latency per request is
+    wall-clock from admission to resolution (perf_counter), so batched
+    latencies include their batch-mates' shared evaluation — exactly
+    what a concurrent client would observe with a warm server.
+    """
+    if mode not in ("sequential", "batched"):
+        raise ValueError(f"unknown load mode {mode!r}")
+    specs = _specs_for(payloads if payloads is not None else point_payloads())
+    config = config or ServeConfig(
+        batch_window=0.0, max_batch=max(64, len(specs)),
+        default_deadline=None,
+    )
+    latencies: "list[float]" = []
+    errors = 0
+    t_start = time.perf_counter()
+    for _ in range(rounds):
+        driver = SyncDriver(backend.evaluate, config, backend=backend)
+        if mode == "sequential":
+            for spec in specs:
+                t0 = time.perf_counter()
+                ticket = driver.submit("predict", [spec])
+                driver.advance(config.batch_window)
+                latencies.append(time.perf_counter() - t0)
+                errors += ticket.error is not None
+        else:
+            t0 = time.perf_counter()
+            tickets = [driver.submit("predict", [spec]) for spec in specs]
+            driver.advance(config.batch_window)
+            driver.run_until_idle()
+            done = time.perf_counter() - t0
+            for ticket in tickets:
+                latencies.append(done)
+                errors += ticket.error is not None
+    elapsed = time.perf_counter() - t_start
+    return LoadReport(
+        mode=mode,
+        requests=len(specs) * rounds,
+        errors=errors,
+        elapsed_seconds=elapsed,
+        latencies=latencies,
+    )
+
+
+async def _http_one(host: str, port: int, payload: dict) -> "tuple[int, float]":
+    """One closed-loop request; returns (status, latency seconds)."""
+    t0 = time.perf_counter()
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"POST /predict HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+        )
+        writer.write(head.encode("ascii") + body)
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.split()[1])
+        await reader.read()  # drain headers+body to EOF
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:  # noqa: BLE001 - connection already gone
+            pass
+    return status, time.perf_counter() - t0
+
+
+async def run_http(
+    host: str = "127.0.0.1",
+    port: int = 8351,
+    payloads: "list[dict] | None" = None,
+    concurrency: int = 8,
+    rounds: int = 1,
+) -> LoadReport:
+    """Closed-loop HTTP load: ``concurrency`` in-flight requests over
+    the workload, ``rounds`` times."""
+    payloads = payloads if payloads is not None else point_payloads()
+    work = [p for _ in range(rounds) for p in payloads]
+    latencies: "list[float]" = []
+    errors = 0
+    sem = asyncio.Semaphore(concurrency)
+
+    async def one(payload: dict) -> None:
+        nonlocal errors
+        async with sem:
+            try:
+                status, latency = await _http_one(host, port, payload)
+            except OSError:
+                errors += 1
+                return
+            latencies.append(latency)
+            if status != 200:
+                errors += 1
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*(one(p) for p in work))
+    elapsed = time.perf_counter() - t0
+    return LoadReport(
+        mode=f"http-c{concurrency}",
+        requests=len(work),
+        errors=errors,
+        elapsed_seconds=elapsed,
+        latencies=latencies or [float("nan")],
+    )

@@ -1,0 +1,117 @@
+"""Request parsing/validation and response shaping."""
+
+import pytest
+
+from repro.apps import KmeansApp, MatMulApp
+from repro.apps.base import AppRun
+from repro.serve.api import (
+    APP_PROFILES,
+    BadRequest,
+    DEFAULT_AUTOTUNE_P,
+    deadline_seconds,
+    parse_autotune,
+    parse_predict,
+    parse_sweep,
+    run_to_json,
+)
+
+
+class TestParsePredict:
+    def test_full_point(self):
+        spec = parse_predict({"app": "mm", "P": 4, "T": 100, "D": 2000})
+        assert spec.app_cls is MatMulApp
+        assert spec.places == 4
+        assert spec.app_args == (2000, 100)
+
+    def test_defaults_are_the_fig9_geometry(self):
+        spec = parse_predict({"app": "mm", "P": 4})
+        assert spec.app_args == (6000, 144)
+
+    def test_iterative_apps_carry_their_iterations(self):
+        spec = parse_predict({"app": "kmeans", "P": 2})
+        assert spec.app_cls is KmeansApp
+        assert dict(spec.app_kwargs)["iterations"] == 10
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"P": 4},
+            {"app": "nope", "P": 4},
+            {"app": "mm"},
+            {"app": "mm", "P": 0},
+            {"app": "mm", "P": "four"},
+            {"app": "mm", "P": True},
+            {"app": "mm", "P": 4, "D": -1},
+        ],
+    )
+    def test_rejects_malformed(self, payload):
+        with pytest.raises(BadRequest):
+            parse_predict(payload)
+
+
+class TestParseSweep:
+    def test_cross_product(self):
+        specs = parse_sweep({"app": "mm", "P": [1, 2], "T": [100, 144]})
+        assert [(s.places, s.app_args[1]) for s in specs] == [
+            (1, 100), (1, 144), (2, 100), (2, 144),
+        ]
+
+    def test_default_t(self):
+        specs = parse_sweep({"app": "mm", "P": [1, 2]})
+        assert all(s.app_args == (6000, 144) for s in specs)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"app": "mm"},
+            {"app": "mm", "P": []},
+            {"app": "mm", "P": 4},
+            {"app": "mm", "P": [1, "x"]},
+        ],
+    )
+    def test_rejects_malformed(self, payload):
+        with pytest.raises(BadRequest):
+            parse_sweep(payload)
+
+
+class TestParseAutotune:
+    def test_defaults(self):
+        query = parse_autotune({"app": "mm"})
+        assert query["p_values"] == DEFAULT_AUTOTUNE_P
+        assert query["t_values"] == [APP_PROFILES["mm"].default_t]
+        assert query["verify_top_k"] == 3
+
+    def test_explicit_space(self):
+        query = parse_autotune(
+            {"app": "srad", "P": [2, 4], "T": [400], "verify_top_k": 1}
+        )
+        assert query["p_values"] == [2, 4]
+        assert query["verify_top_k"] == 1
+
+
+class TestDeadline:
+    def test_ms_to_seconds(self):
+        assert deadline_seconds({"deadline_ms": 250}) == 0.25
+        assert deadline_seconds({}) is None
+
+    @pytest.mark.parametrize("value", [0, -5, "soon", True])
+    def test_rejects_malformed(self, value):
+        with pytest.raises(BadRequest):
+            deadline_seconds({"deadline_ms": value})
+
+
+class TestResponse:
+    def test_run_to_json(self):
+        run = AppRun(
+            app="mm", elapsed=1.5, places=4, tiles=144, gflops=10.0,
+            engine="model",
+        )
+        body = run_to_json(run)
+        assert body == {
+            "app": "mm",
+            "P": 4,
+            "T": 144,
+            "elapsed_seconds": 1.5,
+            "gflops": 10.0,
+            "engine": "model",
+        }

@@ -1,0 +1,252 @@
+"""HTTP routing/status mapping (transport-free) + one socket smoke.
+
+``handle_request`` takes parsed ``(method, path, payload)`` and never
+touches a socket, so the routing tests run against the async service
+with a fake dispatcher and zero-length windows.  A single integration
+test opens a real localhost socket to cover the wire format — the
+batching/dispatch logic itself is socket-free by construction.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import PredictionService, ServeConfig
+from repro.serve.api import parse_predict
+from repro.serve.http import handle_request, serve_http
+
+
+class FakeBackend:
+    def __init__(self):
+        self.autotuned = []
+
+    def evaluate(self, specs):
+        from repro.apps.base import AppRun
+
+        return [
+            AppRun(
+                app="mm",
+                elapsed=float(spec.places),
+                places=spec.places,
+                tiles=spec.app_args[1],
+                gflops=None,
+                engine="model",
+            )
+            for spec in specs
+        ]
+
+    def autotune(self, query):
+        self.autotuned.append(query)
+        return {
+            "app": query["profile"].name,
+            "best": {"P": 4, "T": 144},
+            "best_seconds": 0.5,
+        }
+
+    def health(self):
+        return {"engine": "fake"}
+
+
+def with_service(test, config=None):
+    async def scenario():
+        backend = FakeBackend()
+        service = PredictionService(
+            backend, config or ServeConfig(batch_window=0.0)
+        )
+        await service.start()
+        try:
+            await test(service, backend)
+        finally:
+            await service.stop()
+
+    asyncio.run(scenario())
+
+
+class TestRouting:
+    def test_predict_ok(self):
+        async def scenario(service, backend):
+            status, body = await handle_request(
+                service, "POST", "/predict", {"app": "mm", "P": 4}
+            )
+            assert status == 200
+            assert body["P"] == 4
+            assert body["elapsed_seconds"] == 4.0
+            assert body["engine"] == "model"
+
+        with_service(scenario)
+
+    def test_sweep_ok(self):
+        async def scenario(service, backend):
+            status, body = await handle_request(
+                service, "POST", "/sweep", {"app": "mm", "P": [1, 2, 4]}
+            )
+            assert status == 200
+            assert [r["P"] for r in body["results"]] == [1, 2, 4]
+
+        with_service(scenario)
+
+    def test_autotune_ok(self):
+        async def scenario(service, backend):
+            status, body = await handle_request(
+                service, "POST", "/autotune", {"app": "mm"}
+            )
+            assert status == 200
+            assert body["best"] == {"P": 4, "T": 144}
+            assert backend.autotuned[0]["profile"].name == "mm"
+
+        with_service(scenario)
+
+    def test_unknown_path_404(self):
+        async def scenario(service, backend):
+            status, body = await handle_request(service, "GET", "/nope", None)
+            assert status == 404
+
+        with_service(scenario)
+
+    def test_wrong_method_405(self):
+        async def scenario(service, backend):
+            status, _ = await handle_request(
+                service, "GET", "/predict", None
+            )
+            assert status == 405
+
+        with_service(scenario)
+
+    def test_bad_payload_400(self):
+        async def scenario(service, backend):
+            status, body = await handle_request(
+                service, "POST", "/predict", {"app": "mm"}
+            )
+            assert status == 400
+            assert "P" in body["error"]
+            status, _ = await handle_request(
+                service, "POST", "/predict", None
+            )
+            assert status == 400
+
+        with_service(scenario)
+
+    def test_healthz_and_metrics(self):
+        async def scenario(service, backend):
+            status, body = await handle_request(
+                service, "GET", "/healthz", None
+            )
+            assert status == 200
+            assert body["engine"] == "fake"
+            status, text = await handle_request(
+                service, "GET", "/metrics", None
+            )
+            assert status == 200
+            assert isinstance(text, str)
+
+        with_service(scenario)
+
+
+class TestStatusMapping:
+    def test_draining_503(self):
+        async def scenario(service, backend):
+            service.batcher.begin_drain()
+            status, body = await handle_request(
+                service, "POST", "/predict", {"app": "mm", "P": 4}
+            )
+            assert status == 503
+
+        with_service(scenario)
+
+    def test_queue_full_429(self):
+        async def scenario(service, backend):
+            # Window long enough that the first request stays queued.
+            ticket = service.batcher.submit(
+                "predict",
+                [parse_predict({"app": "mm", "P": 1})],
+                now=service.clock(),
+            )
+            status, body = await handle_request(
+                service, "POST", "/predict", {"app": "mm", "P": 2}
+            )
+            assert status == 429
+            assert ticket is not None
+
+        with_service(
+            scenario,
+            ServeConfig(batch_window=60.0, queue_limit=1),
+        )
+
+    def test_deadline_504(self):
+        async def scenario(service, backend):
+            # Deadline far shorter than the window: the flush that
+            # happens at the deadline sheds the ticket with 504.
+            status, body = await handle_request(
+                service,
+                "POST",
+                "/predict",
+                {"app": "mm", "P": 4, "deadline_ms": 1},
+            )
+            assert status == 504
+
+        with_service(scenario, ServeConfig(batch_window=60.0))
+
+
+class TestSocketSmoke:
+    def test_end_to_end_over_localhost(self):
+        async def scenario():
+            backend = FakeBackend()
+            service = PredictionService(
+                backend, ServeConfig(batch_window=0.0)
+            )
+            await service.start()
+            server = await serve_http(service, port=0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                body = json.dumps({"app": "mm", "P": 4}).encode()
+                writer.write(
+                    (
+                        "POST /predict HTTP/1.1\r\nHost: t\r\n"
+                        f"Content-Length: {len(body)}\r\n\r\n"
+                    ).encode()
+                    + body
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                head, _, payload = raw.partition(b"\r\n\r\n")
+                assert b"200 OK" in head.split(b"\r\n")[0]
+                assert json.loads(payload)["P"] == 4
+            finally:
+                server.close()
+                await server.wait_closed()
+                assert await service.drain(timeout=5)
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_malformed_http_gets_400(self):
+        async def scenario():
+            service = PredictionService(
+                FakeBackend(), ServeConfig(batch_window=0.0)
+            )
+            await service.start()
+            server = await serve_http(service, port=0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                writer.write(
+                    b"POST /predict HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Length: 7\r\n\r\nnotjson"
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                assert b"400" in raw.split(b"\r\n")[0]
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.stop()
+
+        asyncio.run(scenario())

@@ -1,0 +1,94 @@
+"""Load generator: reports, percentiles, and both drive modes against
+a fake backend (no sockets; in-process mode is simulated-time)."""
+
+import pytest
+
+from repro.apps.base import AppRun
+from repro.metrics.registry import scoped_registry
+from repro.serve.loadgen import (
+    LoadReport,
+    percentile,
+    point_payloads,
+    run_inprocess,
+)
+
+
+class FakeBackend:
+    def __init__(self):
+        self.calls = []
+
+    def evaluate(self, specs):
+        self.calls.append(len(specs))
+        return [
+            AppRun(
+                app="mm",
+                elapsed=float(spec.places),
+                places=spec.places,
+                tiles=spec.app_args[1],
+                engine="model",
+            )
+            for spec in specs
+        ]
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 99) == 99.0
+        assert percentile([5.0], 99) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestPayloads:
+    def test_default_workload_is_the_full_fig9_grid(self):
+        payloads = point_payloads("mm")
+        assert len(payloads) == 56
+        assert payloads[0] == {"app": "mm", "P": 1, "T": 144, "D": 6000}
+
+
+class TestInProcess:
+    def test_sequential_dispatches_one_batch_per_request(self):
+        backend = FakeBackend()
+        with scoped_registry():
+            report = run_inprocess(
+                backend,
+                payloads=point_payloads("mm", ps=range(1, 9)),
+                mode="sequential",
+            )
+        assert backend.calls == [1] * 8
+        assert report.requests == 8
+        assert report.errors == 0
+        assert report.p50 <= report.p99
+
+    def test_batched_coalesces_the_wave(self):
+        backend = FakeBackend()
+        with scoped_registry():
+            report = run_inprocess(
+                backend,
+                payloads=point_payloads("mm", ps=range(1, 9)),
+                mode="batched",
+            )
+        assert backend.calls == [8], "one family batch for the wave"
+        assert report.requests == 8
+        assert report.req_per_s > 0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_inprocess(FakeBackend(), mode="warp")
+
+    def test_report_round_trip(self):
+        report = LoadReport(
+            mode="batched",
+            requests=4,
+            errors=0,
+            elapsed_seconds=2.0,
+            latencies=[0.1, 0.2, 0.3, 0.4],
+        )
+        body = report.to_dict()
+        assert body["req_per_s"] == 2.0
+        assert body["p50_seconds"] == 0.2
+        assert body["p99_seconds"] == 0.4
