@@ -34,8 +34,11 @@ Usage::
     python scripts/bench_compare.py --suite model    # engine comparison
     python scripts/bench_compare.py --rebaseline     # refresh baseline
 
-The first ever run records its results as the suite's baseline file in
-the repo root so the gate works out of the box on a fresh clone.
+Every suite's baseline JSON is committed at the repo root.  If the
+named suite's baseline is missing, the gate exits non-zero immediately
+(before spending minutes benchmarking) and tells you to record one
+with ``--rebaseline`` — a silent pass against no reference is not a
+gate.
 """
 
 from __future__ import annotations
@@ -167,12 +170,20 @@ def main() -> int:
 
     bench_file, baseline_name = SUITES[args.suite]
     baseline = REPO_ROOT / baseline_name
+    if not baseline.exists() and not args.rebaseline:
+        print(
+            f"error: no baseline for suite '{args.suite}': "
+            f"{baseline} does not exist.\n"
+            f"Record one first with:\n"
+            f"  python scripts/bench_compare.py --suite {args.suite} "
+            f"--rebaseline",
+            file=sys.stderr,
+        )
+        return 2
     current = run_bench(bench_file)
-    if args.rebaseline or not baseline.exists():
+    if args.rebaseline:
         shutil.copyfile(current, baseline)
         print(f"baseline recorded: {baseline}")
-        if not args.rebaseline:
-            return 0
     reference = previous_save(current) or baseline
     return compare(reference, current, args.threshold)
 

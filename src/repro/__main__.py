@@ -296,6 +296,13 @@ def main(argv: list[str] | None = None) -> int:
         "hotspot, nn, srad)",
     )
     exp.add_argument(
+        "--workload",
+        default=None,
+        metavar="FILE",
+        help="workload-spec JSON file for the 'workload' experiment "
+        "(see docs/WORKLOADS.md)",
+    )
+    exp.add_argument(
         "--results-dir",
         default=None,
         metavar="DIR",
@@ -327,6 +334,7 @@ def main(argv: list[str] | None = None) -> int:
     for flag in (
         "jobs", "retries", "checkpoint", "fault_plan", "on_error",
         "engine", "app", "results_dir", "run_name", "engine_store",
+        "workload",
     ):
         value = getattr(args, flag)
         if value is not None:

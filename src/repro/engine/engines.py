@@ -51,15 +51,27 @@ def _family_key(spec: "RunSpec") -> tuple:
     One certification decision covers a family: same app class, same
     stream geometry class, same device-model fingerprint.  A fig9-style
     partition sweep is one family; a fig8 dataset sweep is too.
+
+    App classes whose instances are *content* rather than a fixed shape
+    (workload scenarios) refine the key via an optional
+    ``family_signature`` classmethod: two different scenarios must never
+    share one certification verdict.  A ``None`` signature means "no
+    refinement needed" and leaves the key unchanged.
     """
     from repro.device.calibration import model_fingerprint
 
-    return (
+    key = (
         spec.app_cls,
         spec.streams_per_place,
         spec.num_devices,
         model_fingerprint(spec.device_spec),
     )
+    signature = getattr(spec.app_cls, "family_signature", None)
+    if signature is not None:
+        sig = signature(spec)
+        if sig is not None:
+            key += (sig,)
+    return key
 
 
 def _family_label(spec: "RunSpec") -> str:
@@ -167,11 +179,13 @@ class HybridEngine:
         """The on-disk identity of one family's verdict: the
         ``_family_key`` tuple flattened to a string, plus everything
         else the verdict depends on (tolerance, spread size)."""
-        app_cls, spp, devices, fingerprint = key
+        app_cls, spp, devices, fingerprint = key[:4]
         family = (
             f"{app_cls.__module__}.{app_cls.__qualname__}"
             f"|S={spp}|D={devices}"
         )
+        for part in key[4:]:  # family_signature refinements
+            family += f"|{part}"
         return family_store_key(
             fingerprint, family, self.tolerance, self.calibration_points
         )

@@ -244,23 +244,28 @@ class _FamilyBuilder:
         self.steps.append((_ST_CLOSED, 0))
 
 
+#: Event kinds for ``_eval_phase``'s loop (values are arbitrary — the
+#: per-push ``seq`` already makes every heap entry unique).
+_EV_START, _EV_RELEASE, _EV_DONE = 0, 1, 2
+
+
 def _eval_phase(phase, pt, tails, floor, lane_free, dispatch, lat):
     """Settle one compiled phase at one grid point; returns the updated
     lane-free time (``tails`` is mutated in place).
 
-    Exact flat-loop equivalent of ``StreamReplay._settle`` for the
-    single-device, zero-first-invoke families the grid path lowers.
-    Kernels and markers complete eagerly — their finish time is known
-    the moment their last predecessor settles, and completion effects
-    (tail maxima, dependency releases) are commutative, so processing
-    order is free.  Only the transfer lane needs chronology: requests
-    wait in ``arrivals`` keyed ``(request time, activation time, issue
-    index)`` (the DES's event order for an idle lane) and move to
-    ``waiting`` keyed ``(request time, issue index)`` once the
-    in-flight transfer outlasts them (the DES's busy-lane FIFO queue).
-    Granting the earliest known request is chronologically safe: any
-    request discovered later is released by a completion at or after
-    the current lane horizon, so its request time cannot precede it.
+    Exact flat-loop mirror of ``StreamReplay._settle`` for the
+    single-device, zero-first-invoke families the grid path lowers —
+    the same ``(time, seq)``-ordered event loop, with the compiled
+    arrays in place of action tuples.  The full chronology matters,
+    not just the transfer lane's: when two lane requests carry the
+    *same* request time, the DES grants them in activation order,
+    which is the processing order of their predecessors' completion
+    events — so completions cannot be settled eagerly (out of event
+    order) without sometimes flipping a lane-grant tie and shifting
+    every later action on the losing stream.  Completion order is
+    mirrored exactly: dependents activate in ascending issue index
+    within one completion (``_settle`` builds its dependent lists that
+    way), and each activation takes the next global ``seq``.
     """
     kinds = phase.kind
     outs = phase.outs
@@ -270,79 +275,71 @@ def _eval_phase(phase, pt, tails, floor, lane_free, dispatch, lat):
     cost = pt.cost
     remaining = pt.remaining0[:]
     pdone = pt.pdone0[:]
-    todo = pt.init_todo[:]
-    arrivals: list = []
-    waiting: list = []
-    inflight = -1
+    heap: list = []
+    lane_queue: list = []
+    lane_occupied = False
+    seq = 0
     push = heappush
     pop = heappop
-    while True:
-        while todo:
-            k = todo.pop()
-            a = pdone[k]
-            ready = (a if a > floor else floor) + dispatch
-            kd = kinds[k]
-            if kd == 1:  # transfer: request the lane
-                push(arrivals, (ready, a, k))
-                continue
-            t = ready + cost[k] if kd == 2 else ready
-            s = stream_of[k]
-            if t > tails[s]:
-                tails[s] = t
-            d = nxt[k]
-            if d >= 0:
-                if t > pdone[d]:
-                    pdone[d] = t
-                r = remaining[d] - 1
-                remaining[d] = r
-                if not r:
-                    todo.append(d)
-            for d in outs[k]:
-                if t > pdone[d]:
-                    pdone[d] = t
-                r = remaining[d] - 1
-                remaining[d] = r
-                if not r:
-                    todo.append(d)
-        if inflight >= 0:
-            t = lane_free
-            while arrivals and arrivals[0][0] <= t:
-                item = pop(arrivals)
-                push(waiting, (item[0], item[2]))
-            k = inflight
-            if waiting:
-                k2 = pop(waiting)[1]
-                lane_free = (t + lat) + laneq[k2]
-                inflight = k2
+
+    def activate(k):
+        nonlocal seq
+        a = pdone[k]
+        ready = (a if a > floor else floor) + dispatch
+        kd = kinds[k]
+        if kd == 1:  # transfer: request the lane
+            push(heap, (ready, seq, _EV_START, k))
+        elif kd == 2:  # kernel
+            push(heap, (ready + cost[k], seq, _EV_DONE, k))
+        else:  # marker
+            push(heap, (ready, seq, _EV_DONE, k))
+        seq += 1
+
+    for k in pt.init_todo:
+        activate(k)
+
+    while heap:
+        time, _, ev, k = pop(heap)
+        if ev == _EV_START:
+            if lane_occupied:
+                push(lane_queue, (time, k))
             else:
-                inflight = -1
-            # Complete the released transfer at t.
-            s = stream_of[k]
-            if t > tails[s]:
-                tails[s] = t
-            d = nxt[k]
-            if d >= 0:
-                if t > pdone[d]:
-                    pdone[d] = t
-                r = remaining[d] - 1
-                remaining[d] = r
-                if not r:
-                    todo.append(d)
-            for d in outs[k]:
-                if t > pdone[d]:
-                    pdone[d] = t
-                r = remaining[d] - 1
-                remaining[d] = r
-                if not r:
-                    todo.append(d)
-        elif arrivals:
-            ready, _, k2 = pop(arrivals)
-            if ready < lane_free:
-                ready = lane_free
-            lane_free = (ready + lat) + laneq[k2]
-            inflight = k2
+                start = time if time > lane_free else lane_free
+                lane_free = (start + lat) + laneq[k]
+                lane_occupied = True
+                push(heap, (lane_free, seq, _EV_RELEASE, k))
+                seq += 1
+            continue
+        # _EV_RELEASE or _EV_DONE: k completes at `time`.
+        s = stream_of[k]
+        if time > tails[s]:
+            tails[s] = time
+        d1 = nxt[k]
+        if d1 < 0:
+            dependents = outs[k]
+        elif outs[k]:
+            # Merge the FIFO successor into the explicit dependents in
+            # ascending issue order (duplicates kept: an explicit dep
+            # on the FIFO predecessor counts twice, as in ``_settle``).
+            dependents = sorted((d1, *outs[k]))
         else:
-            return lane_free
+            dependents = (d1,)
+        for d in dependents:
+            if time > pdone[d]:
+                pdone[d] = time
+            r = remaining[d] - 1
+            remaining[d] = r
+            if not r:
+                activate(d)
+        if ev == _EV_RELEASE:
+            lane_occupied = False
+            if lane_queue:
+                waiter = pop(lane_queue)[1]
+                lane_free = (time + lat) + laneq[waiter]
+                lane_occupied = True
+                push(heap, (lane_free, seq, _EV_RELEASE, waiter))
+                seq += 1
+    return lane_free
 
 
 #: Bound on cached per-P point schedules per family.
@@ -699,6 +696,8 @@ _LOWERERS: dict[type, Callable] = {
     HotspotApp: _lower_hotspot,
     SradApp: _lower_srad,
     CholeskyApp: _lower_cholesky,
+    # WorkloadApp registers itself here on ``import repro.workload``
+    # (the import runs in that direction to avoid a module cycle).
 }
 
 

@@ -342,6 +342,8 @@ PREDICTORS: dict[type, Callable] = {
     HotspotApp: predict_hotspot,
     SradApp: predict_srad,
     CholeskyApp: predict_cholesky,
+    # WorkloadApp registers itself here on ``import repro.workload``
+    # (the import runs in that direction to avoid a module cycle).
 }
 
 

@@ -26,6 +26,7 @@ from repro.experiments import fig8_apps, fig9_partition_sweep
 from repro.experiments import fig10_tile_sweep, fig11_multimic
 from repro.experiments import energy, future_overlap, heuristics_search
 from repro.experiments import microprobes, protocol, streams_per_place
+from repro.experiments import workload_sweep
 from repro.experiments.runner import ExperimentResult
 from repro.metrics import (
     RunManifest,
@@ -48,6 +49,7 @@ EXPERIMENTS = {
     "streams-per-place": streams_per_place.run,
     "protocol": protocol.run,
     "microprobes": microprobes.run,
+    "workload": workload_sweep.run,
 }
 
 
@@ -242,6 +244,13 @@ def main(argv: list[str] | None = None) -> int:
         "(mm, cf, kmeans, hotspot, nn, srad); repeatable",
     )
     parser.add_argument(
+        "--workload",
+        default=None,
+        metavar="FILE",
+        help="workload-spec JSON file for the 'workload' experiment "
+        "(see docs/WORKLOADS.md; default: a generated scenario)",
+    )
+    parser.add_argument(
         "--results-dir",
         default="results",
         metavar="DIR",
@@ -282,6 +291,8 @@ def main(argv: list[str] | None = None) -> int:
                     kwargs["engine"] = engine_arg
                 if args.apps and "apps" in params:
                     kwargs["apps"] = args.apps
+                if args.workload and "workload" in params:
+                    kwargs["workload"] = args.workload
                 start = time.perf_counter()
                 outcome = run_fn(**kwargs)
                 elapsed = time.perf_counter() - start

@@ -65,6 +65,42 @@ class RunSpec:
             keep_timeline=keep_timeline,
         )
 
+    @classmethod
+    def for_workload(
+        cls,
+        workload: Any,
+        *,
+        places: int,
+        streams_per_place: int = 1,
+        num_devices: int = 1,
+        keep_timeline: bool = False,
+        spec: "DeviceSpec | None" = None,
+    ) -> "RunSpec":
+        """A spec running a declarative workload scenario.
+
+        ``workload`` is a :class:`~repro.workload.spec.WorkloadSpec` or
+        its dict form (e.g. freshly parsed from ``--workload spec.json``
+        or a serve request body).  The frozen spec object itself becomes
+        the app argument — it is hashable and picklable, and its compact
+        fingerprint ``repr`` keys the result cache.
+        """
+        from repro.workload import WorkloadApp, WorkloadSpec
+
+        if isinstance(workload, dict):
+            workload = WorkloadSpec.from_dict(workload)
+        kwargs: dict[str, Any] = {}
+        if spec is not None:
+            kwargs["spec"] = spec
+        return cls.for_app(
+            WorkloadApp,
+            workload,
+            places=places,
+            streams_per_place=streams_per_place,
+            num_devices=num_devices,
+            keep_timeline=keep_timeline,
+            **kwargs,
+        )
+
     # -- execution ---------------------------------------------------------
 
     def build_app(self) -> Any:

@@ -141,10 +141,42 @@ def deadline_seconds(payload: dict) -> "float | None":
     return float(value) / 1e3
 
 
+def _workload_field(payload: dict):
+    """The optional ``workload`` field: an inline workload-spec dict
+    (the ``repro.workload`` JSON schema), mutually exclusive with the
+    named-app fields."""
+    value = payload.get("workload")
+    if value is None:
+        return None
+    if payload.get("app") is not None:
+        raise BadRequest("fields 'app' and 'workload' are mutually exclusive")
+    for key in ("T", "D"):
+        if payload.get(key) is not None:
+            raise BadRequest(
+                f"field {key!r} does not apply to workload requests "
+                "(the scenario fixes its own tiling and sizes)"
+            )
+    if not isinstance(value, dict):
+        raise BadRequest(
+            f"field 'workload' must be a workload-spec object, got "
+            f"{type(value).__name__}"
+        )
+    from repro.workload import WorkloadSpec
+
+    try:
+        return WorkloadSpec.from_dict(value)
+    except ReproError as exc:
+        raise BadRequest(f"invalid workload spec: {exc}") from exc
+
+
 def parse_predict(payload: dict) -> RunSpec:
-    """``{"app", "P", "T"?, "D"?}`` → one point spec."""
-    profile = profile_for(payload.get("app"))
+    """``{"app", "P", "T"?, "D"?}`` → one point spec.  Alternatively
+    ``{"workload": {...}, "P"}`` runs an inline declarative scenario."""
+    workload = _workload_field(payload)
     p = _int_field(payload, "P", required=True)
+    if workload is not None:
+        return RunSpec.for_workload(workload, places=p)
+    profile = profile_for(payload.get("app"))
     t = _int_field(payload, "T")
     d = _int_field(payload, "D")
     return profile.spec(p, t, d)
@@ -153,11 +185,15 @@ def parse_predict(payload: dict) -> RunSpec:
 def parse_sweep(payload: dict) -> "list[RunSpec]":
     """``{"app", "P": [...], "T": [...]?, "D"?}`` → the cross-product
     grid of specs, P-major then T — the shape ``predict_grid`` answers
-    as one family evaluation."""
-    profile = profile_for(payload.get("app"))
+    as one family evaluation.  ``{"workload": {...}, "P": [...]}``
+    sweeps an inline scenario over partitions instead."""
+    workload = _workload_field(payload)
     ps = _int_list(payload, "P")
     if ps is None:
         raise BadRequest("missing required field 'P' (list of partitions)")
+    if workload is not None:
+        return [RunSpec.for_workload(workload, places=p) for p in ps]
+    profile = profile_for(payload.get("app"))
     ts = _int_list(payload, "T", default=[None])  # type: ignore[list-item]
     d = _int_field(payload, "D")
     return [profile.spec(p, t, d) for p in ps for t in ts]

@@ -1,0 +1,50 @@
+"""Declarative streamed workloads: spec, generator, and lowerings.
+
+The workload DSL describes a streamed scenario — phases of tile-tagged
+transfer/kernel ops with optional same-phase dependencies — as plain
+data.  One spec drives all three engines: :class:`WorkloadApp` runs it
+on the DES, :func:`~repro.workload.compile.predict_workload` replays it
+through the scalar analytic model, and
+:func:`~repro.workload.compile.lower_workload` records it once into the
+grid path's family builder.  :func:`workload_of` re-derives the six
+built-in apps as specs; :class:`ScenarioGenerator` draws reproducible
+random scenarios for fuzzing and corpus generation.
+"""
+
+from repro.workload.app import WorkloadApp
+from repro.workload.compile import lower_workload, predict_workload
+from repro.workload.generator import DISTRIBUTIONS, ScenarioGenerator
+from repro.workload.ports import workload_of
+from repro.workload.spec import (
+    OP_KINDS,
+    SCHEMA_VERSION,
+    KernelSpec,
+    OpSpec,
+    PhaseSpec,
+    WorkloadSpec,
+)
+
+# Register the workload lowerings with the engine registries.  The
+# import runs in this direction (workload -> engine) because
+# workload.compile already depends on engine.analytic; anything that
+# touches a WorkloadApp necessarily imports this package first, so the
+# registrations are in place before any engine sees a workload run.
+from repro.engine import grid as _grid
+from repro.engine import profiles as _profiles
+
+_profiles.PREDICTORS[WorkloadApp] = predict_workload
+_grid._LOWERERS[WorkloadApp] = lower_workload
+del _grid, _profiles
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "KernelSpec",
+    "OP_KINDS",
+    "OpSpec",
+    "PhaseSpec",
+    "SCHEMA_VERSION",
+    "ScenarioGenerator",
+    "WorkloadApp",
+    "WorkloadSpec",
+    "workload_of",
+]

@@ -1,0 +1,116 @@
+"""Run a :class:`~repro.workload.spec.WorkloadSpec` on the DES.
+
+``WorkloadApp`` is a :class:`~repro.apps.base.StreamedApp` whose enqueue
+schedule is *data*: it walks the spec's expanded phases in order,
+mapping each op onto the hStreams surface exactly the way the hand-coded
+apps do — ``tile % num_streams`` picks the stream, transfers move real
+(virtual) buffers over the link, ``nbytes == 0`` transfers are pure
+residency markers, and sync phases end in ``ctx.sync_all()``.
+
+Timing-only by construction: a workload spec names no host data, so
+``materialize=True`` is refused up front rather than silently ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.apps.base import StreamedApp
+from repro.device.spec import DeviceSpec, PHI_31SP
+from repro.errors import ConfigurationError
+from repro.hstreams.context import StreamContext
+from repro.workload.spec import WorkloadSpec
+
+
+class WorkloadApp(StreamedApp):
+    """The DES lowering of a workload spec (see module docstring)."""
+
+    name = "workload"
+
+    def __init__(
+        self,
+        workload: "WorkloadSpec | dict",
+        *,
+        materialize: bool = False,
+        spec: DeviceSpec = PHI_31SP,
+    ) -> None:
+        if materialize:
+            raise ConfigurationError(
+                "workload specs describe timing, not data: "
+                "materialize=True is not supported"
+            )
+        if isinstance(workload, dict):
+            workload = WorkloadSpec.from_dict(workload)
+        if not isinstance(workload, WorkloadSpec):
+            raise ConfigurationError(
+                f"workload must be a WorkloadSpec or dict, "
+                f"got {type(workload).__name__}"
+            )
+        super().__init__(materialize=False, spec=spec)
+        self.workload = workload
+        self.name = f"workload:{workload.name}"
+        self._works = tuple(k.work() for k in workload.kernels)
+
+    # -- StreamedApp interface ----------------------------------------------
+
+    @property
+    def tiles(self) -> int:
+        return self.workload.tiles
+
+    def total_flops(self) -> float:
+        return self.workload.total_flops()
+
+    def _execute(self, ctx: StreamContext) -> dict[str, Any]:
+        for phase in self.workload.expanded_phases():
+            # Op names re-bind per phase repetition: deps always resolve
+            # to the current repetition's actions.
+            actions: dict[str, Any] = {}
+            for op in phase.ops:
+                stream = ctx.stream(op.tile % ctx.num_streams)
+                deps = tuple(actions[d] for d in op.deps)
+                if op.kind == "exe":
+                    act = stream.invoke(self._works[op.kernel], deps=deps)
+                elif op.kind == "h2d":
+                    buf = ctx.buffer(
+                        shape=(max(op.nbytes, 1),), dtype=np.uint8
+                    )
+                    act = stream.h2d(
+                        buf,
+                        count=(0 if op.nbytes == 0 else None),
+                        deps=deps,
+                    )
+                else:  # d2h
+                    buf = ctx.buffer(
+                        shape=(max(op.nbytes, 1),), dtype=np.uint8
+                    )
+                    # Downloads read device residency; instantiation is
+                    # the host-side (free) allocation the real apps do.
+                    buf.instantiate(stream.place.device)
+                    act = stream.d2h(
+                        buf,
+                        count=(0 if op.nbytes == 0 else None),
+                        deps=deps,
+                    )
+                if op.name is not None:
+                    actions[op.name] = act
+            if phase.sync:
+                ctx.sync_all()
+        return {}
+
+    # -- engine integration --------------------------------------------------
+
+    @classmethod
+    def family_signature(cls, run_spec) -> "str | None":
+        """Hybrid-certification family refinement: two different
+        scenarios must never share one certification verdict, so the
+        workload's content fingerprint joins the family key (see
+        :func:`repro.engine.engines._family_key`)."""
+        for value in (
+            *run_spec.app_args,
+            *(v for _, v in run_spec.app_kwargs),
+        ):
+            if isinstance(value, WorkloadSpec):
+                return value.fingerprint()
+        return None

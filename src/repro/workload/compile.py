@@ -1,0 +1,75 @@
+"""Lower a workload spec onto the analytic and grid engines.
+
+Both lowerings walk exactly the same expanded phase/op order as
+:meth:`repro.workload.app.WorkloadApp._execute` walks on the DES:
+
+* :func:`predict_workload` drives a
+  :class:`~repro.engine.analytic.StreamReplay` (the scalar model path,
+  registered in :data:`repro.engine.profiles.PREDICTORS`);
+* :func:`lower_workload` drives the grid path's
+  :class:`~repro.engine.grid._FamilyBuilder` (registered in
+  :data:`repro.engine.grid._LOWERERS`), recording the schedule once per
+  family with streams and costs deferred.
+
+The differential property suite (``tests/workload``) holds the three
+consumers together: grid == scalar bit-exactly for any generated
+scenario, and both track the DES within certification tolerance (or the
+hybrid engine demonstrably falls back).
+"""
+
+from __future__ import annotations
+
+from repro.engine.analytic import StreamReplay, invoke_cost
+
+
+def predict_workload(app, places: int, num_devices: int) -> float:
+    """Replay a :class:`~repro.workload.app.WorkloadApp`'s schedule
+    through the scalar analytic model."""
+    w = app.workload
+    rep = StreamReplay(places, app.spec, num_devices)
+    works = app._works
+    costs = [invoke_cost(work, rep.geometry, app.spec) for work in works]
+    for phase in w.expanded_phases():
+        handles: dict = {}
+        for op in phase.ops:
+            s = op.tile % rep.num_streams
+            deps = tuple(handles[d] for d in op.deps)
+            if op.kind == "exe":
+                h = rep.invoke(
+                    s,
+                    costs[op.kernel][s],
+                    deps=deps,
+                    name=works[op.kernel].name,
+                )
+            else:
+                h = rep.transfer(s, op.nbytes, deps=deps)
+            if op.name is not None:
+                handles[op.name] = h
+        if phase.sync:
+            rep.sync_all()
+    return rep.sync_all()  # harness's final global sync
+
+
+def lower_workload(app, bld) -> None:
+    """Record a workload family into a grid ``_FamilyBuilder``.
+
+    Same walk as :func:`predict_workload` with streams deferred (the
+    op's tile is the chain id) and costs deferred (one cost class per
+    kernel); the grid evaluator then serves every partition count from
+    this one recording.
+    """
+    w = app.workload
+    kls = [bld.kernel_class(work) for work in app._works]
+    for phase in w.expanded_phases():
+        handles: dict = {}
+        for op in phase.ops:
+            deps = tuple(handles[d] for d in op.deps)
+            if op.kind == "exe":
+                h = bld.invoke(op.tile, kls[op.kernel], deps=deps)
+            else:
+                h = bld.h2d(op.tile, op.nbytes, deps=deps)
+            if op.name is not None:
+                handles[op.name] = h
+        if phase.sync:
+            bld.sync_all()
+    bld.sync_all()  # harness's final global sync

@@ -1,0 +1,270 @@
+"""Seeded random scenario generation.
+
+:class:`ScenarioGenerator` draws reproducible workload specs from named
+shape distributions.  Determinism contract: ``generate(dist, i)`` seeds
+a private :class:`random.Random` with the string
+``"{seed}:{dist}:{i}"`` — string seeding hashes through SHA-512, so the
+draw is independent of ``PYTHONHASHSEED``, the platform, and any other
+scenario's draw.  The checked-in corpus under ``tests/data/scenarios/``
+and CI's fuzz smoke step both lean on this.
+
+Distributions (see :data:`DISTRIBUTIONS`):
+
+``smoke``
+    Tiny single-phase scenarios for fast sanity sweeps.
+``balanced``
+    Mixed transfer/compute pipelines, MM-like.
+``transfer_heavy``
+    Link-bound: large uploads/downloads around light kernels.
+``compute_heavy``
+    Kernel-bound: heavyweight kernels, token transfers.
+``irregular``
+    Heterogeneous tile sizes and costs (skewed draws).
+``multi_phase``
+    Iterated barrier phases, Kmeans/Hotspot-like.
+``co_resident``
+    Two generated apps co-resident on one device via
+    :meth:`~repro.workload.spec.WorkloadSpec.co_resident`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+from repro.workload.spec import KernelSpec, OpSpec, PhaseSpec, WorkloadSpec
+
+#: Upper bounds keeping generated scenarios simulation-friendly: total
+#: traffic well under the modelled card's memory, op counts small enough
+#: that a DES run stays in the milliseconds.
+MAX_TRANSFER_BYTES = 1 << 20
+MAX_OPS_PER_PHASE = 40
+MAX_TILE = 63
+
+
+def _kernel(rng: random.Random, idx: int, *, heavy: bool) -> KernelSpec:
+    flops = rng.uniform(1e6, 1e9) if heavy else rng.uniform(1e4, 1e7)
+    return KernelSpec(
+        name=f"k{idx}",
+        flops=float(f"{flops:.6g}"),
+        bytes_touched=rng.randrange(0, MAX_TRANSFER_BYTES),
+        thread_rate=float(f"{rng.uniform(1e8, 1e9):.6g}"),
+        serial_time=float(f"{rng.uniform(0.0, 1e-5):.6g}"),
+        temp_alloc_bytes=rng.choice((0, 0, 4096, 65536)),
+        cache_sensitive=rng.random() < 0.25,
+        efficiency=float(f"{rng.uniform(0.5, 1.0):.6g}"),
+    )
+
+
+def _pipeline_phase(
+    rng: random.Random,
+    n_kernels: int,
+    *,
+    tiles: int,
+    stages: int,
+    up_hi: int,
+    down_hi: int,
+) -> PhaseSpec:
+    """An MM-style phase: per tile, an upload feeding a chain of
+    kernels, then a download — names/deps exercise the dependency path
+    of all three engines."""
+    ops: list[OpSpec] = []
+    for t in range(tiles):
+        up = f"up{t}"
+        ops.append(OpSpec("h2d", t, rng.randrange(1, up_hi), name=up))
+        prev = up
+        for s in range(stages):
+            name = f"exe{t}_{s}"
+            ops.append(
+                OpSpec(
+                    "exe",
+                    t,
+                    kernel=rng.randrange(n_kernels),
+                    name=name,
+                    deps=(prev,),
+                )
+            )
+            prev = name
+        ops.append(OpSpec("d2h", t, rng.randrange(1, down_hi), deps=(prev,)))
+    return PhaseSpec(ops=tuple(ops), sync=rng.random() < 0.5)
+
+
+def _iterated_phases(
+    rng: random.Random, n_kernels: int, *, tiles: int, repeat: int
+) -> list[PhaseSpec]:
+    """Kmeans/Hotspot-like: one upload phase, then an iterated
+    dep-free barrier phase."""
+    uploads = tuple(
+        OpSpec("h2d", t, rng.randrange(1, MAX_TRANSFER_BYTES))
+        for t in range(tiles)
+    )
+    steps = tuple(
+        OpSpec("exe", t, kernel=rng.randrange(n_kernels))
+        for t in range(tiles)
+    )
+    return [
+        PhaseSpec(ops=uploads, sync=True),
+        PhaseSpec(ops=steps, sync=True, repeat=repeat),
+    ]
+
+
+def _gen_smoke(rng: random.Random, name: str) -> WorkloadSpec:
+    kernels = tuple(
+        _kernel(rng, i, heavy=False) for i in range(rng.randint(1, 2))
+    )
+    tiles = rng.randint(1, 4)
+    phase = _pipeline_phase(
+        rng, len(kernels), tiles=tiles, stages=1, up_hi=4096, down_hi=4096
+    )
+    return WorkloadSpec(name=name, kernels=kernels, phases=(phase,))
+
+
+def _gen_balanced(rng: random.Random, name: str) -> WorkloadSpec:
+    kernels = tuple(
+        _kernel(rng, i, heavy=bool(i % 2)) for i in range(rng.randint(2, 4))
+    )
+    phases = [
+        _pipeline_phase(
+            rng,
+            len(kernels),
+            tiles=rng.randint(2, 10),
+            stages=rng.randint(1, 3),
+            up_hi=MAX_TRANSFER_BYTES,
+            down_hi=MAX_TRANSFER_BYTES // 4,
+        )
+        for _ in range(rng.randint(1, 2))
+    ]
+    return WorkloadSpec(name=name, kernels=kernels, phases=tuple(phases))
+
+
+def _gen_transfer_heavy(rng: random.Random, name: str) -> WorkloadSpec:
+    kernels = tuple(
+        _kernel(rng, i, heavy=False) for i in range(rng.randint(1, 3))
+    )
+    phase = _pipeline_phase(
+        rng,
+        len(kernels),
+        tiles=rng.randint(4, 12),
+        stages=1,
+        up_hi=MAX_TRANSFER_BYTES,
+        down_hi=MAX_TRANSFER_BYTES,
+    )
+    return WorkloadSpec(name=name, kernels=kernels, phases=(phase,))
+
+
+def _gen_compute_heavy(rng: random.Random, name: str) -> WorkloadSpec:
+    kernels = tuple(
+        _kernel(rng, i, heavy=True) for i in range(rng.randint(2, 4))
+    )
+    phase = _pipeline_phase(
+        rng,
+        len(kernels),
+        tiles=rng.randint(2, 8),
+        stages=rng.randint(2, 4),
+        up_hi=4096,
+        down_hi=4096,
+    )
+    return WorkloadSpec(name=name, kernels=kernels, phases=(phase,))
+
+
+def _gen_irregular(rng: random.Random, name: str) -> WorkloadSpec:
+    """Heterogeneous everything: skewed transfer sizes, tiles drawn
+    with replacement (some streams get several ops, some none), a mix
+    of markers and real transfers."""
+    kernels = tuple(
+        _kernel(rng, i, heavy=rng.random() < 0.5)
+        for i in range(rng.randint(2, 5))
+    )
+    ops: list[OpSpec] = []
+    n_ops = rng.randint(6, MAX_OPS_PER_PHASE)
+    for i in range(n_ops):
+        tile = rng.randrange(0, rng.choice((4, 8, MAX_TILE + 1)))
+        kind = rng.choice(("h2d", "h2d", "exe", "exe", "exe", "d2h"))
+        if kind == "exe":
+            ops.append(
+                OpSpec("exe", tile, kernel=rng.randrange(len(kernels)))
+            )
+        else:
+            # Skewed sizes: mostly small, occasionally huge, sometimes
+            # a pure residency marker.
+            draw = rng.random()
+            if draw < 0.15:
+                nbytes = 0
+            elif draw < 0.8:
+                nbytes = rng.randrange(1, 8192)
+            else:
+                nbytes = rng.randrange(8192, MAX_TRANSFER_BYTES)
+            ops.append(OpSpec(kind, tile, nbytes))
+    phases = (PhaseSpec(ops=tuple(ops), sync=rng.random() < 0.5),)
+    return WorkloadSpec(name=name, kernels=kernels, phases=phases)
+
+
+def _gen_multi_phase(rng: random.Random, name: str) -> WorkloadSpec:
+    kernels = tuple(
+        _kernel(rng, i, heavy=bool(i % 2)) for i in range(rng.randint(2, 4))
+    )
+    phases = _iterated_phases(
+        rng,
+        len(kernels),
+        tiles=rng.randint(2, 12),
+        repeat=rng.randint(2, 4),
+    )
+    downloads = tuple(
+        OpSpec("d2h", t, rng.randrange(1, MAX_TRANSFER_BYTES))
+        for t in range(len(phases[0].ops))
+    )
+    phases.append(PhaseSpec(ops=downloads, sync=False))
+    return WorkloadSpec(name=name, kernels=kernels, phases=tuple(phases))
+
+
+def _gen_co_resident(rng: random.Random, name: str) -> WorkloadSpec:
+    left = _gen_balanced(rng, "left")
+    right = rng.choice((_gen_transfer_heavy, _gen_compute_heavy))(
+        rng, "right"
+    )
+    return WorkloadSpec.co_resident((left, right), name=name)
+
+
+DISTRIBUTIONS = {
+    "smoke": _gen_smoke,
+    "balanced": _gen_balanced,
+    "transfer_heavy": _gen_transfer_heavy,
+    "compute_heavy": _gen_compute_heavy,
+    "irregular": _gen_irregular,
+    "multi_phase": _gen_multi_phase,
+    "co_resident": _gen_co_resident,
+}
+
+
+class ScenarioGenerator:
+    """Reproducible workload scenarios from named distributions."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def generate(self, distribution: str, index: int = 0) -> WorkloadSpec:
+        """Scenario ``index`` of ``distribution`` (pure function of
+        ``(seed, distribution, index)``)."""
+        gen = DISTRIBUTIONS.get(distribution)
+        if gen is None:
+            raise ConfigurationError(
+                f"unknown distribution {distribution!r}; "
+                f"known: {', '.join(sorted(DISTRIBUTIONS))}"
+            )
+        rng = random.Random(f"{self.seed}:{distribution}:{index}")
+        return gen(rng, f"{distribution}-{self.seed}-{index}")
+
+    def corpus(
+        self, count: int, distributions: "tuple[str, ...] | None" = None
+    ) -> list[WorkloadSpec]:
+        """``count`` scenarios cycling round-robin over
+        ``distributions`` (default: all, sorted by name)."""
+        names = (
+            tuple(sorted(DISTRIBUTIONS))
+            if distributions is None
+            else distributions
+        )
+        return [
+            self.generate(names[i % len(names)], i // len(names))
+            for i in range(count)
+        ]

@@ -1,0 +1,323 @@
+"""The six built-in apps expressed as workload specs.
+
+:func:`workload_of` re-derives an app instance's enqueue schedule as a
+:class:`~repro.workload.spec.WorkloadSpec` — the same transfers, the
+same dedup/residency bookkeeping, the same dependency edges, in the
+same emission order.  On a single device the port is *DES-exact*: a
+``WorkloadApp(workload_of(app))`` run produces bit-identical elapsed
+times to the original app (held by ``tests/workload/test_ports.py``).
+
+Multi-device caveat: MatMul and Cholesky deduplicate uploads per
+*device*; a spec fixes the dedup pattern at build time, so their ports
+encode the single-device pattern (exactly the constraint the grid path
+already lives with).  The iterated apps replay every iteration
+explicitly (a spec is data, not arithmetic), so analytic predictions of
+a port match the closed-form originals to float-rounding (~1e-9), while
+DES runs match exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.cholesky_app import CholeskyApp
+from repro.apps.hotspot_app import HotspotApp
+from repro.apps.kmeans_app import KmeansApp
+from repro.apps.matmul_app import MatMulApp
+from repro.apps.nn_app import NNApp
+from repro.apps.srad_app import SradApp
+from repro.errors import ConfigurationError
+from repro.kernels.cholesky import (
+    gemm_update_work,
+    potrf_work,
+    syrk_update_work,
+    trsm_work,
+)
+from repro.kernels.hotspot import hotspot_work
+from repro.kernels.kmeans import kmeans_assign_work
+from repro.kernels.matmul import gemm_work
+from repro.kernels.nn import nn_work
+from repro.kernels.srad import srad_statistics_work, srad_update_work
+from repro.workload.spec import KernelSpec, OpSpec, PhaseSpec, WorkloadSpec
+
+
+class _Kernels:
+    """Deduplicating kernel table: identical work descriptors share one
+    spec slot (mirrors the apps' per-tile-size work dedup)."""
+
+    def __init__(self):
+        self.specs: list[KernelSpec] = []
+        self._index: dict[KernelSpec, int] = {}
+
+    def add(self, work) -> int:
+        spec = KernelSpec.from_work(work)
+        idx = self._index.get(spec)
+        if idx is None:
+            idx = len(self.specs)
+            self._index[spec] = idx
+            self.specs.append(spec)
+        return idx
+
+
+def _port_matmul(app: MatMulApp) -> WorkloadSpec:
+    d, g = app.d, app.grid
+    block = d // g
+    itemsize = app.dtype.itemsize
+    kernels = _Kernels()
+    gemm = kernels.add(gemm_work(block, block, d, itemsize, app.spec))
+    row_bytes = block * d * itemsize
+    ops: list[OpSpec] = []
+    a_seen: set[int] = set()
+    b_seen: set[int] = set()
+    for t in range(g * g):
+        i, j = divmod(t, g)
+        if i not in a_seen:
+            a_seen.add(i)
+            ops.append(OpSpec("h2d", t, row_bytes, name=f"a{i}"))
+        if j not in b_seen:
+            b_seen.add(j)
+            ops.append(OpSpec("h2d", t, row_bytes, name=f"b{j}"))
+        ops.append(OpSpec("exe", t, kernel=gemm, deps=(f"a{i}", f"b{j}")))
+        ops.append(OpSpec("d2h", t, block * block * itemsize))
+    return WorkloadSpec(
+        name=f"mm-d{d}-t{g * g}",
+        kernels=tuple(kernels.specs),
+        phases=(PhaseSpec(ops=tuple(ops), sync=False),),
+    )
+
+
+def _port_nn(app: NNApp) -> WorkloadSpec:
+    bounds = np.linspace(0, app.n_records, app.tiles + 1).astype(int)
+    kernels = _Kernels()
+    ops: list[OpSpec] = []
+    for t, (lo, hi) in enumerate(zip(bounds, bounds[1:])):
+        count = int(hi - lo)
+        if count == 0:
+            continue
+        kl = kernels.add(nn_work(count, 4, app.spec))
+        ops.append(OpSpec("h2d", t, count * 2 * 4))
+        ops.append(OpSpec("h2d", t, 0))  # output residency marker
+        ops.append(OpSpec("exe", t, kernel=kl))
+        ops.append(OpSpec("d2h", t, count * 4))
+    return WorkloadSpec(
+        name=f"nn-r{app.n_records}-t{app.tiles}",
+        kernels=tuple(kernels.specs),
+        phases=(PhaseSpec(ops=tuple(ops), sync=False),),
+    )
+
+
+def _port_kmeans(app: KmeansApp) -> WorkloadSpec:
+    f = app.n_features
+    tiles = app._tile_bounds()
+    kernels = _Kernels()
+    uploads = tuple(
+        OpSpec("h2d", t, (hi - lo) * f * 4)
+        for t, (lo, hi) in enumerate(tiles)
+    )
+    assigns = tuple(
+        OpSpec(
+            "exe",
+            t,
+            kernel=kernels.add(
+                kmeans_assign_work(hi - lo, app.n_clusters, f, 4, app.spec)
+            ),
+        )
+        for t, (lo, hi) in enumerate(tiles)
+    )
+    return WorkloadSpec(
+        name=f"kmeans-n{app.n_points}-t{len(tiles)}",
+        kernels=tuple(kernels.specs),
+        phases=(
+            PhaseSpec(ops=uploads, sync=False),
+            PhaseSpec(ops=assigns, sync=True, repeat=app.iterations),
+        ),
+    )
+
+
+def _port_hotspot(app: HotspotApp) -> WorkloadSpec:
+    if app.halo_sync != "global":
+        raise ConfigurationError(
+            "only Hotspot's global halo barrier is portable to a "
+            f"workload spec (halo_sync={app.halo_sync!r})"
+        )
+    d = app.d
+    bands = app._row_bands()
+    kernels = _Kernels()
+    uploads: list[OpSpec] = []
+    for t, (lo, hi) in enumerate(bands):
+        uploads.append(OpSpec("h2d", t, (hi - lo) * d * 4))  # temp
+        uploads.append(OpSpec("h2d", t, (hi - lo) * d * 4))  # power
+        uploads.append(OpSpec("h2d", t, 0))  # scratch marker
+    steps = tuple(
+        OpSpec(
+            "exe",
+            t,
+            kernel=kernels.add(hotspot_work(hi - lo, d, 4, app.spec)),
+        )
+        for t, (lo, hi) in enumerate(bands)
+    )
+    downloads = tuple(
+        OpSpec("d2h", t, (hi - lo) * d * 4)
+        for t, (lo, hi) in enumerate(bands)
+    )
+    return WorkloadSpec(
+        name=f"hotspot-d{d}-t{len(bands)}",
+        kernels=tuple(kernels.specs),
+        phases=(
+            PhaseSpec(ops=tuple(uploads), sync=True),
+            PhaseSpec(ops=steps, sync=True, repeat=app.iterations),
+            PhaseSpec(ops=downloads, sync=False),
+        ),
+    )
+
+
+def _port_srad(app: SradApp) -> WorkloadSpec:
+    d = app.d
+    bands = app._row_bands()
+    kernels = _Kernels()
+    uploads: list[OpSpec] = []
+    for t, (lo, hi) in enumerate(bands):
+        uploads.append(OpSpec("h2d", t, (hi - lo) * d * 4))  # image
+        uploads.append(OpSpec("h2d", t, 0))  # scratch marker
+    stats = tuple(
+        OpSpec(
+            "exe",
+            t,
+            kernel=kernels.add(
+                srad_statistics_work(hi - lo, d, 4, app.spec)
+            ),
+        )
+        for t, (lo, hi) in enumerate(bands)
+    )
+    updates = tuple(
+        OpSpec(
+            "exe",
+            t,
+            kernel=kernels.add(srad_update_work(hi - lo, d, 4, app.spec)),
+        )
+        for t, (lo, hi) in enumerate(bands)
+    )
+    downloads = tuple(
+        OpSpec("d2h", t, (hi - lo) * d * 4)
+        for t, (lo, hi) in enumerate(bands)
+    )
+    # The statistics/update pair repeats as a unit; PhaseSpec.repeat
+    # covers a single phase, so the iterations unroll explicitly here.
+    phases: list[PhaseSpec] = [PhaseSpec(ops=tuple(uploads), sync=True)]
+    for _ in range(app.iterations):
+        phases.append(PhaseSpec(ops=stats, sync=True))
+        phases.append(PhaseSpec(ops=updates, sync=True))
+    phases.append(PhaseSpec(ops=downloads, sync=False))
+    return WorkloadSpec(
+        name=f"srad-d{d}-t{len(bands)}",
+        kernels=tuple(kernels.specs),
+        phases=tuple(phases),
+    )
+
+
+def _port_cholesky(app: CholeskyApp) -> WorkloadSpec:
+    if app.mapping != "owner":
+        raise ConfigurationError(
+            "only the owner stream mapping is portable to a workload "
+            f"spec (mapping={app.mapping!r})"
+        )
+    nb, b = app.nb, app.block
+    tile_bytes = b * b * 8
+    kernels = _Kernels()
+    kls = {
+        kind: kernels.add(work)
+        for kind, work in (
+            ("potrf", potrf_work(b, 8, app.spec)),
+            ("trsm", trsm_work(b, 8, app.spec)),
+            ("syrk", syrk_update_work(b, 8, app.spec)),
+            ("gemm", gemm_update_work(b, 8, app.spec)),
+        )
+    }
+    ops: list[OpSpec] = []
+    last_writer: dict[tuple[int, int], str] = {}
+    resident: set[tuple[int, int]] = set()
+
+    # Single device: the resident-set evolution (hence the transfer
+    # topology) is P-independent, exactly as in the grid lowering.
+    def h2d_count(reads=(), writes=()):
+        n = 0
+        for coord in (*reads, *writes):
+            if coord not in resident:
+                resident.add(coord)
+                n += 1
+        return n
+
+    def emit(name, kind, tile, after, n_h2d, with_d2h):
+        # Dependencies attach to the task's FIRST action (the pipeline
+        # scheduler's contract); dependents wait on its LAST.
+        deps = tuple(after)
+        first = True
+        for _ in range(n_h2d):
+            ops.append(
+                OpSpec("h2d", tile, tile_bytes, deps=deps if first else ())
+            )
+            first = False
+        exe = OpSpec(
+            "exe",
+            tile,
+            kernel=kls[kind],
+            deps=deps if first else (),
+            name=None if with_d2h else name,
+        )
+        ops.append(exe)
+        if with_d2h:
+            ops.append(OpSpec("d2h", tile, tile_bytes, name=name))
+
+    for j in range(nb):
+        after = [last_writer[(j, j)]] if (j, j) in last_writer else []
+        n = h2d_count(writes=((j, j),))
+        emit(f"potrf_{j}", "potrf", j, after, n, with_d2h=True)
+        last_writer[(j, j)] = f"potrf_{j}"
+        for i in range(j + 1, nb):
+            after = [f"potrf_{j}"]
+            if (i, j) in last_writer:
+                after.append(last_writer[(i, j)])
+            n = h2d_count(reads=((j, j),), writes=((i, j),))
+            emit(f"trsm_{i}_{j}", "trsm", i, after, n, with_d2h=True)
+            last_writer[(i, j)] = f"trsm_{i}_{j}"
+        for i in range(j + 1, nb):
+            for k in range(j + 1, i + 1):
+                after = [f"trsm_{i}_{j}"]
+                if k != i:
+                    after.append(f"trsm_{k}_{j}")
+                if (i, k) in last_writer:
+                    after.append(last_writer[(i, k)])
+                kind = "syrk" if k == i else "gemm"
+                reads = ((i, j),) if k == i else ((i, j), (k, j))
+                name = (
+                    f"syrk_{i}_{j}" if k == i else f"gemm_{i}_{k}_{j}"
+                )
+                n = h2d_count(reads=reads, writes=((i, k),))
+                emit(name, kind, i, after, n, with_d2h=False)
+                last_writer[(i, k)] = name
+    return WorkloadSpec(
+        name=f"cf-d{app.d}-t{nb * nb}",
+        kernels=tuple(kernels.specs),
+        phases=(PhaseSpec(ops=tuple(ops), sync=False),),
+    )
+
+
+_PORTS = {
+    MatMulApp: _port_matmul,
+    NNApp: _port_nn,
+    KmeansApp: _port_kmeans,
+    HotspotApp: _port_hotspot,
+    SradApp: _port_srad,
+    CholeskyApp: _port_cholesky,
+}
+
+
+def workload_of(app) -> WorkloadSpec:
+    """The workload spec equivalent to ``app``'s enqueue schedule
+    (single-device exact; see the module docstring)."""
+    port = _PORTS.get(type(app))
+    if port is None:
+        raise ConfigurationError(
+            f"no workload port for app class {type(app).__name__}"
+        )
+    return port(app)

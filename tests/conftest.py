@@ -1,0 +1,30 @@
+"""Suite-wide pytest configuration: Hypothesis run profiles.
+
+Two named profiles, selected via the ``HYPOTHESIS_PROFILE`` environment
+variable (unset = Hypothesis defaults, the local-development behaviour):
+
+``ci``
+    Derandomized with a fixed example budget — every CI run of the same
+    tree explores the same examples, so a red build bisects cleanly and
+    reruns are bit-stable.  (Tests that pin their own ``max_examples``
+    keep it; derandomization still applies to them.)
+``nightly``
+    10x the ci example budget with randomized exploration — the
+    wide-net run that hunts for new counterexamples and feeds the
+    ``.hypothesis`` example database the ci runs replay from.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile(
+    "ci", derandomize=True, max_examples=25, deadline=None, print_blob=True
+)
+settings.register_profile(
+    "nightly", max_examples=250, deadline=None, print_blob=True
+)
+
+_profile = os.environ.get("HYPOTHESIS_PROFILE")
+if _profile:
+    settings.load_profile(_profile)

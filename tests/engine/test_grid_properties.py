@@ -9,80 +9,9 @@ equality (``==``, never ``approx``) at every point.
 """
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
-from repro.apps import (
-    CholeskyApp,
-    HotspotApp,
-    KmeansApp,
-    MatMulApp,
-    NNApp,
-    SradApp,
-)
 from repro.engine import predict_run, predict_runs
-from repro.parallel import RunSpec
-
-#: Partition counts within the modeled card's 56 usable cores.
-places = st.integers(min_value=1, max_value=56)
-
-
-def _build(app_cls, p, args, kwargs=None):
-    return RunSpec.for_app(app_cls, *args, places=p, **(kwargs or {}))
-
-
-#: One strategy per app profile: (P, T, D) draws sized so a single
-#: example stays fast while still varying the tile/dataset geometry.
-#: MM and Cholesky need a perfect-square tile count with the matrix a
-#: multiple of its grid side; the banded apps need tiles <= rows.
-SPEC_STRATEGIES = [
-    st.builds(
-        lambda p, g, block: _build(MatMulApp, p, (g * block, g * g)),
-        places,
-        st.integers(min_value=1, max_value=4),
-        st.sampled_from([150, 300, 600]),
-    ),
-    st.builds(
-        lambda p, recs, t: _build(NNApp, p, (recs, t)),
-        places,
-        st.integers(min_value=1000, max_value=200000),
-        st.integers(min_value=1, max_value=64),
-    ),
-    st.builds(
-        lambda p, n, t, it: _build(
-            KmeansApp, p, (n, t), {"iterations": it}
-        ),
-        places,
-        st.integers(min_value=10000, max_value=100000),
-        st.integers(min_value=1, max_value=32),
-        st.integers(min_value=1, max_value=5),
-    ),
-    st.builds(
-        lambda p, d, t, it: _build(
-            HotspotApp, p, (64 * d, t), {"iterations": it}
-        ),
-        places,
-        st.integers(min_value=4, max_value=32),
-        st.integers(min_value=1, max_value=32),
-        st.integers(min_value=1, max_value=4),
-    ),
-    st.builds(
-        lambda p, d, t, it: _build(
-            SradApp, p, (100 * d, t), {"iterations": it}
-        ),
-        places,
-        st.integers(min_value=2, max_value=24),
-        st.integers(min_value=1, max_value=32),
-        st.integers(min_value=1, max_value=3),
-    ),
-    st.builds(
-        lambda p, g, block: _build(CholeskyApp, p, (g * block, g * g)),
-        st.integers(min_value=1, max_value=16),
-        st.integers(min_value=2, max_value=6),
-        st.sampled_from([240, 300, 480]),
-    ),
-]
-
-spec_grids = st.lists(st.one_of(SPEC_STRATEGIES), min_size=1, max_size=6)
+from tests.strategies import spec_grids
 
 
 @settings(max_examples=30, deadline=None)

@@ -1,0 +1,125 @@
+"""A damaged store file is a cache miss, never a crash.
+
+The certified-family store is a cache: the contract in
+``EngineStore._read_file`` is that an absent, torn, garbage, or
+schema-incompatible file reads as empty, costing one re-certification
+and nothing else.  These tests damage the file in every way a crashed
+or hostile writer could and assert lookups miss cleanly, puts recover
+the file, and a hybrid sweep pointed at the wreckage still answers.
+"""
+
+import json
+
+import pytest
+
+from repro.apps import MatMulApp
+from repro.engine.store import (
+    STORE_SCHEMA,
+    STORE_VERSION,
+    EngineStore,
+    FamilyVerdict,
+)
+from repro.metrics.registry import scoped_registry
+from repro.parallel import RunSpec, SweepExecutor
+
+
+def _verdict():
+    return FamilyVerdict(certified=True, worst_error=0.01, tolerance=0.05)
+
+
+def _valid_payload():
+    return {
+        "schema": STORE_SCHEMA,
+        "schema_version": STORE_VERSION,
+        "entries": {
+            "good": {"used": 1, "verdict": _verdict().to_dict()},
+        },
+    }
+
+
+def _write(tmp_path, text):
+    path = tmp_path / "store.json"
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+DAMAGE = {
+    "garbage": "not json at all {{{",
+    "empty": "",
+    "json_scalar": "42",
+    "json_list": "[1, 2, 3]",
+    "wrong_schema": json.dumps(
+        {"schema": "someone.elses", "schema_version": 1, "entries": {}}
+    ),
+    "future_version": json.dumps(
+        {
+            "schema": STORE_SCHEMA,
+            "schema_version": STORE_VERSION + 1,
+            "entries": {"k": {"used": 1, "verdict": _verdict().to_dict()}},
+        }
+    ),
+    "entries_not_dict": json.dumps(
+        {"schema": STORE_SCHEMA, "schema_version": STORE_VERSION,
+         "entries": [1, 2]}
+    ),
+    "truncated": json.dumps(_valid_payload())[:-25],
+}
+
+
+@pytest.mark.parametrize("damage", sorted(DAMAGE), ids=sorted(DAMAGE))
+class TestDamagedFileIsAMiss:
+    def test_get_misses_cleanly(self, tmp_path, damage):
+        path = _write(tmp_path, DAMAGE[damage])
+        store = EngineStore(path)
+        with scoped_registry():
+            assert store.get("good") is None
+        assert store.stats.misses == 1
+        assert len(store) == 0
+
+    def test_put_recovers_the_file(self, tmp_path, damage):
+        path = _write(tmp_path, DAMAGE[damage])
+        store = EngineStore(path)
+        with scoped_registry():
+            store.put("fresh", _verdict())
+        # The rewrite is well-formed: a second store loads it clean.
+        second = EngineStore(path)
+        with scoped_registry():
+            got = second.get("fresh")
+        assert got is not None and got.certified
+
+
+class TestMalformedEntriesAreSkipped:
+    def test_bad_entries_dropped_good_ones_kept(self, tmp_path):
+        payload = _valid_payload()
+        payload["entries"]["no_verdict"] = {"used": 2}
+        payload["entries"]["bad_used"] = {
+            "used": "soon", "verdict": _verdict().to_dict()
+        }
+        payload["entries"]["not_a_dict"] = "huh"
+        path = _write(tmp_path, json.dumps(payload))
+        store = EngineStore(path)
+        with scoped_registry():
+            assert store.get("good") is not None
+            assert store.get("no_verdict") is None
+            assert store.get("bad_used") is None
+            assert store.get("not_a_dict") is None
+        assert len(store) == 1
+
+
+class TestHybridOnCorruptStore:
+    def test_sweep_answers_despite_garbage_store(self, tmp_path):
+        path = _write(tmp_path, DAMAGE["garbage"])
+        specs = [
+            RunSpec.for_app(MatMulApp, 3000, 36, places=p)
+            for p in (1, 2, 4, 8)
+        ]
+        with scoped_registry():
+            runs = SweepExecutor(
+                jobs=1, engine="hybrid", engine_store=str(path)
+            ).map(specs)
+        assert len(runs) == len(specs)
+        assert all(r.elapsed > 0 for r in runs)
+        # The sweep re-certified and healed the file on disk.
+        healed = json.loads(path.read_text())
+        assert healed["schema"] == STORE_SCHEMA
+        assert healed["entries"]

@@ -27,6 +27,7 @@ from repro.engine.profiles import (
     hbench_transfer_model,
 )
 from repro.model.overlap import OverlapModel
+from tests.strategies import stage_times
 
 
 def _rel_error(predicted: float, simulated: float) -> float:
@@ -106,12 +107,6 @@ class TestFig7Probes:
         assert hbench_reference_model(hb, 100) == pytest.approx(
             hb.reference_time(100), rel=1e-9
         )
-
-
-# Stage times from 1 us to 10 s: the whole regime the figures exercise.
-stage_times = st.floats(
-    min_value=1e-6, max_value=10.0, allow_nan=False, allow_infinity=False
-)
 
 
 class TestOverlapModelProperties:

@@ -1,0 +1,53 @@
+"""CLI wiring: the ``workload`` experiment and ``--workload FILE``."""
+
+import json
+
+from repro.experiments import workload_sweep
+from repro.experiments.__main__ import EXPERIMENTS
+from repro.metrics.registry import scoped_registry
+from repro.workload import ScenarioGenerator
+
+
+def test_workload_experiment_is_registered():
+    assert EXPERIMENTS["workload"] is workload_sweep.run
+
+
+def test_default_scenario_run_passes_its_checks():
+    with scoped_registry():
+        result = workload_sweep.run(fast=True)
+    assert result.experiment == "workload"
+    assert result.all_checks_pass
+    assert [s.label for s in result.series] == ["elapsed", "model", "grid"]
+
+
+def test_workload_file_flag_drives_the_sweep(tmp_path):
+    w = ScenarioGenerator(seed=23).generate("transfer_heavy", 1)
+    path = tmp_path / "scenario.json"
+    path.write_text(w.to_json(), encoding="utf-8")
+    with scoped_registry():
+        result = workload_sweep.run(fast=True, workload=str(path))
+    assert w.fingerprint() in result.title
+    assert result.all_checks_pass
+
+
+def test_cli_forwards_workload_flag(tmp_path, capsys):
+    from repro.experiments.__main__ import main
+
+    w = ScenarioGenerator(seed=23).generate("smoke", 0)
+    path = tmp_path / "scenario.json"
+    path.write_text(w.to_json(), encoding="utf-8")
+    rc = main(
+        [
+            "workload",
+            "--workload", str(path),
+            "--results-dir", str(tmp_path / "results"),
+            "--run-name", "wl",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert w.fingerprint() in out
+    manifest = json.loads(
+        (tmp_path / "results" / "wl" / "manifest.json").read_text()
+    )
+    assert manifest["run"]["figures"] == ["workload"]

@@ -1,0 +1,56 @@
+"""ScenarioGenerator: determinism, coverage, validity."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload import (
+    DISTRIBUTIONS,
+    ScenarioGenerator,
+    WorkloadApp,
+    WorkloadSpec,
+)
+
+
+class TestDeterminism:
+    def test_same_coordinates_same_scenario(self):
+        a = ScenarioGenerator(seed=5).generate("balanced", 3)
+        b = ScenarioGenerator(seed=5).generate("balanced", 3)
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_index_and_seed_vary_the_draw(self):
+        g = ScenarioGenerator(seed=5)
+        assert g.generate("balanced", 0) != g.generate("balanced", 1)
+        assert g.generate("balanced", 0) != \
+            ScenarioGenerator(seed=6).generate("balanced", 0)
+
+    def test_draws_are_independent_of_generation_order(self):
+        g = ScenarioGenerator(seed=2)
+        forward = [g.generate("irregular", i) for i in range(3)]
+        backward = [g.generate("irregular", i) for i in (2, 1, 0)]
+        assert forward == list(reversed(backward))
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+    def test_every_distribution_yields_valid_runnable_specs(self, dist):
+        for idx in range(2):
+            w = ScenarioGenerator(seed=1).generate(dist, idx)
+            assert isinstance(w, WorkloadSpec)
+            assert WorkloadSpec.from_json(w.to_json()) == w
+            run = WorkloadApp(w).run(places=2)
+            assert run.elapsed > 0
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown distribution"):
+            ScenarioGenerator().generate("nope")
+
+    def test_corpus_cycles_distributions(self):
+        n = len(DISTRIBUTIONS)
+        corpus = ScenarioGenerator(seed=4).corpus(n + 2)
+        assert len(corpus) == n + 2
+        names = [w.name.rsplit("-", 2)[0] for w in corpus]
+        assert names[:n] == sorted(DISTRIBUTIONS)
+        # wrap-around re-draws the first distributions at index 1
+        assert names[n:] == sorted(DISTRIBUTIONS)[:2]
+        assert len({w.fingerprint() for w in corpus}) == len(corpus)

@@ -1,0 +1,75 @@
+"""Golden regression over the checked-in scenario corpus.
+
+``tests/data/scenarios/`` pins twelve generated scenarios and their DES
+makespans at fixed partition counts.  The goldens are double-keyed —
+scenario content fingerprint AND calibrated-model fingerprint — so any
+drift fails *loudly* with its cause named: a scenario key miss means
+the generator's draws changed (scenario files no longer match their
+goldens), a model key miss means the cost model changed, and a makespan
+miss means the DES scheduling itself changed.  After an *intentional*
+change, regenerate with::
+
+    PYTHONPATH=src python scripts/workload_fuzz.py --write-corpus
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.device.calibration import model_fingerprint
+from repro.device.spec import PHI_31SP
+from repro.workload import WorkloadApp, WorkloadSpec
+
+SCENARIO_DIR = Path(__file__).parent.parent / "data" / "scenarios"
+REGEN = (
+    "regenerate intentionally with "
+    "'python scripts/workload_fuzz.py --write-corpus'"
+)
+
+
+def _golden() -> dict:
+    return json.loads(
+        (SCENARIO_DIR / "golden_makespans.json").read_text()
+    )
+
+
+def _scenarios() -> "list[WorkloadSpec]":
+    paths = sorted(
+        p for p in SCENARIO_DIR.glob("*.json")
+        if p.name != "golden_makespans.json"
+    )
+    return [WorkloadSpec.from_json(p.read_text()) for p in paths]
+
+
+def test_corpus_has_the_pinned_shape():
+    scenarios = _scenarios()
+    assert len(scenarios) == 12
+    golden = _golden()
+    assert len(golden["makespans"]) == 12
+
+
+def test_cost_model_fingerprint_is_pinned():
+    assert _golden()["model_fingerprint"] == model_fingerprint(PHI_31SP), (
+        "the calibrated cost model changed; every golden makespan is "
+        f"stale — {REGEN}"
+    )
+
+
+@pytest.mark.parametrize(
+    "scenario", _scenarios(), ids=lambda w: w.name
+)
+def test_des_makespans_match_golden(scenario):
+    golden = _golden()
+    entry = golden["makespans"].get(scenario.fingerprint())
+    assert entry is not None, (
+        f"scenario {scenario.name} ({scenario.fingerprint()}) has no "
+        f"golden entry; the generator's draws changed — {REGEN}"
+    )
+    app = WorkloadApp(scenario)
+    for p, expected in zip(golden["places"], entry["elapsed"]):
+        got = app.run(places=p).elapsed
+        assert got == pytest.approx(expected, rel=1e-12), (
+            f"DES makespan drifted for {scenario.name} at P={p}; if the "
+            f"scheduling change is intentional, {REGEN}"
+        )

@@ -1,0 +1,79 @@
+"""The six built-in apps reproduced as workload specs.
+
+``workload_of(app)`` must reproduce each app's enqueue schedule
+*exactly*: the DES run of the ported spec is bit-identical to the
+original app's run, and the analytic prediction of the port matches the
+original app's predictor to float-rounding (the iterated originals use
+a closed form for their repeated phases; the port replays every phase
+explicitly, so summation order may differ in the last bits).
+"""
+
+import pytest
+
+from repro.apps import (
+    CholeskyApp,
+    HotspotApp,
+    KmeansApp,
+    MatMulApp,
+    NNApp,
+    SradApp,
+)
+from repro.errors import ConfigurationError
+from repro.parallel import RunSpec
+from repro.workload import WorkloadApp, WorkloadSpec, workload_of
+
+#: Small geometries of all six apps — every schedule shape the ports
+#: must reproduce (dedup'd uploads, pipelines, iterated barriers,
+#: explicit task DAGs), at DES-friendly sizes.
+APPS = [
+    pytest.param(MatMulApp, (600, 16), {}, id="mm"),
+    pytest.param(NNApp, (20000, 16), {}, id="nn"),
+    pytest.param(KmeansApp, (20000, 8), {"iterations": 3}, id="kmeans"),
+    pytest.param(HotspotApp, (256, 8), {"iterations": 3}, id="hotspot"),
+    pytest.param(SradApp, (200, 8), {"iterations": 2}, id="srad"),
+    pytest.param(CholeskyApp, (720, 9), {}, id="cf"),
+]
+
+PLACES = [1, 2, 5, 8]
+
+
+@pytest.mark.parametrize("app_cls, args, kwargs", APPS)
+def test_port_matches_original_on_des_bit_exactly(app_cls, args, kwargs):
+    app = app_cls(*args, **kwargs)
+    port = WorkloadApp(workload_of(app), spec=app.spec)
+    for p in PLACES:
+        assert port.run(places=p).elapsed == app.run(places=p).elapsed
+
+
+@pytest.mark.parametrize("app_cls, args, kwargs", APPS)
+def test_port_matches_original_predictor(app_cls, args, kwargs):
+    w = workload_of(app_cls(*args, **kwargs))
+    for p in PLACES:
+        original = RunSpec.for_app(
+            app_cls, *args, places=p, **kwargs
+        ).predict()
+        ported = RunSpec.for_workload(w, places=p).predict()
+        assert ported.elapsed == pytest.approx(original.elapsed, rel=1e-9)
+
+
+@pytest.mark.parametrize("app_cls, args, kwargs", APPS)
+def test_port_round_trips_through_json(app_cls, args, kwargs):
+    w = workload_of(app_cls(*args, **kwargs))
+    assert WorkloadSpec.from_json(w.to_json()) == w
+
+
+def test_iterated_ports_carry_iteration_kwargs():
+    few = workload_of(KmeansApp(20000, 8, iterations=2))
+    many = workload_of(KmeansApp(20000, 8, iterations=5))
+    assert few != many
+    assert WorkloadApp(many).run(places=4).elapsed > \
+        WorkloadApp(few).run(places=4).elapsed
+
+
+def test_unportable_variants_are_refused():
+    with pytest.raises(ConfigurationError, match="halo"):
+        workload_of(HotspotApp(256, 8, iterations=2, halo_sync="p2p"))
+    with pytest.raises(ConfigurationError, match="mapping"):
+        workload_of(CholeskyApp(720, 9, mapping="round_robin"))
+    with pytest.raises(ConfigurationError, match="no workload port"):
+        workload_of(object())

@@ -1,0 +1,71 @@
+"""The ``workload`` field on the serve ``/predict`` and ``/sweep``
+schemas: parsing, mutual exclusion, and an end-to-end backend answer."""
+
+import pytest
+
+from repro.metrics.registry import scoped_registry
+from repro.serve import PredictionBackend
+from repro.serve.api import BadRequest, parse_predict, parse_sweep
+from repro.workload import ScenarioGenerator, WorkloadApp
+
+WL = ScenarioGenerator(seed=17).generate("balanced", 0)
+
+
+class TestParsePredict:
+    def test_inline_workload_point(self):
+        spec = parse_predict({"workload": WL.to_dict(), "P": 4})
+        assert spec.app_cls is WorkloadApp
+        assert spec.app_args == (WL,)
+        assert spec.places == 4
+
+    def test_workload_and_app_are_mutually_exclusive(self):
+        with pytest.raises(BadRequest, match="mutually exclusive"):
+            parse_predict(
+                {"app": "mm", "workload": WL.to_dict(), "P": 1}
+            )
+
+    @pytest.mark.parametrize("key", ["T", "D"])
+    def test_geometry_fields_rejected_with_workload(self, key):
+        with pytest.raises(BadRequest, match="does not apply"):
+            parse_predict({"workload": WL.to_dict(), "P": 1, key: 8})
+
+    def test_invalid_spec_is_a_bad_request_not_a_crash(self):
+        broken = WL.to_dict()
+        broken["phases"][0]["ops"][0]["kind"] = "teleport"
+        with pytest.raises(BadRequest, match="invalid workload spec"):
+            parse_predict({"workload": broken, "P": 1})
+
+    def test_non_object_workload_rejected(self):
+        with pytest.raises(BadRequest, match="workload"):
+            parse_predict({"workload": "mm.json", "P": 1})
+
+    def test_p_still_required(self):
+        with pytest.raises(BadRequest, match="'P'"):
+            parse_predict({"workload": WL.to_dict()})
+
+
+class TestParseSweep:
+    def test_inline_workload_sweep(self):
+        specs = parse_sweep({"workload": WL.to_dict(), "P": [1, 2, 4]})
+        assert [s.places for s in specs] == [1, 2, 4]
+        assert all(s.app_args == (WL,) for s in specs)
+
+    def test_workload_and_app_are_mutually_exclusive(self):
+        with pytest.raises(BadRequest, match="mutually exclusive"):
+            parse_sweep({"app": "mm", "workload": WL.to_dict(), "P": [1]})
+
+
+class TestBackend:
+    def test_workload_sweep_end_to_end(self):
+        with scoped_registry():
+            backend = PredictionBackend(engine="hybrid")
+            specs = parse_sweep(
+                {"workload": WL.to_dict(), "P": list(range(1, 7))}
+            )
+            runs = backend.evaluate(specs)
+        assert len(runs) == 6
+        assert all(r.elapsed > 0 for r in runs)
+        # The hybrid either certified the scenario's family (model
+        # answers present) or fell back to pure simulation.
+        engines = {r.engine for r in runs}
+        assert engines <= {"sim", "model"}

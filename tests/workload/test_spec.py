@@ -1,0 +1,167 @@
+"""The workload DSL itself: validation, round-tripping, identity."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload import (
+    SCHEMA_VERSION,
+    KernelSpec,
+    OpSpec,
+    PhaseSpec,
+    ScenarioGenerator,
+    WorkloadSpec,
+)
+
+
+def _tiny(**over) -> WorkloadSpec:
+    fields = dict(
+        name="tiny",
+        kernels=(KernelSpec(name="k0", flops=1e6, bytes_touched=4096,
+                            thread_rate=1e8),),
+        phases=(
+            PhaseSpec(
+                ops=(
+                    OpSpec("h2d", 0, 4096, name="up"),
+                    OpSpec("exe", 0, kernel=0, deps=("up",)),
+                    OpSpec("d2h", 0, 1024),
+                ),
+            ),
+        ),
+    )
+    fields.update(over)
+    return WorkloadSpec(**fields)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_identity(self):
+        w = _tiny()
+        assert WorkloadSpec.from_dict(w.to_dict()) == w
+
+    def test_json_round_trip_is_identity(self):
+        w = _tiny()
+        assert WorkloadSpec.from_json(w.to_json()) == w
+
+    def test_round_trip_preserves_fingerprint(self):
+        w = _tiny()
+        assert WorkloadSpec.from_json(w.to_json()).fingerprint() == \
+            w.fingerprint()
+
+    def test_kernel_work_round_trip_exact(self):
+        k = KernelSpec(name="k", flops=1.5e7, bytes_touched=123,
+                       thread_rate=2.5e8, serial_time=1e-6,
+                       temp_alloc_bytes=4096, cache_sensitive=True,
+                       efficiency=0.75)
+        assert KernelSpec.from_work(k.work()) == k
+
+    def test_generated_scenarios_round_trip(self):
+        for w in ScenarioGenerator(seed=11).corpus(14):
+            assert WorkloadSpec.from_json(w.to_json()) == w
+
+
+class TestValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _tiny(name="")
+
+    def test_wrong_schema_version_rejected(self):
+        with pytest.raises(ConfigurationError, match="schema"):
+            _tiny(schema_version=SCHEMA_VERSION + 1)
+
+    def test_unknown_op_kind_rejected(self):
+        payload = _tiny().to_dict()
+        payload["phases"][0]["ops"][0]["kind"] = "p2p"
+        with pytest.raises(ConfigurationError, match="kind"):
+            WorkloadSpec.from_dict(payload)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            OpSpec.from_dict({"kind": "h2d", "tile": 0, "bogus": 1})
+
+    def test_exe_requires_valid_kernel_index(self):
+        with pytest.raises(ConfigurationError, match="kernel"):
+            _tiny(phases=(PhaseSpec(ops=(OpSpec("exe", 0, kernel=5),)),))
+
+    def test_transfer_must_not_name_a_kernel(self):
+        with pytest.raises(ConfigurationError):
+            _tiny(phases=(PhaseSpec(
+                ops=(OpSpec("h2d", 0, 64, kernel=0),)),))
+
+    def test_dep_must_name_an_earlier_op(self):
+        with pytest.raises(ConfigurationError, match="dep"):
+            _tiny(phases=(PhaseSpec(ops=(
+                OpSpec("exe", 0, kernel=0, deps=("later",)),
+                OpSpec("h2d", 0, 64, name="later"),
+            )),))
+
+    def test_deps_do_not_cross_phases(self):
+        with pytest.raises(ConfigurationError):
+            _tiny(phases=(
+                PhaseSpec(ops=(OpSpec("h2d", 0, 64, name="up"),)),
+                PhaseSpec(ops=(OpSpec("exe", 0, kernel=0, deps=("up",)),)),
+            ))
+
+    def test_duplicate_op_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _tiny(phases=(PhaseSpec(ops=(
+                OpSpec("h2d", 0, 64, name="x"),
+                OpSpec("h2d", 1, 64, name="x"),
+            )),))
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _tiny(phases=(PhaseSpec(ops=(OpSpec("h2d", 0, -1),)),))
+
+    def test_zero_repeat_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _tiny(phases=(PhaseSpec(
+                ops=(OpSpec("h2d", 0, 64),), repeat=0),))
+
+    def test_invalid_kernel_numbers_rejected(self):
+        with pytest.raises(Exception):
+            _tiny(kernels=(KernelSpec(name="k", flops=-1.0,
+                                      bytes_touched=0, thread_rate=1e8),))
+
+
+class TestIdentity:
+    def test_fingerprint_is_content_addressed(self):
+        assert _tiny().fingerprint() == _tiny().fingerprint()
+        assert _tiny().fingerprint() != \
+            _tiny(name="other").fingerprint()
+
+    def test_repr_is_compact_and_fingerprinted(self):
+        w = _tiny()
+        r = repr(w)
+        assert w.fingerprint() in r and "tiny" in r
+        assert len(r) < 120  # feeds RunSpec cache keys; must stay small
+
+    def test_spec_is_hashable(self):
+        assert len({_tiny(), _tiny(), _tiny(name="other")}) == 2
+
+    def test_tiles_and_flops(self):
+        w = _tiny()
+        assert w.tiles == 1
+        assert w.total_flops() == pytest.approx(1e6)
+
+    def test_repeat_multiplies_flops(self):
+        w = _tiny(phases=(PhaseSpec(
+            ops=(OpSpec("exe", 0, kernel=0),), repeat=3),))
+        assert w.total_flops() == pytest.approx(3e6)
+        assert len(w.expanded_phases()) == 3
+
+
+class TestCoResident:
+    def test_merge_aligns_phases_and_offsets_tiles(self):
+        a = _tiny(name="a")
+        b = _tiny(name="b")
+        m = WorkloadSpec.co_resident((a, b))
+        assert m.name == "a+b"
+        assert len(m.kernels) == 2
+        assert m.tiles == 2  # tiles interleave: 0 -> 0, 0 -> 1
+        # Both apps' flops add up.
+        assert m.total_flops() == pytest.approx(
+            a.total_flops() + b.total_flops()
+        )
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec.co_resident(())
