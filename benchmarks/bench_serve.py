@@ -1,36 +1,61 @@
-"""Serving-path benches: batched coalescing vs one-request-at-a-time.
+"""Serving-path benches: batching, keep-alive transport, multi-process.
 
-The workload is the serving shape the batcher was built for: the full
-fig9-mm grid (56 point queries, D=6000, T=144) against a *warm*
-backend — certification verdict in a persistent engine store, DES
-calibration entries in the simulation cache — driven in-process on
-simulated admission time (:func:`repro.serve.loadgen.run_inprocess`),
-so the measured cost is pure admission + dispatch + evaluation, no
-sockets and no real batching-window sleeps.
-
-``test_serve_sequential_baseline`` answers the 56 queries one at a
-time (each request flushes as its own single-spec batch — what a
-server without coalescing would do).  ``test_serve_batched_wave``
-admits the same 56 queries concurrently and lets the window coalesce
-them into grid-family batches; it asserts the ``TARGET_SPEEDUP``
-throughput gate and that batched p99 stays under the configured
-deadline, and records p50/p99/req-per-s in the committed
+Three measured layers, all recorded in the committed
 ``BENCH_serve.json`` baseline guarded by
-``scripts/bench_compare.py --suite serve``.
+``scripts/bench_compare.py --suite serve``:
+
+* **Batching** — the full fig9-mm grid (56 point queries, D=6000,
+  T=144) against a *warm* backend, driven in-process on simulated
+  admission time (:func:`repro.serve.loadgen.run_inprocess`), so the
+  measured cost is pure admission + dispatch + evaluation.
+  ``test_serve_batched_wave`` gates the ``TARGET_SPEEDUP`` coalescing
+  win over ``test_serve_sequential_baseline`` and the batched-p99
+  deadline.
+* **Transport** — ``test_serve_keepalive_vs_per_request_connection``
+  drives a live localhost server (instant fake dispatcher, so the
+  transport cost dominates) with the HTTP load generator in both
+  connection modes and gates the ``KEEPALIVE_TARGET_SPEEDUP``
+  keep-alive throughput win.
+* **Multi-process** — ``test_serve_multiworker_scaling`` boots the
+  real CLI with ``--workers 1`` and ``--workers 2`` over a CPU-bound
+  (sim-engine, uncertified-family) workload; on multi-core runners
+  the 2-worker pool must beat single-process throughput, on
+  single-core runners it still smoke-tests boot/serve/drain.
 """
 
+import asyncio
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
 import time
+from pathlib import Path
 
 from repro.metrics.registry import scoped_registry
 from repro.parallel import RunSpec, SimulationCache
-from repro.serve import PredictionBackend, ServeConfig
-from repro.serve.loadgen import point_payloads, run_inprocess
+from repro.serve import (
+    HttpConfig,
+    PredictionBackend,
+    PredictionService,
+    ServeConfig,
+    serve_http,
+)
+from repro.serve.loadgen import point_payloads, run_http, run_inprocess
 
 #: Batched-wave throughput must beat sequential by at least this much.
 TARGET_SPEEDUP = 5.0
 
 #: The serving deadline the batched p99 must stay under (seconds).
 DEADLINE_SECONDS = 0.25
+
+#: Keep-alive throughput must beat per-request connections by this much.
+KEEPALIVE_TARGET_SPEEDUP = 1.5
+
+#: 2-worker throughput must beat 1-worker by this much (multi-core only).
+MULTIWORKER_TARGET_SPEEDUP = 1.2
 
 
 def _warm_backend(tmp_path) -> PredictionBackend:
@@ -153,3 +178,232 @@ def _timed(fn):
 def _median(values):
     values = sorted(values)
     return values[len(values) // 2]
+
+
+# -- keep-alive transport bench ---------------------------------------------
+
+
+class _InstantBackend:
+    """Evaluates in microseconds, so the HTTP bench measures transport
+    (connection setup, framing, event-loop turnaround), not compute."""
+
+    def evaluate(self, specs):
+        from repro.apps.base import AppRun
+
+        return [
+            AppRun(
+                app="mm",
+                elapsed=float(spec.places),
+                places=spec.places,
+                tiles=spec.app_args[1],
+                gflops=None,
+                engine="model",
+            )
+            for spec in specs
+        ]
+
+    def autotune(self, query):  # pragma: no cover - not exercised
+        raise NotImplementedError
+
+    def health(self):
+        return {"engine": "instant"}
+
+
+class _ServerThread:
+    """A live localhost server on its own event-loop thread."""
+
+    def __init__(self, http_config=None):
+        self.port = None
+        self.http_config = http_config
+        self._ready = threading.Event()
+        self._loop = None
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        service = PredictionService(
+            _InstantBackend(), ServeConfig(batch_window=0.0)
+        )
+        await service.start()
+        server = await serve_http(service, port=0, config=self.http_config)
+        self.port = server.sockets[0].getsockname()[1]
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.drain(timeout=5)
+            await service.stop()
+
+    def __enter__(self):
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError("bench server failed to start")
+        return self
+
+    def __exit__(self, *exc):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)
+
+
+def test_serve_keepalive_vs_per_request_connection(benchmark):
+    """Persistent connections vs a fresh TCP connection per request,
+    same workload, same server — the HTTP/1.1 keep-alive win."""
+    payloads = point_payloads("mm", ps=range(1, 15))
+    rounds = 4  # 56 requests per run
+
+    with _ServerThread() as srv:
+        def run(keep_alive):
+            return asyncio.run(
+                run_http(
+                    port=srv.port,
+                    payloads=payloads,
+                    concurrency=4,
+                    rounds=rounds,
+                    keep_alive=keep_alive,
+                )
+            )
+
+        run(True)  # warm both sides of the socket path
+        baseline_median = _median(
+            [_timed(lambda: run(False)) for _ in range(5)]
+        )
+        report = benchmark.pedantic(
+            lambda: run(True), rounds=5, iterations=1, warmup_rounds=1
+        )
+    assert report.errors == 0
+    # Keep-alive reuses one connection per client; the baseline pays
+    # one TCP setup per request.
+    assert report.connections <= 4 * 2  # reconnect slack
+    keepalive_median = benchmark.stats.stats.median
+    speedup = baseline_median / keepalive_median
+    benchmark.extra_info["req_per_s"] = report.req_per_s
+    benchmark.extra_info["p50_seconds"] = report.p50
+    benchmark.extra_info["connect_total_seconds"] = report.connect_total
+    benchmark.extra_info["speedup_vs_per_request_conn"] = speedup
+    assert speedup >= KEEPALIVE_TARGET_SPEEDUP, (
+        f"keep-alive {speedup:.2f}x over per-request connections, "
+        f"expected >= {KEEPALIVE_TARGET_SPEEDUP}x"
+    )
+
+
+# -- multi-process scaling bench --------------------------------------------
+
+_READY_RE = re.compile(
+    r"repro\.serve listening on http://(?P<host>[^:]+):(?P<port>\d+)"
+)
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class _CliServer:
+    """``python -m repro serve`` as a subprocess, SIGTERM-drained."""
+
+    def __init__(self, workers):
+        self.workers = workers
+        self.process = None
+        self.port = None
+
+    def __enter__(self):
+        self.process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--host", "127.0.0.1", "--port", "0",
+                "--window-ms", "1", "--engine", "sim",
+                "--workers", str(self.workers),
+            ],
+            cwd=_REPO_ROOT,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env={
+                **os.environ,
+                "PYTHONPATH": str(_REPO_ROOT / "src"),
+                "PYTHONUNBUFFERED": "1",
+            },
+        )
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            line = self.process.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    f"server died early (rc={self.process.poll()})"
+                )
+            match = _READY_RE.search(line)
+            if match:
+                self.port = int(match["port"])
+                return self
+        raise RuntimeError("server did not become ready")
+
+    def __exit__(self, *exc):
+        self.process.send_signal(signal.SIGTERM)
+        try:
+            rc = self.process.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait(timeout=10)
+            raise RuntimeError("server did not drain after SIGTERM")
+        tail = self.process.stdout.read() or ""
+        if rc != 0:
+            raise RuntimeError(f"server exited rc={rc}:\n{tail}")
+
+
+def _cpu_bound_payloads(tag):
+    """Distinct uncertified points: every request is real sim compute
+    (~tens of ms each), the shape that saturates one process.  ``tag``
+    shifts D (in tile-grid multiples, so the size stays valid) so
+    repeat runs never hit the workers' sim caches."""
+    return [
+        {"app": "mm", "P": p, "T": 144, "D": 6000 + 12 * tag}
+        for p in range(1, 29)
+    ]
+
+
+def test_serve_multiworker_scaling(benchmark):
+    """2 prefork workers vs 1 process on CPU-bound load.
+
+    Scaling is gated only on multi-core runners; a single-core machine
+    cannot speed up CPU-bound work with more processes, so there the
+    bench still proves boot/serve/drain with ``--workers 2`` works.
+    """
+    tags = iter(range(1000))
+
+    def drive(port):
+        return asyncio.run(
+            run_http(
+                port=port,
+                payloads=_cpu_bound_payloads(next(tags)),
+                concurrency=8,
+                rounds=1,
+            )
+        )
+
+    with _CliServer(workers=1) as single:
+        drive(single.port)  # warm worker-local caches/imports
+        single_elapsed = _median(
+            [_timed(lambda: drive(single.port)) for _ in range(3)]
+        )
+
+    with _CliServer(workers=2) as pool:
+        drive(pool.port)
+        report = benchmark.pedantic(
+            lambda: drive(pool.port), rounds=3, iterations=1
+        )
+    assert report.errors == 0
+    pool_elapsed = benchmark.stats.stats.median
+    speedup = single_elapsed / pool_elapsed
+    cores = os.cpu_count() or 1
+    benchmark.extra_info["req_per_s"] = report.req_per_s
+    benchmark.extra_info["speedup_vs_single_process"] = speedup
+    benchmark.extra_info["cpu_count"] = cores
+    if cores >= 2:
+        assert speedup >= MULTIWORKER_TARGET_SPEEDUP, (
+            f"2 workers {speedup:.2f}x over 1 process on {cores} cores, "
+            f"expected >= {MULTIWORKER_TARGET_SPEEDUP}x"
+        )

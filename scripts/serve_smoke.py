@@ -2,19 +2,28 @@
 """End-to-end smoke test of ``python -m repro serve``.
 
 Boots the real server as a subprocess on an ephemeral port, waits for
-the ready line, answers one ``/predict`` and one ``/sweep`` request
-over actual HTTP, checks ``/healthz``, then asks for a graceful
-shutdown (SIGTERM) and verifies the process drains and exits cleanly.
+the ready line, answers one ``/predict``, one ``/sweep`` and one
+*streamed* ``/sweep`` request over actual HTTP, checks ``/healthz``,
+then asks for a graceful shutdown (SIGTERM) and verifies the process
+drains and exits cleanly.
+
+``--workers N`` boots the prefork pool instead: the same checks run
+against the pool, ``/metrics`` must report the aggregated cross-worker
+view (``serve.workers``), and the SIGTERM drain must reap every worker
+(the supervisor only exits 0 once all children exited 0).
 
 This is the CI guard that the served stack — CLI flags, asyncio
-runtime, HTTP framing, batching, backend — works end to end outside
-the in-process test harness.  Runs in a few seconds::
+runtime, HTTP framing, batching, backend, prefork supervision — works
+end to end outside the in-process test harness.  Runs in a few
+seconds::
 
     python scripts/serve_smoke.py
+    python scripts/serve_smoke.py --workers 2
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import re
 import signal
@@ -57,6 +66,29 @@ def get(base: str, path: str) -> dict:
         return json.loads(response.read())
 
 
+def get_text(base: str, path: str) -> str:
+    with urllib.request.urlopen(base + path, timeout=20) as response:
+        if response.status != 200:
+            raise SystemExit(f"{path}: HTTP {response.status}")
+        return response.read().decode("utf-8")
+
+
+def post_stream(base: str, path: str, payload: dict) -> "list[dict]":
+    """POST and parse a chunked NDJSON response into its lines."""
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        base + path,
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=20) as response:
+        if response.status != 200:
+            raise SystemExit(f"{path} (stream): HTTP {response.status}")
+        text = response.read().decode("utf-8")
+    return [json.loads(line) for line in text.splitlines() if line]
+
+
 def wait_for_ready(process: subprocess.Popen) -> str:
     """Read stdout until the ready line appears; returns the base URL."""
     deadline = time.monotonic() + BOOT_TIMEOUT
@@ -75,6 +107,14 @@ def wait_for_ready(process: subprocess.Popen) -> str:
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="prefork worker processes (default 1: single-process)",
+    )
+    args = parser.parse_args()
     process = subprocess.Popen(
         [
             sys.executable,
@@ -89,6 +129,8 @@ def main() -> int:
             "1",
             "--engine",
             "model",
+            "--workers",
+            str(args.workers),
         ],
         cwd=REPO_ROOT,
         stdout=subprocess.PIPE,
@@ -121,6 +163,27 @@ def main() -> int:
         if got != [1, 2, 4, 8]:
             raise SystemExit(f"unexpected sweep payload: {sweep}")
         print(f"sweep ok: {len(got)} points")
+
+        lines = post_stream(
+            base, "/sweep", {"app": "mm", "P": [1, 2, 4, 8], "stream": True}
+        )
+        if lines[-1] != {"done": True, "results": 4}:
+            raise SystemExit(f"unexpected stream summary: {lines[-1]}")
+        if [r["P"] for r in lines[:-1]] != [1, 2, 4, 8]:
+            raise SystemExit(f"unexpected streamed results: {lines}")
+        print(f"streamed sweep ok: {len(lines) - 1} points + summary")
+
+        if args.workers > 1:
+            metrics = get_text(base, "/metrics")
+            if "serve.workers:" not in metrics:
+                raise SystemExit(
+                    f"/metrics missing cross-worker aggregation:\n{metrics}"
+                )
+            if "serve.worker.requests{worker=" not in metrics:
+                raise SystemExit(
+                    f"/metrics missing per-worker labels:\n{metrics}"
+                )
+            print("metrics ok: cross-worker aggregation present")
 
         process.send_signal(signal.SIGTERM)
         try:

@@ -96,19 +96,17 @@ def cmd_demo() -> int:
 
 def cmd_serve(args) -> int:
     import asyncio
+    import os
 
     from repro.serve import (
+        HttpConfig,
         PredictionBackend,
         PredictionService,
         ServeConfig,
+        run_prefork,
         run_server,
     )
 
-    backend = PredictionBackend(
-        engine=args.engine,
-        store=args.engine_store,
-        jobs=args.jobs if args.jobs is not None else 1,
-    )
     config = ServeConfig(
         batch_window=args.window_ms / 1e3,
         max_batch=args.max_batch,
@@ -117,18 +115,58 @@ def cmd_serve(args) -> int:
             None if args.deadline_ms == 0 else args.deadline_ms / 1e3
         ),
     )
-    service = PredictionService(backend, config)
+    http_config = HttpConfig(
+        keep_alive=not args.no_keep_alive,
+        idle_timeout=args.idle_timeout,
+        max_requests=args.max_requests_per_conn,
+    )
+    backend_kwargs = dict(
+        engine=args.engine,
+        store=args.engine_store,
+        jobs=args.jobs if args.jobs is not None else 1,
+    )
+    workers = args.workers
+    if workers == 0:
+        workers = os.cpu_count() or 1
 
-    def ready(addr) -> None:
-        host, port = addr[0], addr[1]
+    def banner(host, port) -> None:
         print(f"repro.serve listening on http://{host}:{port}", flush=True)
         print(
-            f"  engine={backend.engine_name} "
+            f"  engine={args.engine} workers={workers} "
             f"window={config.batch_window * 1e3:.1f}ms "
             f"max_batch={config.max_batch} "
             f"queue_limit={config.queue_limit}",
             flush=True,
         )
+
+    if workers > 1:
+        def prefork_ready(addr, plan) -> None:
+            banner(addr[0], addr[1])
+            print(
+                f"  prefork: {plan.workers} workers, "
+                f"socket mode {plan.mode}",
+                flush=True,
+            )
+
+        rc = run_prefork(
+            workers=workers,
+            host=args.host,
+            port=args.port,
+            backend_kwargs=backend_kwargs,
+            serve_config=config,
+            http_config=http_config,
+            drain_grace=args.drain_grace,
+            ready=prefork_ready,
+        )
+        if rc == 0:
+            print("repro.serve: drained, bye", flush=True)
+        return rc
+
+    backend = PredictionBackend(**backend_kwargs)
+    service = PredictionService(backend, config)
+
+    def ready(addr) -> None:
+        banner(addr[0], addr[1])
 
     try:
         asyncio.run(
@@ -138,6 +176,7 @@ def cmd_serve(args) -> int:
                 port=args.port,
                 ready=ready,
                 drain_grace=args.drain_grace,
+                http_config=http_config,
             )
         )
     except KeyboardInterrupt:  # pragma: no cover - signal path varies
@@ -213,6 +252,36 @@ def add_serve_parser(sub) -> None:
         metavar="SECONDS",
         help="on SIGINT/SIGTERM, finish in-flight work for up to this "
         "long before exiting (default 10)",
+    )
+    srv.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="prefork worker processes sharing the listening socket; "
+        "1 = single process (default), 0 = one per CPU core",
+    )
+    srv.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="close keep-alive connections idle for this long "
+        "(default 30)",
+    )
+    srv.add_argument(
+        "--max-requests-per-conn",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="requests served per connection before the server closes "
+        "it (default 1000)",
+    )
+    srv.add_argument(
+        "--no-keep-alive",
+        action="store_true",
+        help="close every connection after one response "
+        "(pre-keep-alive behaviour)",
     )
 
 

@@ -21,7 +21,11 @@ Design (mirrors :class:`~repro.metrics.manifest.RunManifest`):
   file without bound;
 * last-writer-wins merge on save: concurrent processes reload the file
   before writing, so one process's verdicts are not silently dropped by
-  another's save.
+  another's save;
+* mtime-triggered refresh on lookup: a long-lived process (a prefork
+  ``repro.serve`` worker) re-reads and merges the file when a sibling
+  has replaced it, so one worker's calibration becomes every worker's
+  store hit without a restart.
 
 Metrics land on the active registry as ``engine.store.hits``,
 ``engine.store.misses`` and ``engine.store.evictions`` (see
@@ -146,6 +150,9 @@ class EngineStore:
         #: key -> {"used": lru clock, "verdict": dict}
         self._entries: "dict[str, dict] | None" = None
         self._clock = 0
+        #: (mtime_ns, size) of the file as last read/written; lookups
+        #: re-read and merge when a sibling process has replaced it.
+        self._file_sig: "tuple[int, int] | None" = None
 
     # -- public API --------------------------------------------------------
 
@@ -174,12 +181,7 @@ class EngineStore:
         concurrent process since our load survive the save.
         """
         entries = self._load()
-        fresh = self._read_file()
-        for other_key, other in fresh.items():
-            ours = entries.get(other_key)
-            if ours is None or other["used"] > ours["used"]:
-                entries[other_key] = other
-                self._clock = max(self._clock, other["used"])
+        self._merge_fresh(self._read_file())
         self._clock += 1
         entries[key] = {"used": self._clock, "verdict": verdict.to_dict()}
         self.stats.puts += 1
@@ -196,6 +198,7 @@ class EngineStore:
     def clear(self) -> None:
         """Drop every entry (and the file, if present)."""
         self._entries = {}
+        self._file_sig = None
         try:
             self.path.unlink()
         except OSError:
@@ -203,11 +206,37 @@ class EngineStore:
 
     # -- internals ---------------------------------------------------------
 
+    def _signature(self) -> "tuple[int, int] | None":
+        try:
+            stat = os.stat(self.path)
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def _merge_fresh(self, fresh: "dict[str, dict]") -> None:
+        """Fold a just-read file state into the in-memory entries,
+        newest-use wins per key (the concurrent-writer merge)."""
+        assert self._entries is not None
+        for key, other in fresh.items():
+            ours = self._entries.get(key)
+            if ours is None or other["used"] > ours["used"]:
+                self._entries[key] = other
+                self._clock = max(self._clock, other["used"])
+
     def _load(self) -> "dict[str, dict]":
         if self._entries is None:
+            self._file_sig = self._signature()
             self._entries = self._read_file()
             for entry in self._entries.values():
                 self._clock = max(self._clock, entry["used"])
+            return self._entries
+        # A long-lived process (a prefork serve worker, say) must see
+        # verdicts a sibling wrote after our first load: one stat per
+        # lookup buys cross-process store sharing while warm.
+        sig = self._signature()
+        if sig != self._file_sig:
+            self._file_sig = sig
+            self._merge_fresh(self._read_file())
         return self._entries
 
     def _read_file(self) -> "dict[str, dict]":
@@ -253,6 +282,7 @@ class EngineStore:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(payload, fh)
             os.replace(tmp, self.path)
+            self._file_sig = self._signature()
         except BaseException:
             try:
                 os.unlink(tmp)

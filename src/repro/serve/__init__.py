@@ -16,8 +16,13 @@ by the repo's own evaluation stack:
 * a warm backend (:mod:`repro.serve.backend`) — certified hybrid
   engine seeded from a persistent ``--engine-store``, simulation
   cache for cold/fallback points, and the pruned autotune search;
-* the HTTP front-end (:mod:`repro.serve.http`) — stdlib asyncio, five
-  routes, ``/metrics`` + ``/healthz``;
+* the HTTP front-end (:mod:`repro.serve.http`) — stdlib asyncio,
+  HTTP/1.1 keep-alive + pipelining, chunked/NDJSON sweep streaming,
+  ``/metrics`` + ``/healthz``;
+* multi-process serving (:mod:`repro.serve.prefork`) — ``--workers N``
+  forks a kernel-balanced pool over one listening address, sharing
+  certification verdicts through the persistent engine store and
+  aggregating ``/metrics`` across workers;
 * a load generator (:mod:`repro.serve.loadgen`) feeding
   ``benchmarks/bench_serve.py`` / ``BENCH_serve.json``.
 
@@ -41,8 +46,21 @@ from repro.serve.core import (
     Shed,
     Ticket,
 )
-from repro.serve.http import handle_request, run_server, serve_http
+from repro.serve.http import (
+    HttpConfig,
+    StreamBody,
+    handle_request,
+    run_server,
+    serve_http,
+)
 from repro.serve.loadgen import LoadReport, run_http, run_inprocess
+from repro.serve.prefork import (
+    MetricsHub,
+    RespawnPolicy,
+    SocketPlan,
+    plan_sockets,
+    run_prefork,
+)
 from repro.serve.service import PredictionService, SyncDriver
 
 __all__ = [
@@ -51,19 +69,26 @@ __all__ = [
     "BadRequest",
     "Batch",
     "Batcher",
+    "HttpConfig",
     "LoadReport",
+    "MetricsHub",
     "PredictionBackend",
     "PredictionService",
+    "RespawnPolicy",
     "ServeConfig",
     "Shed",
+    "SocketPlan",
+    "StreamBody",
     "SyncDriver",
     "Ticket",
     "handle_request",
     "parse_autotune",
     "parse_predict",
     "parse_sweep",
+    "plan_sockets",
     "run_http",
     "run_inprocess",
+    "run_prefork",
     "run_server",
     "run_to_json",
     "serve_http",

@@ -58,6 +58,7 @@ class PredictionBackend:
     ) -> None:
         self.store = resolve_store(store)
         self.engine_name = engine if isinstance(engine, str) else engine.name
+        self.jobs = jobs
         self.cache = cache if cache is not None else SimulationCache()
         self.executor = SweepExecutor(
             jobs=jobs,
@@ -134,6 +135,7 @@ class PredictionBackend:
         """The ``/healthz`` payload body (minus service-level fields)."""
         info = {
             "engine": self.engine_name,
+            "jobs": self.jobs,
             "cache_entries": len(self.cache),
             "warm_families": self.families,
         }

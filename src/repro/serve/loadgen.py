@@ -11,9 +11,16 @@ Two drive modes over the same workload and the same report format:
   measures and what ``BENCH_serve.json`` records.
 * :func:`run_http` — an asyncio closed-loop client fleet against a
   live server (the CI smoke test and capacity planning; see
-  ``docs/SERVING.md``).
+  ``docs/SERVING.md``).  By default each client holds one persistent
+  keep-alive connection for its whole run; ``keep_alive=False`` opens
+  (and closes) a fresh connection per request — the baseline
+  ``benchmarks/bench_serve.py`` compares against.
 
 Reports carry p50/p99 latency and req/s (:class:`LoadReport`).
+Connection setup is accounted *separately* from request latency
+(``connects`` / ``connect_p50``), so the keep-alive win is
+attributable: request latencies measure send→response on an open
+connection in both modes.
 """
 
 from __future__ import annotations
@@ -39,13 +46,20 @@ def percentile(values: "list[float]", q: float) -> float:
 
 @dataclass
 class LoadReport:
-    """Latency/throughput summary of one load run."""
+    """Latency/throughput summary of one load run.
+
+    ``latencies`` are request latencies on an established connection;
+    ``connects`` are connection-setup times, one per TCP connection
+    the run opened — a keep-alive run opens ~``concurrency`` of them,
+    a per-request-connection run opens one per request.
+    """
 
     mode: str
     requests: int
     errors: int
     elapsed_seconds: float
     latencies: "list[float]" = field(default_factory=list, repr=False)
+    connects: "list[float]" = field(default_factory=list, repr=False)
 
     @property
     def req_per_s(self) -> float:
@@ -59,6 +73,18 @@ class LoadReport:
     def p99(self) -> float:
         return percentile(self.latencies, 99)
 
+    @property
+    def connections(self) -> int:
+        return len(self.connects)
+
+    @property
+    def connect_p50(self) -> float:
+        return percentile(self.connects, 50) if self.connects else 0.0
+
+    @property
+    def connect_total(self) -> float:
+        return sum(self.connects)
+
     def to_dict(self) -> dict:
         return {
             "mode": self.mode,
@@ -68,6 +94,9 @@ class LoadReport:
             "req_per_s": self.req_per_s,
             "p50_seconds": self.p50,
             "p99_seconds": self.p99,
+            "connections": self.connections,
+            "connect_p50_seconds": self.connect_p50,
+            "connect_total_seconds": self.connect_total,
         }
 
 
@@ -143,29 +172,56 @@ def run_inprocess(
     )
 
 
-async def _http_one(host: str, port: int, payload: dict) -> "tuple[int, float]":
-    """One closed-loop request; returns (status, latency seconds)."""
-    t0 = time.perf_counter()
-    reader, writer = await asyncio.open_connection(host, port)
-    try:
-        body = json.dumps(payload).encode("utf-8")
-        head = (
-            f"POST /predict HTTP/1.1\r\nHost: {host}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
-        )
-        writer.write(head.encode("ascii") + body)
-        await writer.drain()
-        status_line = await reader.readline()
-        status = int(status_line.split()[1])
-        await reader.read()  # drain headers+body to EOF
-    finally:
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except Exception:  # noqa: BLE001 - connection already gone
-            pass
-    return status, time.perf_counter() - t0
+def _encode_request(
+    host: str, payload: dict, path: str = "/predict", keep_alive: bool = True
+) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"POST {path} HTTP/1.1\r\nHost: {host}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+async def _read_http_response(
+    reader: asyncio.StreamReader,
+) -> "tuple[int, bytes, bool]":
+    """Parse one framed response; returns ``(status, body, reusable)``.
+
+    ``reusable`` is False when the server announced ``Connection:
+    close`` — the client must reconnect before the next request.
+    """
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed the connection")
+    status = int(status_line.split()[1])
+    headers: "dict[str, str]" = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        if line == b"":
+            raise ConnectionError("server closed mid-headers")
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        chunks = []
+        while True:
+            size_line = await reader.readline()
+            size = int(size_line.strip().split(b";", 1)[0], 16)
+            if size == 0:
+                await reader.readline()  # trailing CRLF
+                break
+            chunks.append(await reader.readexactly(size))
+            await reader.readexactly(2)  # chunk CRLF
+        body = b"".join(chunks)
+    else:
+        length = int(headers.get("content-length", "0") or "0")
+        body = await reader.readexactly(length) if length else b""
+    reusable = headers.get("connection", "").lower() != "close"
+    return status, body, reusable
 
 
 async def run_http(
@@ -174,34 +230,83 @@ async def run_http(
     payloads: "list[dict] | None" = None,
     concurrency: int = 8,
     rounds: int = 1,
+    keep_alive: bool = True,
 ) -> LoadReport:
-    """Closed-loop HTTP load: ``concurrency`` in-flight requests over
-    the workload, ``rounds`` times."""
-    payloads = payloads if payloads is not None else point_payloads()
-    work = [p for _ in range(rounds) for p in payloads]
-    latencies: "list[float]" = []
-    errors = 0
-    sem = asyncio.Semaphore(concurrency)
+    """Closed-loop HTTP load: ``concurrency`` client tasks over the
+    workload, ``rounds`` times.
 
-    async def one(payload: dict) -> None:
+    ``keep_alive=True`` (default): each client opens one persistent
+    connection and pays connection setup once.  ``keep_alive=False``:
+    every request opens, uses and closes its own connection — the
+    pre-keep-alive baseline.  Either way connection-setup times land
+    in ``report.connects`` and request latencies (send → full
+    response) in ``report.latencies``, so the two costs stay
+    attributable.
+    """
+    payloads = payloads if payloads is not None else point_payloads()
+    work = iter([p for _ in range(rounds) for p in payloads])
+    total = len(payloads) * rounds
+    latencies: "list[float]" = []
+    connects: "list[float]" = []
+    errors = 0
+
+    async def connect():
+        t0 = time.perf_counter()
+        reader, writer = await asyncio.open_connection(host, port)
+        connects.append(time.perf_counter() - t0)
+        return reader, writer
+
+    async def close(writer) -> None:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except Exception:  # noqa: BLE001 - connection already gone
+            pass
+
+    async def client() -> None:
         nonlocal errors
-        async with sem:
-            try:
-                status, latency = await _http_one(host, port, payload)
-            except OSError:
-                errors += 1
-                return
-            latencies.append(latency)
-            if status != 200:
-                errors += 1
+        reader = writer = None
+        try:
+            for payload in work:
+                try:
+                    if writer is None:
+                        reader, writer = await connect()
+                    t0 = time.perf_counter()
+                    writer.write(
+                        _encode_request(host, payload, keep_alive=keep_alive)
+                    )
+                    await writer.drain()
+                    status, _body, reusable = await _read_http_response(
+                        reader
+                    )
+                    latencies.append(time.perf_counter() - t0)
+                    if status != 200:
+                        errors += 1
+                except (OSError, ConnectionError, ValueError):
+                    errors += 1
+                    if writer is not None:
+                        await close(writer)
+                        reader = writer = None
+                    continue
+                if not keep_alive or not reusable:
+                    await close(writer)
+                    reader = writer = None
+        finally:
+            if writer is not None:
+                await close(writer)
 
     t0 = time.perf_counter()
-    await asyncio.gather(*(one(p) for p in work))
+    await asyncio.gather(*(client() for _ in range(concurrency)))
     elapsed = time.perf_counter() - t0
     return LoadReport(
-        mode=f"http-c{concurrency}",
-        requests=len(work),
+        mode=(
+            f"http-keepalive-c{concurrency}"
+            if keep_alive
+            else f"http-c{concurrency}"
+        ),
+        requests=total,
         errors=errors,
         elapsed_seconds=elapsed,
         latencies=latencies or [float("nan")],
+        connects=connects,
     )

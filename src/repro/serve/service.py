@@ -23,6 +23,7 @@ the state machine and in the shared completion bookkeeping here.
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 
 from repro.metrics.registry import get_registry
@@ -103,6 +104,8 @@ class PredictionService:
         config: "ServeConfig | None" = None,
         clock=None,
         dispatcher=None,
+        worker_id: "int | None" = None,
+        metrics_hub=None,
     ) -> None:
         self.backend = backend
         self.config = config or ServeConfig()
@@ -111,6 +114,10 @@ class PredictionService:
         self.dispatch = (
             dispatcher if dispatcher is not None else backend.evaluate
         )
+        #: Prefork identity + cross-worker metrics exchange (set by
+        #: :mod:`repro.serve.prefork`; None in single-process mode).
+        self.worker_id = worker_id
+        self.metrics_hub = metrics_hub
         self._wake: "asyncio.Event | None" = None
         self._queue: "asyncio.Queue[Batch] | None" = None
         self._tasks: "list[asyncio.Task]" = []
@@ -254,6 +261,8 @@ class PredictionService:
             "status": "draining" if self.batcher.draining else "ok",
             "queue_depth": self.batcher.queue_depth(),
             "in_flight": self.batcher.in_flight,
+            "worker": self.worker_id,
+            "pid": os.getpid(),
             "config": {
                 "batch_window_ms": self.config.batch_window * 1e3,
                 "max_batch": self.config.max_batch,

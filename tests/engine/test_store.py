@@ -151,6 +151,28 @@ class TestStoreFile:
         assert fresh.get("k1") is not None
         assert fresh.get("k2") is not None
 
+    def test_loaded_sibling_sees_later_writes(self, tmp_path):
+        # A prefork serve worker holds its store open for the process
+        # lifetime; a verdict a sibling persists after our first load
+        # must still be a hit here (mtime-triggered refresh on lookup).
+        b = EngineStore(tmp_path)
+        assert b.get("k1") is None  # b is now loaded (and empty)
+        a = EngineStore(tmp_path)
+        a.put("k1", _verdict())
+        got = b.get("k1")
+        assert got is not None and got.certified
+
+    def test_refresh_keeps_local_lru_recency(self, tmp_path):
+        a = EngineStore(tmp_path)
+        a.put("k1", _verdict(worst=0.01))
+        b = EngineStore(tmp_path)
+        assert b.get("k1") is not None  # bump k1's recency in b
+        a.put("k2", _verdict(worst=0.02))
+        # The sibling refresh merges k2 in without resurrecting a
+        # stale k1 over b's own more recent use of it.
+        assert b.get("k2") is not None
+        assert b.get("k1") is not None
+
 
 class TestResolveStore:
     def test_none_and_instance_pass_through(self, tmp_path):

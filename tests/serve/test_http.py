@@ -1,20 +1,25 @@
-"""HTTP routing/status mapping (transport-free) + one socket smoke.
+"""HTTP routing/status mapping (transport-free) + socket-level tests.
 
 ``handle_request`` takes parsed ``(method, path, payload)`` and never
 touches a socket, so the routing tests run against the async service
-with a fake dispatcher and zero-length windows.  A single integration
-test opens a real localhost socket to cover the wire format — the
-batching/dispatch logic itself is socket-free by construction.
+with a fake dispatcher and zero-length windows.  The socket classes
+open real localhost connections to cover the wire format: keep-alive
+and pipelining semantics, framing-error handling (close) vs
+payload-error handling (keep), idle timeouts and per-connection
+request limits.
 """
 
 import asyncio
 import json
+from contextlib import asynccontextmanager
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.serve import PredictionService, ServeConfig
 from repro.serve.api import parse_predict
-from repro.serve.http import handle_request, serve_http
+from repro.serve.http import HttpConfig, handle_request, serve_http
+from repro.serve.loadgen import _read_http_response
 
 
 class FakeBackend:
@@ -188,27 +193,53 @@ class TestStatusMapping:
         with_service(scenario, ServeConfig(batch_window=60.0))
 
 
+@asynccontextmanager
+async def socket_server(config=None, http_config=None, backend=None):
+    """A live localhost server over a fake backend; yields (service,
+    port) and tears the whole stack down afterwards."""
+    backend = backend or FakeBackend()
+    service = PredictionService(
+        backend, config or ServeConfig(batch_window=0.0)
+    )
+    await service.start()
+    server = await serve_http(service, port=0, config=http_config)
+    port = server.sockets[0].getsockname()[1]
+    try:
+        yield service, port
+    finally:
+        server.close()
+        await server.wait_closed()
+        await service.drain(timeout=5)
+        await service.stop()
+
+
+def request_bytes(payload, path="/predict", connection=None,
+                  version="HTTP/1.1", raw_body=None):
+    """One framed POST request (``connection`` adds the header)."""
+    body = (
+        raw_body if raw_body is not None
+        else json.dumps(payload).encode("utf-8")
+    )
+    head = (
+        f"POST {path} {version}\r\nHost: t\r\n"
+        f"Content-Length: {len(body)}\r\n"
+    )
+    if connection is not None:
+        head += f"Connection: {connection}\r\n"
+    return head.encode("ascii") + b"\r\n" + body
+
+
+async def open_client(port):
+    return await asyncio.open_connection("127.0.0.1", port)
+
+
 class TestSocketSmoke:
     def test_end_to_end_over_localhost(self):
         async def scenario():
-            backend = FakeBackend()
-            service = PredictionService(
-                backend, ServeConfig(batch_window=0.0)
-            )
-            await service.start()
-            server = await serve_http(service, port=0)
-            port = server.sockets[0].getsockname()[1]
-            try:
-                reader, writer = await asyncio.open_connection(
-                    "127.0.0.1", port
-                )
-                body = json.dumps({"app": "mm", "P": 4}).encode()
+            async with socket_server() as (service, port):
+                reader, writer = await open_client(port)
                 writer.write(
-                    (
-                        "POST /predict HTTP/1.1\r\nHost: t\r\n"
-                        f"Content-Length: {len(body)}\r\n\r\n"
-                    ).encode()
-                    + body
+                    request_bytes({"app": "mm", "P": 4}, connection="close")
                 )
                 await writer.drain()
                 raw = await reader.read()
@@ -216,37 +247,256 @@ class TestSocketSmoke:
                 head, _, payload = raw.partition(b"\r\n\r\n")
                 assert b"200 OK" in head.split(b"\r\n")[0]
                 assert json.loads(payload)["P"] == 4
-            finally:
-                server.close()
-                await server.wait_closed()
-                assert await service.drain(timeout=5)
-                await service.stop()
 
         asyncio.run(scenario())
 
-    def test_malformed_http_gets_400(self):
+    def test_malformed_json_gets_400(self):
         async def scenario():
-            service = PredictionService(
-                FakeBackend(), ServeConfig(batch_window=0.0)
-            )
-            await service.start()
-            server = await serve_http(service, port=0)
-            port = server.sockets[0].getsockname()[1]
-            try:
-                reader, writer = await asyncio.open_connection(
-                    "127.0.0.1", port
-                )
+            async with socket_server() as (service, port):
+                reader, writer = await open_client(port)
                 writer.write(
-                    b"POST /predict HTTP/1.1\r\nHost: t\r\n"
-                    b"Content-Length: 7\r\n\r\nnotjson"
+                    request_bytes(
+                        None, connection="close", raw_body=b"notjson"
+                    )
                 )
                 await writer.drain()
                 raw = await reader.read()
                 writer.close()
                 assert b"400" in raw.split(b"\r\n")[0]
-            finally:
-                server.close()
-                await server.wait_closed()
-                await service.stop()
 
         asyncio.run(scenario())
+
+
+class TestKeepAlive:
+    def test_two_requests_one_connection(self):
+        async def scenario():
+            async with socket_server() as (service, port):
+                reader, writer = await open_client(port)
+                for p in (2, 3):
+                    writer.write(request_bytes({"app": "mm", "P": p}))
+                    await writer.drain()
+                    status, body, reusable = await _read_http_response(
+                        reader
+                    )
+                    assert status == 200
+                    assert json.loads(body)["P"] == p
+                    assert reusable
+                writer.close()
+
+        asyncio.run(scenario())
+
+    def test_pipelined_requests_answered_in_order(self):
+        async def scenario():
+            async with socket_server() as (service, port):
+                reader, writer = await open_client(port)
+                # Both requests on the wire before reading any response.
+                writer.write(
+                    request_bytes({"app": "mm", "P": 5})
+                    + request_bytes({"app": "mm", "P": 7})
+                )
+                await writer.drain()
+                first = await _read_http_response(reader)
+                second = await _read_http_response(reader)
+                writer.close()
+                assert json.loads(first[1])["P"] == 5
+                assert json.loads(second[1])["P"] == 7
+
+        asyncio.run(scenario())
+
+    def test_pipelined_request_after_error_response(self):
+        async def scenario():
+            async with socket_server() as (service, port):
+                reader, writer = await open_client(port)
+                # Bad JSON body (valid framing) then a good request:
+                # the 400 must not poison the connection.
+                writer.write(
+                    request_bytes(None, raw_body=b"{broken")
+                    + request_bytes({"app": "mm", "P": 6})
+                )
+                await writer.drain()
+                status1, _, reusable1 = await _read_http_response(reader)
+                status2, body2, _ = await _read_http_response(reader)
+                writer.close()
+                assert status1 == 400 and reusable1
+                assert status2 == 200
+                assert json.loads(body2)["P"] == 6
+
+        asyncio.run(scenario())
+
+    def test_connection_close_honored(self):
+        async def scenario():
+            async with socket_server() as (service, port):
+                reader, writer = await open_client(port)
+                writer.write(
+                    request_bytes({"app": "mm", "P": 2}, connection="close")
+                )
+                await writer.drain()
+                status, _, reusable = await _read_http_response(reader)
+                assert status == 200 and not reusable
+                assert await reader.read() == b""  # server closed
+                writer.close()
+
+        asyncio.run(scenario())
+
+    def test_http10_defaults_to_close(self):
+        async def scenario():
+            async with socket_server() as (service, port):
+                reader, writer = await open_client(port)
+                writer.write(
+                    request_bytes({"app": "mm", "P": 2}, version="HTTP/1.0")
+                )
+                await writer.drain()
+                status, _, reusable = await _read_http_response(reader)
+                assert status == 200 and not reusable
+                assert await reader.read() == b""
+                writer.close()
+
+        asyncio.run(scenario())
+
+    def test_max_requests_per_connection(self):
+        async def scenario():
+            http_config = HttpConfig(max_requests=2)
+            async with socket_server(http_config=http_config) as (
+                service,
+                port,
+            ):
+                reader, writer = await open_client(port)
+                writer.write(request_bytes({"app": "mm", "P": 2}))
+                await writer.drain()
+                _, _, reusable = await _read_http_response(reader)
+                assert reusable
+                writer.write(request_bytes({"app": "mm", "P": 3}))
+                await writer.drain()
+                _, _, reusable = await _read_http_response(reader)
+                assert not reusable
+                assert await reader.read() == b""
+                writer.close()
+
+        asyncio.run(scenario())
+
+    def test_keep_alive_disabled_forces_close(self):
+        async def scenario():
+            http_config = HttpConfig(keep_alive=False)
+            async with socket_server(http_config=http_config) as (
+                service,
+                port,
+            ):
+                reader, writer = await open_client(port)
+                writer.write(
+                    request_bytes(
+                        {"app": "mm", "P": 2}, connection="keep-alive"
+                    )
+                )
+                await writer.drain()
+                status, _, reusable = await _read_http_response(reader)
+                assert status == 200 and not reusable
+                assert await reader.read() == b""
+                writer.close()
+
+        asyncio.run(scenario())
+
+    def test_idle_timeout_closes_connection(self):
+        async def scenario():
+            http_config = HttpConfig(idle_timeout=0.15)
+            async with socket_server(http_config=http_config) as (
+                service,
+                port,
+            ):
+                reader, writer = await open_client(port)
+                # No request at all: the server must hang up on its own.
+                assert await asyncio.wait_for(reader.read(), 5) == b""
+                writer.close()
+
+        asyncio.run(scenario())
+
+
+class TestHttpEdges:
+    def test_malformed_request_line_400_and_close(self):
+        async def scenario():
+            async with socket_server() as (service, port):
+                reader, writer = await open_client(port)
+                writer.write(b"NONSENSE\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read()  # server closes after the 400
+                writer.close()
+                assert b"400" in raw.split(b"\r\n")[0]
+
+        asyncio.run(scenario())
+
+    def test_malformed_header_400_and_close(self):
+        async def scenario():
+            async with socket_server() as (service, port):
+                reader, writer = await open_client(port)
+                writer.write(
+                    b"POST /predict HTTP/1.1\r\nno-colon-here\r\n\r\n"
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                assert b"400" in raw.split(b"\r\n")[0]
+
+        asyncio.run(scenario())
+
+    def test_invalid_content_length_400_and_close(self):
+        async def scenario():
+            async with socket_server() as (service, port):
+                reader, writer = await open_client(port)
+                writer.write(
+                    b"POST /predict HTTP/1.1\r\nContent-Length: nope\r\n\r\n"
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                assert b"400" in raw.split(b"\r\n")[0]
+
+        asyncio.run(scenario())
+
+    def test_oversized_body_413_and_close(self):
+        async def scenario():
+            http_config = HttpConfig(max_body=64)
+            async with socket_server(http_config=http_config) as (
+                service,
+                port,
+            ):
+                reader, writer = await open_client(port)
+                writer.write(
+                    request_bytes(None, raw_body=b"x" * 100)
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                assert b"413" in raw.split(b"\r\n")[0]
+
+        asyncio.run(scenario())
+
+    def test_client_disconnect_leaves_server_healthy(self):
+        async def scenario():
+            async with socket_server() as (service, port):
+                # Client vanishes right after sending a request ...
+                reader, writer = await open_client(port)
+                writer.write(request_bytes({"app": "mm", "P": 4}))
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+                # ... and the server still answers fresh connections.
+                reader, writer = await open_client(port)
+                writer.write(
+                    request_bytes({"app": "mm", "P": 9}, connection="close")
+                )
+                await writer.drain()
+                status, body, _ = await _read_http_response(reader)
+                writer.close()
+                assert status == 200
+                assert json.loads(body)["P"] == 9
+
+        asyncio.run(scenario())
+
+
+class TestHttpConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            HttpConfig(idle_timeout=0)
+        with pytest.raises(ConfigurationError):
+            HttpConfig(max_requests=0)
+        with pytest.raises(ConfigurationError):
+            HttpConfig(max_body=0)

@@ -92,3 +92,83 @@ class TestInProcess:
         assert body["req_per_s"] == 2.0
         assert body["p50_seconds"] == 0.2
         assert body["p99_seconds"] == 0.4
+
+    def test_connect_accounting(self):
+        report = LoadReport(
+            mode="http-c4",
+            requests=3,
+            errors=0,
+            elapsed_seconds=1.0,
+            latencies=[0.1, 0.1, 0.1],
+            connects=[0.01, 0.03, 0.02],
+        )
+        assert report.connections == 3
+        assert report.connect_p50 == 0.02
+        assert report.connect_total == pytest.approx(0.06)
+        body = report.to_dict()
+        assert body["connections"] == 3
+        assert body["connect_p50_seconds"] == 0.02
+        assert body["connect_total_seconds"] == pytest.approx(0.06)
+
+    def test_no_connections_reports_zero_setup(self):
+        report = LoadReport(
+            mode="batched",
+            requests=1,
+            errors=0,
+            elapsed_seconds=1.0,
+            latencies=[0.1],
+        )
+        assert report.connections == 0
+        assert report.connect_p50 == 0.0
+        assert report.connect_total == 0.0
+
+
+class TestHttpClientFraming:
+    def test_request_connection_header_tracks_mode(self):
+        from repro.serve.loadgen import _encode_request
+
+        keep = _encode_request("h", {"app": "mm", "P": 1})
+        drop = _encode_request("h", {"app": "mm", "P": 1}, keep_alive=False)
+        assert b"Connection: keep-alive\r\n" in keep
+        assert b"Connection: close\r\n" in drop
+
+    def test_read_response_content_length_and_reuse(self):
+        import asyncio
+
+        async def scenario():
+            from repro.serve.loadgen import _read_http_response
+
+            reader = asyncio.StreamReader()
+            reader.feed_data(
+                b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+                b"Content-Length: 2\r\nConnection: keep-alive\r\n\r\n{}"
+            )
+            status, body, reusable = await _read_http_response(reader)
+            assert (status, body, reusable) == (200, b"{}", True)
+            reader.feed_data(
+                b"HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            status, body, reusable = await _read_http_response(reader)
+            assert (status, body, reusable) == (400, b"", False)
+
+        asyncio.run(scenario())
+
+    def test_read_response_chunked(self):
+        import asyncio
+
+        async def scenario():
+            from repro.serve.loadgen import _read_http_response
+
+            reader = asyncio.StreamReader()
+            reader.feed_data(
+                b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n"
+                b"Connection: close\r\n\r\n"
+                b"5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n"
+            )
+            status, body, reusable = await _read_http_response(reader)
+            assert status == 200
+            assert body == b"hello world"
+            assert not reusable
+
+        asyncio.run(scenario())

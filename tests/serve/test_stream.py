@@ -1,0 +1,298 @@
+"""Streamed ``/sweep`` responses: chunked NDJSON over keep-alive.
+
+Covers the transport-free path (``handle_request`` returning a
+:class:`StreamBody` the test iterates directly), the wire format
+(chunked transfer-encoding, one JSON object per line, a final
+``{"done": ...}`` summary), and the two properties that justify the
+feature: results arrive *before* the sweep completes, and an error
+mid-stream is reported in-band and closes the connection.
+"""
+
+import asyncio
+import json
+import threading
+
+from repro.apps.base import AppRun
+from repro.serve import PredictionService, ServeConfig
+from repro.serve.http import StreamBody, handle_request, serve_http
+
+
+def _runs(specs):
+    return [
+        AppRun(
+            app="mm",
+            elapsed=float(spec.places),
+            places=spec.places,
+            tiles=spec.app_args[1],
+            gflops=None,
+            engine="model",
+        )
+        for spec in specs
+    ]
+
+
+class GatedBackend:
+    """Evaluates batch 1 immediately; batch 2+ block on ``gate``.
+
+    ``first_done`` fires once the first batch has been evaluated, so a
+    test can assert on partial output while the sweep is provably
+    unfinished, then open the gate.
+    """
+
+    def __init__(self, fail_after_first=False):
+        self.gate = threading.Event()
+        self.first_done = threading.Event()
+        self.batches = 0
+        self.fail_after_first = fail_after_first
+
+    def evaluate(self, specs):
+        self.batches += 1
+        if self.batches > 1:
+            self.gate.wait(timeout=10)
+            if self.fail_after_first:
+                raise RuntimeError("backend exploded mid-sweep")
+        self.first_done.set()
+        return _runs(specs)
+
+    def autotune(self, query):  # pragma: no cover - not used here
+        raise NotImplementedError
+
+    def health(self):
+        return {"engine": "gated"}
+
+
+def _config():
+    # max_batch=4 → an 8-point sweep streams as two chunks; no default
+    # deadline, because the gated batch parks until the test releases it.
+    return ServeConfig(batch_window=0.0, max_batch=4, default_deadline=None)
+
+
+def _sweep_payload(n=8, stream=True):
+    return {"app": "mm", "P": list(range(1, n + 1)), "stream": stream}
+
+
+async def _with_service(backend):
+    service = PredictionService(backend, _config())
+    await service.start()
+    return service
+
+
+class TestStreamBody:
+    def test_handle_request_returns_stream_body(self):
+        async def scenario():
+            backend = GatedBackend()
+            backend.gate.set()
+            service = await _with_service(backend)
+            try:
+                status, body = await handle_request(
+                    service, "POST", "/sweep", _sweep_payload()
+                )
+                assert status == 200
+                assert isinstance(body, StreamBody)
+                lines = []
+                async for text in body:
+                    lines.extend(
+                        json.loads(line)
+                        for line in text.splitlines()
+                        if line
+                    )
+                assert not body.failed
+                summary = lines[-1]
+                assert summary == {"done": True, "results": 8}
+                assert [r["P"] for r in lines[:-1]] == list(range(1, 9))
+            finally:
+                await service.drain(timeout=5)
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_stream_flag_validation(self):
+        async def scenario():
+            backend = GatedBackend()
+            backend.gate.set()
+            service = await _with_service(backend)
+            try:
+                status, body = await handle_request(
+                    service, "POST", "/sweep",
+                    {"app": "mm", "P": [1], "stream": "yes"},
+                )
+                assert status == 400
+                assert "stream" in body["error"]
+                status, body = await handle_request(
+                    service, "POST", "/predict",
+                    {"app": "mm", "P": 1, "stream": True},
+                )
+                assert status == 400
+                assert "/sweep" in body["error"]
+            finally:
+                await service.drain(timeout=5)
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_bad_sweep_payload_is_plain_400(self):
+        async def scenario():
+            backend = GatedBackend()
+            backend.gate.set()
+            service = await _with_service(backend)
+            try:
+                status, body = await handle_request(
+                    service, "POST", "/sweep",
+                    {"app": "mm", "stream": True},
+                )
+                assert status == 400
+                assert not isinstance(body, StreamBody)
+            finally:
+                await service.drain(timeout=5)
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_error_mid_stream_reported_in_band(self):
+        async def scenario():
+            backend = GatedBackend(fail_after_first=True)
+            backend.gate.set()
+            service = await _with_service(backend)
+            try:
+                status, body = await handle_request(
+                    service, "POST", "/sweep", _sweep_payload()
+                )
+                assert status == 200
+                lines = []
+                async for text in body:
+                    lines.extend(
+                        json.loads(line)
+                        for line in text.splitlines()
+                        if line
+                    )
+                assert body.failed
+                assert lines[-1]["done"] is False
+                assert "error" in lines[-1]
+                # The first chunk's results still made it out.
+                assert [r["P"] for r in lines[:-1]] == [1, 2, 3, 4]
+            finally:
+                await service.drain(timeout=5)
+                await service.stop()
+
+        asyncio.run(scenario())
+
+
+def _read_chunk_lines(raw):
+    """Decode a chunked body already split off the headers."""
+    lines = []
+    rest = raw
+    while rest:
+        size_line, _, rest = rest.partition(b"\r\n")
+        size = int(size_line.split(b";", 1)[0], 16)
+        if size == 0:
+            break
+        data, rest = rest[:size], rest[size + 2:]
+        lines.extend(
+            json.loads(line) for line in data.decode().splitlines() if line
+        )
+    return lines
+
+
+class TestStreamOverSocket:
+    def test_chunks_arrive_before_sweep_completes(self):
+        async def scenario():
+            backend = GatedBackend()
+            service = await _with_service(backend)
+            server = await serve_http(service, port=0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                payload = json.dumps(_sweep_payload()).encode()
+                writer.write(
+                    (
+                        "POST /sweep HTTP/1.1\r\nHost: t\r\n"
+                        f"Content-Length: {len(payload)}\r\n"
+                        "Connection: close\r\n\r\n"
+                    ).encode()
+                    + payload
+                )
+                await writer.drain()
+                head = await reader.readuntil(b"\r\n\r\n")
+                assert b"200 OK" in head
+                assert b"Transfer-Encoding: chunked" in head
+                assert b"application/x-ndjson" in head
+
+                # Read the first chunk while batch 2 is still parked
+                # behind the gate: streaming, not buffer-then-send.
+                size = int((await reader.readline()).strip(), 16)
+                first = await reader.readexactly(size)
+                await reader.readexactly(2)
+                got = [
+                    json.loads(line)
+                    for line in first.decode().splitlines()
+                    if line
+                ]
+                assert [r["P"] for r in got] == [1, 2, 3, 4]
+                assert backend.batches >= 1
+                backend.gate.set()
+
+                rest = await reader.read()
+                writer.close()
+                lines = got + _read_chunk_lines(rest)
+                assert lines[-1] == {"done": True, "results": 8}
+            finally:
+                backend.gate.set()
+                server.close()
+                await server.wait_closed()
+                await service.drain(timeout=5)
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_client_disconnect_mid_stream_leaves_server_healthy(self):
+        async def scenario():
+            backend = GatedBackend()
+            service = await _with_service(backend)
+            server = await serve_http(service, port=0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                payload = json.dumps(_sweep_payload()).encode()
+                writer.write(
+                    (
+                        "POST /sweep HTTP/1.1\r\nHost: t\r\n"
+                        f"Content-Length: {len(payload)}\r\n\r\n"
+                    ).encode()
+                    + payload
+                )
+                await writer.drain()
+                await reader.readuntil(b"\r\n\r\n")
+                # Hang up mid-stream, then let the parked batch finish.
+                writer.close()
+                await writer.wait_closed()
+                backend.gate.set()
+
+                # The server must still answer a fresh connection.
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                ping = json.dumps({"app": "mm", "P": 3}).encode()
+                writer.write(
+                    (
+                        "POST /predict HTTP/1.1\r\nHost: t\r\n"
+                        f"Content-Length: {len(ping)}\r\n"
+                        "Connection: close\r\n\r\n"
+                    ).encode()
+                    + ping
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                assert b"200 OK" in raw.split(b"\r\n")[0]
+            finally:
+                backend.gate.set()
+                server.close()
+                await server.wait_closed()
+                await service.drain(timeout=5)
+                await service.stop()
+
+        asyncio.run(scenario())
