@@ -1,0 +1,168 @@
+"""Learned-tier benches: the ISSUE 10 headline gates.
+
+``test_learned_autotune_des_budget`` runs the uncertainty-gated learned
+search (``run_search --engine learned``) over held-out generated
+scenarios — a seed the default training corpus has never seen — against
+the paper's Sec. V-C pruned partition set, and asserts both halves of
+the gate: every pick lands within ``TARGET_QUALITY`` of the true
+exhaustive-DES optimum, and the *total* DES spend stays within 1/8 of
+the pruned exhaustive search's evaluations (the margin rule leaves most
+scenarios at zero simulator runs).
+
+``test_learned_point_query_vs_hybrid_fallback`` times cold uncertified
+point queries: a warm learned engine answers never-seen (scenario, P)
+points from the model (zero DES), while hybrid must pay DES calibration
+for each cold family.  The gate is ``TARGET_POINT_SPEEDUP`` (>= 10x).
+
+``BENCH_learned.json`` commits the baseline;
+``scripts/bench_compare.py --suite learned`` guards the means.
+"""
+
+from time import perf_counter
+
+from repro.autotune import ConfigSpace, run_search
+from repro.engine import HybridEngine
+from repro.engine.engines import resolve_engine
+from repro.parallel import DesBudget, RunSpec, SimulationCache, SweepExecutor
+from repro.workload.generator import ScenarioGenerator
+
+#: The paper's Sec. V-C pruned partition counts on the 31SP.
+PRUNED_P = (2, 4, 7, 8, 14, 28, 56)
+
+#: Held-out scenario seeds — distinct from the default corpus seed (0),
+#: so nothing the model trained on appears in the evaluation.
+SEARCH_SEED = 104729
+POINT_SEED = 424243
+
+SEARCH_SCENARIOS = 14
+
+#: Gate 1: learned picks within 5 % of the exhaustive-DES optimum...
+TARGET_QUALITY = 1.05
+#: ...spending at most 1/8 of the pruned search's DES evaluations.
+BUDGET_FRACTION = 8
+
+#: Gate 2: cold uncertified point answers vs hybrid's DES fallback.
+TARGET_POINT_SPEEDUP = 10.0
+
+
+def test_learned_autotune_des_budget(benchmark):
+    """Within-5 % picks at <= 1/8 the pruned search's DES spend."""
+    scenarios = ScenarioGenerator(seed=SEARCH_SEED).corpus(SEARCH_SCENARIOS)
+    baseline_evals = len(scenarios) * len(PRUNED_P)
+    budget_limit = baseline_evals // BUDGET_FRACTION
+
+    def searches():
+        engine = resolve_engine("learned")
+        budget = DesBudget(limit=budget_limit)
+        ex = SweepExecutor(jobs=1, des_budget=budget)
+        picks = []
+        for workload in scenarios:
+            outcome = run_search(
+                spec_fn=lambda c, w=workload: RunSpec.for_workload(
+                    w, places=c.places
+                ),
+                space=ConfigSpace(
+                    p_values=list(PRUNED_P), t_values=[workload.tiles]
+                ),
+                executor=ex,
+                engine=engine,
+                des_budget=budget,
+            )
+            picks.append((workload, outcome))
+        return picks, budget
+
+    picks, budget = benchmark.pedantic(
+        searches, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    # Ground truth (outside the timer): the exhaustive DES optimum of
+    # the same pruned space, and the true time of every learned pick.
+    worst_quality = 0.0
+    total_des = 0
+    for workload, outcome in picks:
+        total_des += outcome.evaluations
+        true_best = min(
+            RunSpec.for_workload(workload, places=p).execute().elapsed
+            for p in PRUNED_P
+        )
+        picked = (
+            RunSpec.for_workload(workload, places=outcome.best.places)
+            .execute()
+            .elapsed
+        )
+        worst_quality = max(worst_quality, picked / true_best)
+
+    benchmark.extra_info["scenarios"] = len(picks)
+    benchmark.extra_info["baseline_evaluations"] = baseline_evals
+    benchmark.extra_info["des_budget"] = budget_limit
+    benchmark.extra_info["des_spent"] = budget.spent
+    benchmark.extra_info["worst_quality"] = worst_quality
+
+    assert total_des == budget.spent
+    assert budget.spent <= budget_limit, (
+        f"learned search spent {budget.spent} DES evaluations, over the "
+        f"1/{BUDGET_FRACTION} budget of {budget_limit} "
+        f"(pruned baseline {baseline_evals})"
+    )
+    assert worst_quality <= TARGET_QUALITY, (
+        f"worst learned pick {worst_quality:.3f}x the exhaustive optimum, "
+        f"expected <= {TARGET_QUALITY}"
+    )
+
+
+def test_learned_point_query_vs_hybrid_fallback(benchmark):
+    """Cold uncertified points: learned answers >= 10x faster than the
+    hybrid engine, which pays DES calibration per cold family."""
+    scenarios = ScenarioGenerator(seed=POINT_SEED).corpus(5)
+    specs = [
+        RunSpec.for_workload(w, places=p)
+        for w in scenarios
+        for p in (4, 8, 28, 56)
+    ]
+
+    # Hybrid reference (fresh store and cache every round: each family
+    # is cold and pays its calibration DES).
+    hybrid_seconds = []
+    for _ in range(3):
+        ex = SweepExecutor(
+            jobs=1, cache=SimulationCache(), engine=HybridEngine()
+        )
+        t0 = perf_counter()
+        runs = ex.map(list(specs))
+        hybrid_seconds.append(perf_counter() - t0)
+        assert len(runs) == len(specs)
+        assert ex.stats.executed > 0  # cold families did pay DES
+    hybrid_best = min(hybrid_seconds)
+
+    # Learned: warm the model once (the per-process corpus fit), then
+    # time pure point queries on the never-seen specs.
+    engine = resolve_engine("learned")
+    engine.predict_spec(specs[0])
+    executors = []
+
+    def learned_queries():
+        ex = SweepExecutor(jobs=1, engine=engine)
+        executors.append(ex)
+        return ex.map(list(specs))
+
+    runs = benchmark.pedantic(
+        learned_queries, rounds=5, iterations=1, warmup_rounds=0
+    )
+    assert all(run.engine == "learned" for run in runs), (
+        "expected every held-out point to clear the uncertainty gate, "
+        f"got {[run.engine for run in runs]}"
+    )
+    assert all(ex.stats.executed == 0 for ex in executors), (
+        "learned point queries executed DES runs"
+    )
+
+    learned_seconds = benchmark.stats.stats.mean
+    speedup = hybrid_best / max(learned_seconds, 1e-12)
+    benchmark.extra_info["points"] = len(specs)
+    benchmark.extra_info["hybrid_cold_seconds"] = hybrid_best
+    benchmark.extra_info["learned_seconds"] = learned_seconds
+    benchmark.extra_info["point_query_speedup"] = speedup
+    assert speedup >= TARGET_POINT_SPEEDUP, (
+        f"learned point queries only {speedup:.1f}x faster than hybrid's "
+        f"DES fallback, expected >= {TARGET_POINT_SPEEDUP:.0f}x"
+    )

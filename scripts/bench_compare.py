@@ -25,7 +25,19 @@ Suites (``--suite``):
 * ``serve`` — ``benchmarks/bench_serve.py`` against
   ``BENCH_serve.json`` (batched-wave vs sequential serving over the
   fig9-mm grid on a warm backend; the committed baseline records the
-  batched speedup, p50/p99 latencies and requests per second).
+  batched speedup, p50/p99 latencies and requests per second);
+* ``learned`` — ``benchmarks/bench_learned.py`` against
+  ``BENCH_learned.json`` (the learned tier's headline gates: within-5%
+  autotune picks at <= 1/8 the pruned search's DES evaluations, and
+  >= 10x faster cold uncertified point answers vs hybrid's DES
+  fallback; see ``docs/LEARNED.md``).
+
+Multi-CPU benchmarks (the ones recording a ``cpu_count`` in their
+``extra_info``, e.g. ``test_serve_multiworker_scaling``) are only
+meaningful on multi-core machines: when either side of a comparison
+ran with ``cpu_count < 2`` the entry is *skipped with a printed note*
+rather than silently passed or failed, and the baseline should be
+re-recorded on multi-CPU CI (``--rebaseline``).
 
 Usage::
 
@@ -60,6 +72,7 @@ SUITES = {
     "grid": ("bench_grid.py", "BENCH_grid.json"),
     "calibration": ("bench_calibration.py", "BENCH_calibration.json"),
     "serve": ("bench_serve.py", "BENCH_serve.json"),
+    "learned": ("bench_learned.py", "BENCH_learned.json"),
 }
 
 
@@ -101,6 +114,19 @@ def load_means(path: Path) -> dict[str, float]:
     }
 
 
+def load_cpu_counts(path: Path) -> dict[str, int]:
+    """Per-benchmark ``cpu_count`` from ``extra_info``, where recorded
+    (only benchmarks whose numbers depend on having real cores record
+    one, e.g. the multiworker scaling bench)."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    counts = {}
+    for bench in data["benchmarks"]:
+        cpu_count = bench.get("extra_info", {}).get("cpu_count")
+        if cpu_count is not None:
+            counts[bench["name"]] = int(cpu_count)
+    return counts
+
+
 def previous_save(current: Path) -> Path | None:
     saves = sorted(p for p in STORAGE.rglob("*.json") if p != current)
     return saves[-1] if saves else None
@@ -111,6 +137,8 @@ def compare(
 ) -> int:
     ref_means = load_means(reference)
     cur_means = load_means(current)
+    ref_cpus = load_cpu_counts(reference)
+    cur_cpus = load_cpu_counts(current)
     print(f"reference: {reference}")
     print(f"current:   {current}\n")
     failures = []
@@ -118,6 +146,21 @@ def compare(
         ref_mean = ref_means.get(name)
         if ref_mean is None:
             print(f"  {name}: NEW (no reference)")
+            continue
+        ref_cpu = ref_cpus.get(name)
+        cur_cpu = cur_cpus.get(name)
+        if (ref_cpu is not None and ref_cpu < 2) or (
+            cur_cpu is not None and cur_cpu < 2
+        ):
+            # A multiworker number measured without multiple cores is
+            # vacuous (speedup ~1 by construction): say so out loud
+            # instead of silently passing, and rebaseline on real CI.
+            print(
+                f"  {name}: SKIPPED — needs >= 2 CPUs "
+                f"(baseline cpu_count={ref_cpu}, "
+                f"current cpu_count={cur_cpu}); rebaseline on "
+                f"multi-CPU CI with --rebaseline"
+            )
             continue
         # Throughput ratio: >1 is faster than the reference.
         speedup = ref_mean / cur_mean

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Nightly learned-tier drift check (CI tooling, see ``docs/LEARNED.md``).
+
+Regenerates a small corpus from scratch, retrains the ridge, and
+verifies the tier's two standing contracts:
+
+1. **Determinism** — building the same corpus twice yields the same
+   schema-versioned fingerprint (a generator, feature-map, or
+   grid-label change that silently alters training data fails here
+   before it can skew shipped predictions);
+2. **Accuracy** — held-out relative error (a scenario seed the corpus
+   never saw) stays under the thresholds the uncertainty gate was
+   tuned against.  If the model surface, the feature map, and the gate
+   drift apart, the p90 climbs and this exits non-zero.
+
+Usage::
+
+    python scripts/learned_drift.py                 # defaults
+    python scripts/learned_drift.py --count 32 --max-p90 0.06
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--count", type=int, default=32,
+        help="training scenarios in the regenerated corpus (default 32)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="corpus seed (default 0, the shipped default)",
+    )
+    parser.add_argument(
+        "--holdout", type=int, default=8,
+        help="held-out evaluation scenarios (default 8)",
+    )
+    parser.add_argument(
+        "--holdout-seed", type=int, default=104729,
+        help="held-out scenario seed, distinct from --seed",
+    )
+    parser.add_argument(
+        "--max-p50", type=float, default=0.05,
+        help="fail if held-out median relative error exceeds this",
+    )
+    parser.add_argument(
+        "--max-p90", type=float, default=0.12,
+        help="fail if held-out p90 relative error exceeds this "
+        "(default matches the engine's DEFAULT_GATE: the error the "
+        "uncertainty gate is calibrated to keep out of shipped answers)",
+    )
+    args = parser.parse_args()
+    if args.holdout_seed == args.seed:
+        sys.exit("--holdout-seed must differ from --seed")
+
+    from repro.engine.grid import predict_runs
+    from repro.engine.learned import (
+        FeatureExtractor,
+        build_corpus,
+        train_model,
+    )
+    from repro.engine.learned.corpus import DEFAULT_P_VALUES
+    from repro.parallel import RunSpec
+    from repro.workload.generator import ScenarioGenerator
+
+    corpus = build_corpus(count=args.count, seed=args.seed)
+    again = build_corpus(count=args.count, seed=args.seed)
+    print(
+        f"corpus: {len(corpus)} points, fingerprint {corpus.fingerprint()}"
+    )
+    if corpus.fingerprint() != again.fingerprint():
+        print(
+            "DRIFT: rebuilding the corpus changed its fingerprint "
+            f"({corpus.fingerprint()} != {again.fingerprint()}) — "
+            "the generator, feature map, or labels are nondeterministic"
+        )
+        return 1
+
+    model = train_model(corpus)
+    scenarios = ScenarioGenerator(seed=args.holdout_seed).corpus(
+        args.holdout
+    )
+    extractor = FeatureExtractor()
+    specs = [
+        RunSpec.for_workload(w, places=p)
+        for w in scenarios
+        for p in DEFAULT_P_VALUES
+    ]
+    labels = np.array([run.elapsed for run in predict_runs(specs)])
+    features = np.array(
+        [
+            extractor.features(w, p)
+            for w in scenarios
+            for p in DEFAULT_P_VALUES
+        ]
+    )
+    mean, std = model.predict(features)
+    rel = np.abs(np.exp(mean) / labels - 1.0)
+    p50 = float(np.median(rel))
+    p90 = float(np.quantile(rel, 0.9))
+    print(
+        f"held-out ({len(specs)} points, seed {args.holdout_seed}): "
+        f"rel-err p50={p50:.4f} p90={p90:.4f} max={rel.max():.4f}; "
+        f"predictive std p50={float(np.median(std)):.4f}"
+    )
+    if p50 > args.max_p50 or p90 > args.max_p90:
+        print(
+            f"DRIFT: held-out error above threshold "
+            f"(p50 {p50:.4f} > {args.max_p50} or "
+            f"p90 {p90:.4f} > {args.max_p90}) — retune the corpus, "
+            "the feature map, or the uncertainty gate"
+        )
+        return 1
+    print("no drift: determinism and accuracy contracts hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

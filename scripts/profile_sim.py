@@ -7,6 +7,7 @@ Usage::
     python scripts/profile_sim.py --workload fig9mm [--jobs 4]
     python scripts/profile_sim.py --workload fig9mm --engine hybrid
     python scripts/profile_sim.py --phase calibration
+    python scripts/profile_sim.py --phase learned
 
 Workloads:
 
@@ -27,6 +28,12 @@ calibration, then re-runs against the now-warm persistent store and
 reports both phases' ``engine.calibration.eval_seconds`` totals side
 by side (warm should issue zero DES calibration runs; see
 ``docs/PERF.md``).
+
+``--phase learned`` isolates the learned tier (``docs/LEARNED.md``):
+it profiles the default corpus build + ridge fit (the one-off
+per-process cost of ``--engine learned``), then times cold and repeat
+point queries over held-out scenarios next to the hybrid DES-fallback
+cost for the same specs.
 """
 
 from __future__ import annotations
@@ -184,6 +191,74 @@ def profile_calibration(args: argparse.Namespace) -> None:
     pstats.Stats(profiler).sort_stats(args.sort).print_stats(args.top)
 
 
+def profile_learned(args: argparse.Namespace) -> None:
+    """Isolate the learned tier's phases: corpus build + training
+    (profiled — the one-off per-process cost behind ``--engine
+    learned``), then cold-vs-warm point queries over held-out
+    scenarios, with the hybrid DES fallback timing alongside for the
+    ``docs/LEARNED.md`` comparison."""
+    from repro.engine import HybridEngine
+    from repro.engine.learned import build_corpus, train_model
+    from repro.engine.engines import resolve_engine
+    from repro.metrics.registry import scoped_registry
+    from repro.parallel import RunSpec, SimulationCache, SweepExecutor
+    from repro.workload.generator import ScenarioGenerator
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    t0 = time.perf_counter()
+    corpus = build_corpus()
+    build_time = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    model = train_model(corpus)
+    train_time = time.perf_counter() - t0
+    profiler.disable()
+
+    scenarios = ScenarioGenerator(seed=424243).corpus(5)
+    specs = [
+        RunSpec.for_workload(w, places=p)
+        for w in scenarios
+        for p in (4, 8, 28, 56)
+    ]
+    engine = resolve_engine("learned")
+    engine.model = model
+
+    with scoped_registry():
+        t0 = time.perf_counter()
+        ex = SweepExecutor(jobs=1, engine=engine)
+        runs = ex.map(list(specs))
+        cold_query = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        ex.map(list(specs))
+        warm_query = time.perf_counter() - t0
+        learned_points = sum(1 for r in runs if r.engine == "learned")
+
+        t0 = time.perf_counter()
+        SweepExecutor(
+            jobs=1, cache=SimulationCache(), engine=HybridEngine()
+        ).map(list(specs))
+        hybrid_time = time.perf_counter() - t0
+
+    print("learned tier phases (default corpus, held-out queries):")
+    print(
+        f"  corpus build:       {build_time:8.3f} s  "
+        f"({len(corpus)} labeled points, fp {corpus.fingerprint()})"
+    )
+    print(f"  model fit:          {train_time:8.3f} s")
+    print(
+        f"  point queries x{len(specs)}:  {cold_query:8.3f} s  "
+        f"({learned_points}/{len(specs)} answered learned, "
+        f"{ex.stats.executed} DES runs)"
+    )
+    print(f"  repeat queries:     {warm_query:8.3f} s")
+    print(
+        f"  hybrid fallback:    {hybrid_time:8.3f} s  "
+        f"({hybrid_time / max(cold_query, 1e-9):.1f}x the learned path)"
+    )
+    print()
+    pstats.Stats(profiler).sort_stats(args.sort).print_stats(args.top)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -209,9 +284,10 @@ def main() -> None:
     parser.add_argument(
         "--phase",
         default="full",
-        choices=["full", "calibration"],
-        help="profile the whole workload (full, default) or only the "
-        "hybrid engine's calibration pass, cold vs store-warm",
+        choices=["full", "calibration", "learned"],
+        help="profile the whole workload (full, default), the hybrid "
+        "engine's calibration pass (cold vs store-warm), or the "
+        "learned tier's corpus-build/train/query phases",
     )
     args = parser.parse_args()
     if args.top is None:
@@ -219,6 +295,8 @@ def main() -> None:
 
     if args.phase == "calibration":
         profile_calibration(args)
+    elif args.phase == "learned":
+        profile_learned(args)
     elif args.workload == "fig9mm":
         profile_fig9mm(args)
     else:

@@ -227,9 +227,11 @@ def add_serve_parser(sub) -> None:
     )
     srv.add_argument(
         "--engine",
-        choices=["sim", "model", "hybrid"],
+        choices=["sim", "model", "hybrid", "learned"],
         default="hybrid",
-        help="evaluation engine behind the batcher (default hybrid)",
+        help="evaluation engine behind the batcher (default hybrid); "
+        "'learned' answers confident points from the corpus-trained "
+        "model with zero DES (see docs/LEARNED.md)",
     )
     srv.add_argument(
         "--engine-store",
@@ -332,11 +334,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     exp.add_argument(
         "--engine",
-        choices=["sim", "model", "hybrid"],
+        choices=["sim", "model", "hybrid", "learned"],
         default=None,
         help="evaluation engine: discrete-event simulation (sim), "
-        "analytic model (model), or certified model with simulation "
-        "fallback (hybrid)",
+        "analytic model (model), certified model with simulation "
+        "fallback (hybrid), or corpus-trained model behind an "
+        "uncertainty gate (learned)",
     )
     exp.add_argument(
         "--no-grid",

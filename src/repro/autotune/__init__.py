@@ -9,16 +9,22 @@ the pruned search so the reduction/quality trade-off can be measured:
   on the 31SP;
 * keep only load-balanced tile counts — ``T = m * P``;
 * bound ``T`` from above (control overhead) and below (pipelining).
+
+``run_search(engine="learned")`` goes past pruning: the corpus-trained
+tier (:mod:`repro.engine.learned`) scores the space in one matrix pass
+and spends DES evaluations only when its own uncertainty flags the top
+two candidates as indistinguishable (see ``docs/LEARNED.md``).
 """
 
 from repro.autotune.space import Config, ConfigSpace
 from repro.autotune.heuristics import paper_pruned_space, PruningRules
-from repro.autotune.search import SearchOutcome, run_search
+from repro.autotune.search import MARGIN_FACTOR, SearchOutcome, run_search
 from repro.autotune.mltune import LearnedTuner, train_test_split
 
 __all__ = [
     "Config",
     "ConfigSpace",
+    "MARGIN_FACTOR",
     "PruningRules",
     "paper_pruned_space",
     "SearchOutcome",

@@ -10,6 +10,10 @@ The feature map encodes the structural knowledge the paper's analysis
 surfaced: log-scales of ``P`` and ``T`` with quadratic terms (both
 sweeps are U-shaped on log axes), the tiles-per-stream ratio (load
 balance), and the core-alignment indicator (Fig. 9's divisor spikes).
+The map itself lives in
+:func:`repro.engine.learned.features.config_features` — the learned
+engine tier (``docs/LEARNED.md``) trains on the same block, so the two
+can never drift apart; this module stays the thin measured-samples API.
 """
 
 from __future__ import annotations
@@ -21,11 +25,9 @@ import numpy as np
 
 from repro.autotune.space import Config, ConfigSpace
 from repro.device.spec import DeviceSpec, PHI_31SP
-from repro.device.topology import Topology
+from repro.engine.learned.features import config_features
+from repro.engine.learned.model import RIDGE_LAMBDA as _RIDGE_LAMBDA
 from repro.errors import ConfigurationError
-
-#: Ridge regularisation strength.
-_RIDGE_LAMBDA = 1e-3
 
 
 @dataclass
@@ -36,27 +38,7 @@ class LearnedTuner:
     _coef: np.ndarray | None = field(default=None, init=False, repr=False)
 
     def _features(self, config: Config) -> np.ndarray:
-        p, t = config.places, config.tiles
-        topo = Topology(self.spec)
-        aligned = 1.0 if topo.partition_is_aligned(p) else 0.0
-        log_p = np.log2(p)
-        log_t = np.log2(t)
-        # Tiles per stream; < 1 means idle partitions.
-        fill = min(t / p, 1.0)
-        log_ratio = np.log2(max(t / p, 1.0))
-        return np.array(
-            [
-                1.0,
-                log_p,
-                log_p**2,
-                log_t,
-                log_t**2,
-                log_ratio,
-                log_ratio**2,
-                aligned,
-                fill,
-            ]
-        )
+        return config_features(config.places, config.tiles, self.spec)
 
     @property
     def is_fitted(self) -> bool:

@@ -1,4 +1,4 @@
-"""Pluggable evaluation engines: DES, vectorized analytic model, hybrid.
+"""Pluggable evaluation engines: DES, analytic model, hybrid, learned.
 
 The public surface (see ``docs/API.md``):
 
@@ -6,9 +6,13 @@ The public surface (see ``docs/API.md``):
   the ``engine=`` knob accepted by
   :class:`~repro.parallel.executor.SweepExecutor`, the figure drivers
   and both CLIs;
-* :class:`ModelEngine` / :class:`HybridEngine` — the non-default
+* :class:`ModelEngine` / :class:`HybridEngine` /
+  :class:`~repro.engine.learned.LearnedEngine` — the non-default
   backends (``hybrid`` certifies the model per spec family against a
-  simulated calibration subset, within :data:`DEFAULT_TOLERANCE`);
+  simulated calibration subset, within :data:`DEFAULT_TOLERANCE`;
+  ``learned`` answers from a corpus-trained ridge behind an
+  uncertainty gate, see :mod:`repro.engine.learned` and
+  ``docs/LEARNED.md``);
 * :func:`~repro.engine.profiles.predict_run` — one-spec analytic
   evaluation, raising :class:`~repro.errors.ModelUnsupportedError`
   outside the fast path;
@@ -30,6 +34,13 @@ from repro.engine.engines import (
     resolve_engine,
 )
 from repro.engine.grid import GridPlan, predict_grid, predict_runs
+from repro.engine.learned import (
+    DEFAULT_GATE,
+    LearnedEngine,
+    RidgeModel,
+    build_corpus,
+    train_model,
+)
 from repro.engine.profiles import predict_run
 from repro.engine.store import (
     DEFAULT_STORE_CAPACITY,
@@ -43,11 +54,16 @@ __all__ = [
     "ENGINE_NAMES",
     "DEFAULT_TOLERANCE",
     "DEFAULT_CALIBRATION_POINTS",
+    "DEFAULT_GATE",
     "DEFAULT_STORE_CAPACITY",
     "EngineStore",
     "FamilyVerdict",
     "ModelEngine",
     "HybridEngine",
+    "LearnedEngine",
+    "RidgeModel",
+    "build_corpus",
+    "train_model",
     "family_store_key",
     "resolve_engine",
     "resolve_store",

@@ -1,6 +1,6 @@
 """The pluggable evaluation engines behind ``SweepExecutor``.
 
-Three ways to evaluate a batch of :class:`~repro.parallel.runspec.RunSpec`:
+Four ways to evaluate a batch of :class:`~repro.parallel.runspec.RunSpec`:
 
 * ``sim`` — the discrete-event simulation (the executor's native path:
   process pool, cache, retries, fault injection).  Selecting it attaches
@@ -14,6 +14,10 @@ Three ways to evaluate a batch of :class:`~repro.parallel.runspec.RunSpec`:
   simulated through the executor's normal cached path, and the family
   uses the model only if the worst calibration error is within
   tolerance; otherwise every point falls back to the DES.
+* ``learned`` — :class:`repro.engine.learned.LearnedEngine`: a
+  corpus-trained ridge answers points whose posterior predictive
+  uncertainty clears a gate with **zero** DES work; uncertain or
+  unsupported points ride the hybrid fallback (see ``docs/LEARNED.md``).
 
 Engines record ``engine.*`` metrics into the active registry (see
 ``docs/OBSERVABILITY.md``); the default ``sim`` path records none, so
@@ -36,7 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.parallel.runspec import RunSpec
 
 #: Engine names accepted everywhere an ``engine=`` knob exists.
-ENGINE_NAMES: tuple[str, ...] = ("sim", "model", "hybrid")
+ENGINE_NAMES: tuple[str, ...] = ("sim", "model", "hybrid", "learned")
 
 #: Max relative error vs the DES for a family to use the model.
 DEFAULT_TOLERANCE = 0.05
@@ -383,6 +387,10 @@ def resolve_engine(engine, store=None):
         return ModelEngine(store=store)
     if engine == "hybrid":
         return HybridEngine(store=store)
+    if engine == "learned":
+        from repro.engine.learned import LearnedEngine
+
+        return LearnedEngine(store=store)
     if hasattr(engine, "map") and hasattr(engine, "name"):
         if store is not None and getattr(engine, "store", None) is None:
             engine.store = store

@@ -91,6 +91,11 @@ def _resolve_engine_arg(args):
 
         cls = ModelEngine if args.engine == "model" else HybridEngine
         return cls(vectorize=not args.no_grid, store=store)
+    if args.engine == "learned" and store:
+        # The store rides on the learned engine's hybrid fallback.
+        from repro.engine import LearnedEngine
+
+        return LearnedEngine(store=store)
     return args.engine
 
 
@@ -203,13 +208,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--engine",
-        choices=["sim", "model", "hybrid"],
+        choices=["sim", "model", "hybrid", "learned"],
         default="sim",
         help="evaluation engine for sweep-style figures: the "
         "discrete-event simulation (sim, default), the vectorized "
-        "analytic model (model), or the model certified per sweep "
+        "analytic model (model), the model certified per sweep "
         "family against simulated calibration points with simulation "
-        "fallback (hybrid); see docs/PERF.md",
+        "fallback (hybrid), or the corpus-trained model behind an "
+        "uncertainty gate (learned); see docs/PERF.md and "
+        "docs/LEARNED.md",
     )
     parser.add_argument(
         "--no-grid",

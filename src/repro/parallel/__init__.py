@@ -15,9 +15,13 @@ hard to kill:
   bounded retries with backoff and deadlines, NaN-metric placeholders,
   and partial-result-preserving aborts (see ``docs/RELIABILITY.md``);
 * :class:`SweepCheckpoint` — periodic JSON checkpointing so interrupted
-  sweeps resume where they left off.
+  sweeps resume where they left off;
+* :class:`DesBudget` — spend accounting for simulator executions, so
+  budget-aware callers (the learned engine tier's searches) can ration
+  DES work explicitly.
 """
 
+from repro.parallel.budget import DesBudget
 from repro.parallel.cache import (
     CacheStats,
     DEFAULT_CACHE_DIR,
@@ -49,6 +53,7 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "CacheStats",
     "DEFAULT_CACHE_DIR",
+    "DesBudget",
     "ExecutorStats",
     "FailedRun",
     "RetryPolicy",

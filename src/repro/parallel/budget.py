@@ -1,0 +1,67 @@
+"""Accounting for discrete-event simulator spend.
+
+A :class:`DesBudget` counts *actual simulator executions* — the
+executor charges it for the misses that survive the cache and
+checkpoint passes, never for served hits — so searches and engines can
+ration DES work against an explicit allowance.  The budget is
+deliberately an accountant, not a gatekeeper: charging past the limit
+only flips :attr:`exhausted`; callers that want to *stop* spending ask
+:meth:`try_acquire` before scheduling optional verification work
+(``run_search --engine learned`` does exactly that), while
+correctness-mandatory simulations always proceed and are simply
+recorded.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.metrics.registry import get_registry
+
+
+class DesBudget:
+    """A spend counter for DES evaluations, optionally limited.
+
+    ``limit=None`` never refuses — useful for pure accounting (how many
+    simulator runs did this search actually cost?).
+    """
+
+    def __init__(self, limit: "int | None" = None) -> None:
+        if limit is not None and limit < 0:
+            raise ConfigurationError(
+                f"budget limit must be >= 0, got {limit}"
+            )
+        self.limit = limit
+        self.spent = 0
+
+    @property
+    def remaining(self) -> "int | None":
+        """Evaluations left under the limit (None when unlimited)."""
+        if self.limit is None:
+            return None
+        return max(self.limit - self.spent, 0)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.limit is not None and self.spent >= self.limit
+
+    def charge(self, n: int = 1) -> None:
+        """Record ``n`` simulator executions (mandatory work: always
+        recorded, even past the limit)."""
+        if n < 0:
+            raise ConfigurationError(f"cannot charge {n} evaluations")
+        if n:
+            self.spent += n
+            get_registry().counter("executor.des_budget.spent").inc(n)
+
+    def try_acquire(self, n: int = 1) -> bool:
+        """Whether ``n`` *optional* evaluations fit under the limit.
+
+        Pure query — nothing is spent; the executor charges when the
+        runs actually execute.  Always true when unlimited.
+        """
+        if n < 0:
+            raise ConfigurationError(f"cannot acquire {n} evaluations")
+        return self.limit is None or self.spent + n <= self.limit
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DesBudget(limit={self.limit}, spent={self.spent})"

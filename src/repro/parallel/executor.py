@@ -80,6 +80,7 @@ from repro.parallel.runspec import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.apps.base import AppRun
+    from repro.parallel.budget import DesBudget
 
 #: ``progress(done, total, spec)`` — called after each completed run.
 ProgressFn = Callable[[int, int, RunSpec], None]
@@ -159,6 +160,7 @@ class SweepExecutor:
         chunksize: int | None = None,
         keep_traces: bool = False,
         engine_store: "str | object | None" = None,
+        des_budget: "DesBudget | None" = None,
     ) -> None:
         from repro.engine.engines import resolve_engine
 
@@ -197,6 +199,13 @@ class SweepExecutor:
         #: and jobs).  Batching amortizes process spawn and per-result
         #: metrics-snapshot pickling on large grids.
         self.chunksize = chunksize
+        #: Optional :class:`~repro.parallel.budget.DesBudget` charged
+        #: for every simulator execution that survives the cache and
+        #: checkpoint passes (hits are free).  Accounting only — the
+        #: executor never refuses mandatory work; budget-aware callers
+        #: (``run_search --engine learned``) consult it before
+        #: scheduling optional verification runs.
+        self.des_budget = des_budget
         self.stats = ExecutorStats()
         #: Active progress scope: the batch-level total every completion
         #: reports against.  ``map`` opens it over the *whole* batch, so
@@ -323,6 +332,12 @@ class SweepExecutor:
                     done += 1
                     self._notify_progress(specs[i])
                 misses = remaining
+
+            if self.des_budget is not None and misses:
+                # Only actual simulator executions cost budget: cache
+                # hits, checkpoint resumes and dedup aliases were all
+                # served above without touching the DES.
+                self.des_budget.charge(len(misses))
 
             try:
                 if misses:

@@ -95,9 +95,9 @@ class PredictionBackend:
 
         ``query`` is the dict :func:`repro.serve.api.parse_autotune`
         builds.  Uses the pruned ``hybrid`` search when the backend
-        engine supports ranking, the exhaustive cached path under
-        ``sim``; either way the returned best comes from simulated (or
-        certified) numbers, never an unverified ranking.
+        engine supports ranking, the uncertainty-gated learned search
+        under ``learned`` (usually zero DES evaluations — see
+        ``docs/LEARNED.md``), the exhaustive cached path under ``sim``.
         """
         profile = query["profile"]
         d = query["d"]
@@ -105,10 +105,14 @@ class PredictionBackend:
             p_values=list(query["p_values"]),
             t_values=list(query["t_values"]),
         )
-        search_engine = (
-            self.engine_name if self.engine_name in ("model", "hybrid")
-            else None
-        )
+        if self.engine_name == "learned":
+            # Hand the executor's own learned engine over so the search
+            # reuses the warm trained model (and feeds its observations).
+            search_engine = self.executor._engine_impl
+        elif self.engine_name in ("model", "hybrid"):
+            search_engine = self.engine_name
+        else:
+            search_engine = None
         t0 = perf_counter()
         outcome = run_search(
             spec_fn=lambda c: profile.spec(c.places, c.tiles, d),

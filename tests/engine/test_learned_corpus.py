@@ -1,0 +1,104 @@
+"""Learned-tier corpus: determinism, fingerprints, JSON round-trip."""
+
+import json
+
+import pytest
+
+from repro.engine.grid import predict_runs
+from repro.engine.learned import (
+    CORPUS_SCHEMA,
+    CORPUS_VERSION,
+    FEATURE_NAMES,
+    Corpus,
+    build_corpus,
+)
+from repro.errors import ConfigurationError
+from repro.parallel import RunSpec
+from repro.workload.generator import ScenarioGenerator
+
+
+def small_corpus(seed=7, count=4, p_values=(2, 8, 56)):
+    return build_corpus(count=count, seed=seed, p_values=p_values)
+
+
+class TestDeterminism:
+    def test_same_seed_same_fingerprint_and_labels(self):
+        a = small_corpus()
+        b = small_corpus()
+        assert a.fingerprint() == b.fingerprint()
+        assert [e.elapsed for e in a.entries] == [
+            e.elapsed for e in b.entries
+        ]
+        assert [e.features for e in a.entries] == [
+            e.features for e in b.entries
+        ]
+
+    def test_different_seed_different_fingerprint(self):
+        assert (
+            small_corpus(seed=7).fingerprint()
+            != small_corpus(seed=8).fingerprint()
+        )
+
+    def test_labels_match_grid_predictions_exactly(self):
+        # The corpus labels ARE the vectorized grid path's predictions:
+        # bit-identical, not approximately equal.
+        corpus = small_corpus(count=2)
+        scenarios = ScenarioGenerator(seed=7).corpus(2)
+        specs = [
+            RunSpec.for_workload(w, places=p)
+            for w in scenarios
+            for p in (2, 8, 56)
+        ]
+        labels = [run.elapsed for run in predict_runs(specs)]
+        assert [e.elapsed for e in corpus.entries] == labels
+
+    def test_shape_and_feature_names(self):
+        corpus = small_corpus()
+        assert len(corpus) == 4 * 3
+        assert corpus.feature_names == FEATURE_NAMES
+        x, y = corpus.matrices()
+        assert x.shape == (12, len(FEATURE_NAMES))
+        assert y.shape == (12,)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_fingerprint(self, tmp_path):
+        corpus = small_corpus()
+        path = tmp_path / "corpus.json"
+        corpus.save(path)
+        loaded = Corpus.load(path)
+        assert loaded.fingerprint() == corpus.fingerprint()
+        assert loaded.entries == corpus.entries
+        assert loaded.seed == corpus.seed
+        assert loaded.p_values == corpus.p_values
+
+    def test_schema_is_versioned(self):
+        data = json.loads(small_corpus().to_json())
+        assert data["schema"] == CORPUS_SCHEMA
+        assert data["schema_version"] == CORPUS_VERSION
+
+    def test_wrong_schema_rejected(self):
+        data = json.loads(small_corpus().to_json())
+        data["schema"] = "something-else"
+        with pytest.raises(ConfigurationError):
+            Corpus.from_json(json.dumps(data))
+
+    def test_wrong_version_rejected(self):
+        data = json.loads(small_corpus().to_json())
+        data["schema_version"] = CORPUS_VERSION + 1
+        with pytest.raises(ConfigurationError):
+            Corpus.from_json(json.dumps(data))
+
+    def test_non_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Corpus.from_json("not json {")
+
+
+class TestValidation:
+    def test_bad_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_corpus(count=0)
+
+    def test_bad_p_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_corpus(count=1, p_values=())

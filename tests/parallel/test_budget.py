@@ -1,0 +1,86 @@
+"""DES budget accounting: charge on misses, pure try_acquire queries."""
+
+import pytest
+
+from repro.apps import MatMulApp
+from repro.errors import ConfigurationError
+from repro.metrics.registry import scoped_registry
+from repro.parallel import (
+    DesBudget,
+    RunSpec,
+    SimulationCache,
+    SweepExecutor,
+)
+
+
+def _mm_specs(places=(1, 2, 4)):
+    return [
+        RunSpec.for_app(MatMulApp, 1500, 36, places=p) for p in places
+    ]
+
+
+class TestDesBudget:
+    def test_limit_validated(self):
+        with pytest.raises(ConfigurationError):
+            DesBudget(limit=-1)
+
+    def test_unlimited_by_default(self):
+        budget = DesBudget()
+        assert budget.remaining is None
+        assert not budget.exhausted
+        assert budget.try_acquire(10**6)
+        budget.charge(5)
+        assert budget.spent == 5
+        assert not budget.exhausted
+
+    def test_charge_and_remaining(self):
+        budget = DesBudget(limit=10)
+        budget.charge(3)
+        assert budget.spent == 3
+        assert budget.remaining == 7
+        assert not budget.exhausted
+        budget.charge(7)
+        assert budget.exhausted
+        assert budget.remaining == 0
+
+    def test_charge_is_accounting_not_gatekeeping(self):
+        # charge() always records, even past the limit — the budget is
+        # a ledger; refusal is the caller's job via try_acquire().
+        budget = DesBudget(limit=2)
+        budget.charge(5)
+        assert budget.spent == 5
+        assert budget.remaining == 0
+        assert budget.exhausted
+
+    def test_try_acquire_is_a_pure_query(self):
+        budget = DesBudget(limit=4)
+        assert budget.try_acquire(4)
+        assert budget.spent == 0  # querying spends nothing
+        budget.charge(3)
+        assert budget.try_acquire(1)
+        assert not budget.try_acquire(2)
+
+    def test_charge_counts_in_metrics(self):
+        with scoped_registry() as registry:
+            DesBudget(limit=5).charge(2)
+            snap = registry.snapshot()
+        assert snap.counter_value("executor.des_budget.spent") == 2
+
+
+class TestExecutorBudgetWiring:
+    def test_executor_charges_cache_misses_only(self):
+        cache = SimulationCache()
+        budget = DesBudget(limit=100)
+        specs = _mm_specs()
+        ex = SweepExecutor(jobs=1, cache=cache, des_budget=budget)
+        ex.map(specs)
+        assert budget.spent == len(specs)
+        # The warm rerun answers from the cache: zero DES, zero charge.
+        ex.map(specs)
+        assert budget.spent == len(specs)
+
+    def test_executor_without_budget_unchanged(self):
+        ex = SweepExecutor(jobs=1)
+        assert ex.des_budget is None
+        runs = ex.map(_mm_specs())
+        assert len(runs) == 3

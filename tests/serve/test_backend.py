@@ -129,6 +129,41 @@ class TestAutotune:
             assert result["evaluations"] == 2
 
 
+class TestLearnedBackend:
+    def test_learned_point_query_zero_des(self):
+        with scoped_registry() as registry:
+            backend = PredictionBackend(
+                engine="learned", cache=SimulationCache()
+            )
+            spec = parse_predict({"app": "mm", "P": 4})
+            (run,) = backend.evaluate([spec])
+            snap = registry.snapshot()
+        assert run.engine == "learned"
+        assert run.elapsed > 0
+        assert backend.cache.stats.misses == 0, (
+            "a confident learned answer must not touch the DES"
+        )
+        assert snap.counter_value("engine.points", backend="learned") == 1
+
+    def test_learned_autotune_reuses_warm_engine(self):
+        with scoped_registry():
+            backend = PredictionBackend(engine="learned")
+            # Warm the model through a point query first.
+            backend.evaluate([parse_predict({"app": "mm", "P": 4})])
+            warm_model = backend.executor._engine_impl.model
+            assert warm_model is not None
+            query = parse_autotune(
+                {"app": "mm", "P": [1, 2, 4, 8], "T": [144]}
+            )
+            result = backend.autotune(query)
+            assert result["best"]["P"] in (1, 2, 4, 8)
+            # The margin rule verifies at most the top two candidates.
+            assert result["evaluations"] <= 2
+            # The search ranked with the executor's engine instance,
+            # not a freshly-trained duplicate.
+            assert backend.executor._engine_impl.model is warm_model
+
+
 class TestHealth:
     def test_health_reports_store_and_families(self, tmp_path):
         store = tmp_path / "engine-store.json"
